@@ -1,0 +1,56 @@
+# Standard targets for the rwrnlp reproduction repository.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench fuzz experiments schedstudy examples fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzRSMInvocations -fuzztime 60s ./internal/core
+
+# Regenerate every recorded experiment artifact.
+experiments:
+	$(GO) run ./cmd/experiments -seeds 30 -horizon 1000000000 all > results_experiments.md
+	$(GO) run ./cmd/schedstudy -m 8 -sets 200 > results_schedstudy.md
+	$(GO) run ./cmd/schedstudy -m 8 -sets 200 -read-ratio 0.3 >> results_schedstudy.md
+	$(GO) run ./cmd/schedstudy -m 8 -sets 200 -resources 24 -nested 0.1 >> results_schedstudy.md
+
+schedstudy:
+	$(GO) run ./cmd/schedstudy
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stm
+	$(GO) run ./examples/sensorfusion
+	$(GO) run ./examples/airtraffic
+	$(GO) run ./examples/rtdb
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+# Final artifacts referenced by the reproduction protocol.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

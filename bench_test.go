@@ -1,0 +1,497 @@
+// Benchmark harness: one target per reproduced table/figure/claim (see
+// DESIGN.md §3 and EXPERIMENTS.md). Simulator-plane benches report
+// observed-vs-bound ratios and concurrency as custom metrics; runtime-plane
+// benches (E15) measure goroutine lock throughput.
+//
+//	go test -bench=. -benchmem
+package rwrnlp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/rtsync/rwrnlp"
+	"github.com/rtsync/rwrnlp/internal/analysis"
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/locks/grouplock"
+	"github.com/rtsync/rwrnlp/internal/locks/mutexrnlp"
+	"github.com/rtsync/rwrnlp/internal/locks/phasefair"
+	"github.com/rtsync/rwrnlp/internal/locks/taskfair"
+	"github.com/rtsync/rwrnlp/internal/sched"
+	"github.com/rtsync/rwrnlp/internal/sim"
+	"github.com/rtsync/rwrnlp/internal/stm"
+	"github.com/rtsync/rwrnlp/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Simulator-plane benches (E4, E5, E9–E12, E14)
+
+func simParams(m int) workload.Params {
+	return workload.Params{
+		M: m, NumTasks: 3 * m, Util: workload.UtilUniformLight,
+		NumResources: 6, AccessProb: 1, ReqPerJob: 3,
+		NestedProb: 0.5, ReadRatio: 0.5,
+		CSMin: 50_000, CSMax: 500_000,
+	}
+}
+
+func runSim(b *testing.B, cfg sim.Config) *sim.Result {
+	b.Helper()
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := s.Run()
+	if len(res.Violations) > 0 {
+		b.Fatalf("violations: %v", res.Violations[0])
+	}
+	return res
+}
+
+// BenchmarkTheorem1ReaderBound (E4): simulate and report the worst observed
+// read acquisition delay as a fraction of the Theorem 1 bound.
+func BenchmarkTheorem1ReaderBound(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		sys := workload.Generate(rand.New(rand.NewSource(seed)), simParams(8))
+		bounds := analysis.BoundsOf(sys)
+		res := runSim(b, sim.Config{
+			System: sys, Policy: sched.EDF, Progress: sim.SpinNP,
+			Protocol: sim.ProtoRWRNLP, Horizon: 200_000_000, Seed: seed,
+		})
+		if r := float64(res.MaxReadAcq) / float64(bounds.ReadAcq()); r > worst {
+			worst = r
+		}
+		if res.MaxReadAcq > bounds.ReadAcq() {
+			b.Fatalf("Theorem 1 violated: %d > %d", res.MaxReadAcq, bounds.ReadAcq())
+		}
+	}
+	b.ReportMetric(worst, "maxObserved/bound")
+}
+
+// BenchmarkTheorem2WriterBound (E5): the writer analogue.
+func BenchmarkTheorem2WriterBound(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		sys := workload.Generate(rand.New(rand.NewSource(seed)), simParams(8))
+		bounds := analysis.BoundsOf(sys)
+		res := runSim(b, sim.Config{
+			System: sys, Policy: sched.EDF, Progress: sim.SpinNP,
+			Protocol: sim.ProtoRWRNLP, Horizon: 200_000_000, Seed: seed,
+		})
+		if r := float64(res.MaxWriteAcq) / float64(bounds.WriteAcq()); r > worst {
+			worst = r
+		}
+		if res.MaxWriteAcq > bounds.WriteAcq() {
+			b.Fatalf("Theorem 2 violated: %d > %d", res.MaxWriteAcq, bounds.WriteAcq())
+		}
+	}
+	b.ReportMetric(worst, "maxObserved/bound")
+}
+
+// BenchmarkPlaceholderAblation (E9): CS parallelism of placeholder mode
+// relative to expanded writes on the same workloads.
+func BenchmarkPlaceholderAblation(b *testing.B) {
+	var sumGain float64
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		sys := workload.Generate(rand.New(rand.NewSource(seed)), simParams(8))
+		base := runSim(b, sim.Config{
+			System: sys, Policy: sched.EDF, Progress: sim.SpinNP,
+			Protocol: sim.ProtoRWRNLP, Horizon: 200_000_000, Seed: seed,
+		})
+		ph := runSim(b, sim.Config{
+			System: sys, Policy: sched.EDF, Progress: sim.SpinNP,
+			Protocol: sim.ProtoRWRNLP, RSM: core.Options{Placeholders: true},
+			Horizon: 200_000_000, Seed: seed,
+		})
+		if base.CSParallelism > 0 {
+			sumGain += ph.CSParallelism / base.CSParallelism
+		}
+	}
+	b.ReportMetric(sumGain/float64(b.N), "parallelism-gain")
+}
+
+// BenchmarkMixingAblation (E10): parallelism with mixed requests vs pure
+// writes.
+func BenchmarkMixingAblation(b *testing.B) {
+	var sumGain float64
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		p := simParams(8)
+		p.NestedProb = 0.8
+		pure := workload.Generate(rand.New(rand.NewSource(seed)), p)
+		p.MixedProb = 0.6
+		mixed := workload.Generate(rand.New(rand.NewSource(seed)), p)
+		r1 := runSim(b, sim.Config{System: pure, Policy: sched.EDF, Progress: sim.SpinNP,
+			Protocol: sim.ProtoRWRNLP, RSM: core.Options{Placeholders: true},
+			Horizon: 200_000_000, Seed: seed})
+		r2 := runSim(b, sim.Config{System: mixed, Policy: sched.EDF, Progress: sim.SpinNP,
+			Protocol: sim.ProtoRWRNLP, RSM: core.Options{Placeholders: true},
+			Horizon: 200_000_000, Seed: seed})
+		if r1.CSParallelism > 0 {
+			sumGain += r2.CSParallelism / r1.CSParallelism
+		}
+	}
+	b.ReportMetric(sumGain/float64(b.N), "parallelism-gain")
+}
+
+// BenchmarkUpgradeAblation (E11): native upgrades vs pessimistic writes.
+func BenchmarkUpgradeAblation(b *testing.B) {
+	var sumGain float64
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		p := simParams(8)
+		p.ReadRatio = 0.7
+		p.UpgradeProb = 1.0
+		sys := workload.Generate(rand.New(rand.NewSource(seed)), p)
+		fine := runSim(b, sim.Config{System: sys, Policy: sched.EDF, Progress: sim.SpinNP,
+			Protocol: sim.ProtoRWRNLP, RSM: core.Options{Placeholders: true},
+			Horizon: 200_000_000, Seed: seed})
+		pess := runSim(b, sim.Config{System: sys, Policy: sched.EDF, Progress: sim.SpinNP,
+			Protocol: sim.ProtoMutexRNLP, Horizon: 200_000_000, Seed: seed})
+		if pess.CSParallelism > 0 {
+			sumGain += fine.CSParallelism / pess.CSParallelism
+		}
+	}
+	b.ReportMetric(sumGain/float64(b.N), "parallelism-gain")
+}
+
+// BenchmarkIncremental (E12): incremental cumulative delay relative to the
+// single-shot bound.
+func BenchmarkIncremental(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		p := simParams(8)
+		p.NestedProb = 0.9
+		p.ReadRatio = 0.3
+		p.IncrementalProb = 1.0
+		sys := workload.Generate(rand.New(rand.NewSource(seed)), p)
+		bounds := analysis.BoundsOf(sys)
+		res := runSim(b, sim.Config{System: sys, Policy: sched.EDF, Progress: sim.SpinNP,
+			Protocol: sim.ProtoRWRNLP, Horizon: 200_000_000, Seed: seed, RecordRequests: true})
+		for _, r := range res.Requests {
+			if r.Incr {
+				if ratio := float64(r.Acq) / float64(bounds.WriteAcq()); ratio > worst {
+					worst = ratio
+				}
+				if r.Acq > bounds.WriteAcq() {
+					b.Fatal("incremental delay exceeded single-shot bound")
+				}
+			}
+		}
+	}
+	b.ReportMetric(worst, "maxCumDelay/bound")
+}
+
+// BenchmarkSchedStudy (E14): one full utilization sweep per iteration;
+// reports the schedulable-fraction advantage of the R/W RNLP over the mutex
+// RNLP at the crossover region.
+func BenchmarkSchedStudy(b *testing.B) {
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		rwOK, muOK := 0, 0
+		for s := 0; s < 20; s++ {
+			rng := rand.New(rand.NewSource(int64(i*1000 + s)))
+			sys := workload.Generate(rng, workload.Params{
+				M: 8, TotalUtil: 3.2, Util: workload.UtilUniformLight,
+				NumResources: 8, AccessProb: 0.8, ReqPerJob: 2,
+				NestedProb: 0.4, ReadRatio: 0.8,
+				CSMin: 10_000, CSMax: 100_000, WriteCSScale: 0.25,
+			})
+			if analysis.NewAnalyzer(sys, sim.ProtoRWRNLP, sim.SpinNP).SchedulableGEDF() {
+				rwOK++
+			}
+			if analysis.NewAnalyzer(sys, sim.ProtoMutexRNLP, sim.SpinNP).SchedulableGEDF() {
+				muOK++
+			}
+		}
+		adv += float64(rwOK-muOK) / 20
+	}
+	b.ReportMetric(adv/float64(b.N), "rwrnlp-advantage")
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-plane throughput benches (E15)
+
+func benchProtocolRuntime(b *testing.B, readFrac int, acquire func(write bool, r0, r1 rwrnlp.ResourceID) func()) {
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		var r0, r1 rwrnlp.ResourceID
+		for pb.Next() {
+			r0 = rwrnlp.ResourceID(i % 4)
+			r1 = rwrnlp.ResourceID((i + 1) % 4)
+			write := i%readFrac == 0
+			acquire(write, r0, r1)()
+			i++
+		}
+	})
+}
+
+func newBenchProtocol(b *testing.B) *rwrnlp.Protocol {
+	spec := rwrnlp.NewSpecBuilder(4)
+	if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := spec.DeclareRequest([]rwrnlp.ResourceID{2, 3}, nil); err != nil {
+		b.Fatal(err)
+	}
+	return rwrnlp.New(spec.Build(), rwrnlp.Options{Placeholders: true})
+}
+
+// BenchmarkRuntimeRWRNLPReadHeavy: 15/16 reads of one resource, 1/16
+// two-resource writes.
+func BenchmarkRuntimeRWRNLPReadHeavy(b *testing.B) {
+	p := newBenchProtocol(b)
+	var shared [4]int64
+	benchProtocolRuntime(b, 16, func(write bool, r0, r1 rwrnlp.ResourceID) func() {
+		return func() {
+			if write {
+				tok, _ := p.Write(r0, r1)
+				shared[r0]++
+				shared[r1]++
+				p.Release(tok)
+			} else {
+				tok, _ := p.Read(r0)
+				_ = shared[r0]
+				p.Release(tok)
+			}
+		}
+	})
+}
+
+// BenchmarkRuntimeMutexRNLPReadHeavy: the same workload where reads pay the
+// mutex price.
+func BenchmarkRuntimeMutexRNLPReadHeavy(b *testing.B) {
+	l := mutexrnlp.New(4)
+	var shared [4]int64
+	benchProtocolRuntime(b, 16, func(write bool, r0, r1 rwrnlp.ResourceID) func() {
+		return func() {
+			if write {
+				tok, _ := l.Acquire(r0, r1)
+				shared[r0]++
+				shared[r1]++
+				l.Release(tok)
+			} else {
+				tok, _ := l.Acquire(r0)
+				_ = shared[r0]
+				l.Release(tok)
+			}
+		}
+	})
+}
+
+// BenchmarkRuntimeGroupLockReadHeavy: coarse-grained phase-fair group lock.
+func BenchmarkRuntimeGroupLockReadHeavy(b *testing.B) {
+	l := grouplock.NewSingle(4, false)
+	var shared [4]int64
+	benchProtocolRuntime(b, 16, func(write bool, r0, r1 rwrnlp.ResourceID) func() {
+		return func() {
+			if write {
+				tok, _ := l.Acquire(nil, []core.ResourceID{core.ResourceID(r0), core.ResourceID(r1)})
+				shared[r0]++
+				shared[r1]++
+				l.Release(tok)
+			} else {
+				tok, _ := l.Acquire([]core.ResourceID{core.ResourceID(r0)}, nil)
+				_ = shared[r0]
+				l.Release(tok)
+			}
+		}
+	})
+}
+
+// BenchmarkRuntimePhaseFairReadHeavy: the single-resource PF-T baseline.
+func BenchmarkRuntimePhaseFairReadHeavy(b *testing.B) {
+	var l phasefair.Lock
+	var shared int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				l.Lock()
+				shared++
+				l.Unlock()
+			} else {
+				l.RLock()
+				_ = shared
+				l.RUnlock()
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkRuntimeTaskFairReadHeavy: the task-fair (strict FIFO) ticket RW
+// baseline — the foil phase-fairness is defined against.
+func BenchmarkRuntimeTaskFairReadHeavy(b *testing.B) {
+	var l taskfair.Lock
+	var shared int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				l.Lock()
+				shared++
+				l.Unlock()
+			} else {
+				l.RLock()
+				_ = shared
+				l.RUnlock()
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkRuntimeSyncRWMutexReadHeavy: the Go stdlib reference point.
+func BenchmarkRuntimeSyncRWMutexReadHeavy(b *testing.B) {
+	var l sync.RWMutex
+	var shared int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				l.Lock()
+				shared++
+				l.Unlock()
+			} else {
+				l.RLock()
+				_ = shared
+				l.RUnlock()
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkRuntimeRWRNLPWriteHeavy: the write-dominated counterpoint.
+func BenchmarkRuntimeRWRNLPWriteHeavy(b *testing.B) {
+	p := newBenchProtocol(b)
+	var shared [4]int64
+	benchProtocolRuntime(b, 2, func(write bool, r0, r1 rwrnlp.ResourceID) func() {
+		return func() {
+			if write {
+				tok, _ := p.Write(r0, r1)
+				shared[r0]++
+				shared[r1]++
+				p.Release(tok)
+			} else {
+				tok, _ := p.Read(r0)
+				_ = shared[r0]
+				p.Release(tok)
+			}
+		}
+	})
+}
+
+// BenchmarkRuntimeUpgradeable: upgradeable acquisition round trips.
+func BenchmarkRuntimeUpgradeable(b *testing.B) {
+	p := newBenchProtocol(b)
+	var shared [4]int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r := rwrnlp.ResourceID(i % 4)
+			u, err := p.AcquireUpgradeable(r)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if u.Reading() {
+				if shared[r]%7 == 0 {
+					if err := u.Upgrade(); err != nil {
+						b.Error(err)
+						return
+					}
+					shared[r]++
+					u.Release()
+				} else {
+					u.ReleaseRead()
+				}
+			} else {
+				shared[r]++
+				u.Release()
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkSTM (E16): transactional transfers with concurrent audits.
+func BenchmarkSTM(b *testing.B) {
+	sys := stm.NewSystem()
+	accounts := make([]*stm.Var[int], 4)
+	var all []stm.VarBase
+	for i := range accounts {
+		accounts[i] = stm.NewVar(sys, 100)
+		all = append(all, accounts[i])
+	}
+	sys.DeclareTx(all, nil)
+	for i := range accounts {
+		for j := range accounts {
+			if i != j {
+				sys.DeclareTx(nil, stm.Writes(accounts[i], accounts[j]))
+			}
+		}
+	}
+	s := sys.Build(stm.Options{Placeholders: true})
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%8 == 0 {
+				from, to := accounts[i%4], accounts[(i+1)%4]
+				_ = s.Atomically(nil, stm.Writes(from, to), func(tx *stm.Tx) error {
+					v := stm.Get(tx, from)
+					stm.Set(tx, from, v-1)
+					stm.Set(tx, to, stm.Get(tx, to)+1)
+					return nil
+				})
+			} else {
+				_ = s.Atomically(all, nil, func(tx *stm.Tx) error {
+					t := 0
+					for _, a := range accounts {
+						t += stm.Get(tx, a)
+					}
+					_ = t
+					return nil
+				})
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkRuntimeScaling sweeps goroutine parallelism on the read-heavy
+// R/W RNLP workload (E15's scaling axis).
+func BenchmarkRuntimeScaling(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		par := par
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			p := newBenchProtocol(b)
+			var shared [4]int64
+			b.SetParallelism(par)
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					r0 := rwrnlp.ResourceID(i % 4)
+					if i%16 == 0 {
+						tok, _ := p.Write(r0)
+						shared[r0]++
+						p.Release(tok)
+					} else {
+						tok, _ := p.Read(r0)
+						_ = shared[r0]
+						p.Release(tok)
+					}
+					i++
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,200 @@
+// Command rnlpsim runs one discrete-event simulation of a random sporadic
+// task system under a chosen locking protocol and progress mechanism, and
+// prints blocking/response statistics. It is the interactive entry point to
+// the simulator; cmd/experiments drives the full reproduction suites.
+//
+// Example:
+//
+//	rnlpsim -m 8 -tasks 24 -protocol rw-rnlp -progress spin -read-ratio 0.8 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/rtsync/rwrnlp/internal/analysis"
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/sched"
+	"github.com/rtsync/rwrnlp/internal/sim"
+	"github.com/rtsync/rwrnlp/internal/simtime"
+	"github.com/rtsync/rwrnlp/internal/stats"
+	"github.com/rtsync/rwrnlp/internal/taskmodel"
+	"github.com/rtsync/rwrnlp/internal/workload"
+)
+
+func main() {
+	var (
+		m        = flag.Int("m", 8, "processors")
+		c        = flag.Int("c", 0, "cluster size (0 = global)")
+		tasks    = flag.Int("tasks", 24, "number of tasks")
+		nres     = flag.Int("resources", 8, "number of resources")
+		readR    = flag.Float64("read-ratio", 0.7, "fraction of read requests")
+		nested   = flag.Float64("nested", 0.5, "probability of multi-resource requests")
+		mixed    = flag.Float64("mixed", 0, "probability of mixed R/W requests")
+		upgrades = flag.Float64("upgrades", 0, "probability a read is upgradeable")
+		incr     = flag.Float64("incremental", 0, "probability a nested write is incremental")
+		execVar  = flag.Float64("exec-var", 0, "per-job execution-time variation in [0,1)")
+		ovInv    = flag.Int64("ov-invocation", 0, "protocol invocation overhead (ns)")
+		ovCtx    = flag.Int64("ov-ctx", 0, "context-switch overhead (ns)")
+		protoS   = flag.String("protocol", "rw-rnlp", "rw-rnlp | mutex-rnlp | group-pf | group-mutex | none")
+		progS    = flag.String("progress", "spin", "spin | donation | inheritance")
+		policyS  = flag.String("policy", "edf", "edf | fp")
+		placeh   = flag.Bool("placeholders", true, "Sec. 3.4 placeholder optimization (rw-rnlp)")
+		horizon  = flag.Int64("horizon", 1_000_000_000, "simulation horizon (ns)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		sysFile  = flag.String("system", "", "load the task system from a JSON file instead of generating one")
+		dump     = flag.String("dump-system", "", "write the generated task system to a JSON file and exit")
+		report   = flag.Bool("analysis", false, "print the per-task blocking breakdown")
+		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart of the schedule")
+		verbose  = flag.Bool("v", false, "print the per-request log")
+	)
+	flag.Parse()
+
+	protos := map[string]sim.Protocol{
+		"rw-rnlp": sim.ProtoRWRNLP, "mutex-rnlp": sim.ProtoMutexRNLP,
+		"group-pf": sim.ProtoGroupPF, "group-mutex": sim.ProtoGroupMutex,
+		"none": sim.ProtoNone,
+	}
+	proto, ok := protos[*protoS]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protoS)
+		os.Exit(2)
+	}
+	prog := sim.SpinNP
+	switch *progS {
+	case "donation":
+		prog = sim.Donation
+	case "inheritance":
+		prog = sim.Inheritance
+	}
+	policy := sched.EDF
+	if *policyS == "fp" {
+		policy = sched.FP
+	}
+	if *c == 0 {
+		*c = *m
+	}
+
+	var sys *taskmodel.System
+	if *sysFile != "" {
+		f, err := os.Open(*sysFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sys, err = taskmodel.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*m, *c = sys.M, sys.ClusterSize
+	} else {
+		p := workload.Params{
+			M: *m, ClusterSize: *c, NumTasks: *tasks,
+			Util: workload.UtilUniformLight, NumResources: *nres,
+			AccessProb: 1, ReqPerJob: 3,
+			NestedProb: *nested, ReadRatio: *readR, MixedProb: *mixed,
+			UpgradeProb: *upgrades, IncrementalProb: *incr,
+			ExecVar: *execVar,
+			CSMin:   50_000, CSMax: 500_000,
+		}
+		sys = workload.Generate(rand.New(rand.NewSource(*seed)), p)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sys.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *dump)
+		return
+	}
+	b := analysis.BoundsOf(sys)
+
+	s, err := sim.New(sim.Config{
+		System: sys, Policy: policy, Progress: prog, Protocol: proto,
+		RSM:       core.Options{Placeholders: *placeh},
+		Overheads: sim.Overheads{Invocation: simtime.Time(*ovInv), CtxSwitch: simtime.Time(*ovCtx)},
+		Horizon:   simtime.Time(*horizon), Seed: *seed,
+		CheckInvariants: true, RecordRequests: true,
+		RecordSchedule: *gantt,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := s.Run()
+
+	fmt.Printf("system: m=%d c=%d n=%d q=%d U=%.2f  L^r=%.1fµs L^w=%.1fµs\n",
+		*m, *c, len(sys.Tasks), *nres, sys.Utilization(),
+		float64(b.Lr)/1000, float64(b.Lw)/1000)
+	fmt.Printf("config: protocol=%s progress=%s policy=%s placeholders=%v horizon=%.0fms seed=%d\n\n",
+		proto, prog, policy, *placeh, float64(*horizon)/1e6, *seed)
+
+	if len(res.Violations) > 0 {
+		fmt.Printf("INVARIANT VIOLATIONS (%d):\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Println(" ", v)
+		}
+		os.Exit(1)
+	}
+
+	fmt.Printf("jobs: released=%d finished=%d deadline misses=%d\n", res.Jobs, res.Finished, res.Misses)
+	fmt.Printf("CS parallelism: %.3f (utilization %.3f)\n\n", res.CSParallelism, res.CSUtilization)
+
+	var reads, writes []simtime.Time
+	for _, r := range res.Requests {
+		if r.Write {
+			writes = append(writes, r.Acq)
+		} else {
+			reads = append(reads, r.Acq)
+		}
+	}
+	fmt.Printf("read  acquisition delay (ns): %s  [Thm 1 bound %d]\n", stats.Summarize(reads), b.ReadAcq())
+	fmt.Printf("write acquisition delay (ns): %s  [Thm 2 bound %d]\n", stats.Summarize(writes), b.WriteAcq())
+	fmt.Printf("\npi-blocking maxima (ns): spin(Def.1)=%d  s-oblivious=%d  s-aware=%d  s-blocking=%d\n",
+		res.MaxPiSpin, res.MaxPiSOb, res.MaxPiSAw, res.MaxSBlock)
+
+	a := analysis.NewAnalyzer(sys, proto, prog)
+	fmt.Printf("\nschedulability (s-oblivious inflation): G-EDF=%v  P-EDF=%v  P-FP(RM)=%v\n",
+		a.SchedulableGEDF(), a.SchedulablePEDF(), a.SchedulablePFP())
+	if proto == sim.ProtoRWRNLP {
+		ra := analysis.NewRefinedAnalyzer(sys, prog)
+		fmt.Printf("refined (conflict-aware) G-EDF=%v\n", ra.SchedulableGEDFRefined())
+	}
+
+	if *report {
+		fmt.Println("\nper-task blocking breakdown:")
+		if err := a.Report(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+
+	if *verbose {
+		fmt.Println("\nper-request log:")
+		for _, r := range res.Requests {
+			kind := "R"
+			if r.Write {
+				kind = "W"
+			}
+			fmt.Printf("  T%-3d J%-4d %s issue=%-12d acq=%-10d cs=%d\n",
+				r.Task, r.Job, kind, r.Issue, r.Acq, r.CS)
+		}
+	}
+	if len(reads) > 0 {
+		fmt.Println("\nread-delay histogram:")
+		fmt.Print(stats.Histogram(reads, 8))
+	}
+	if *gantt {
+		fmt.Println("\nschedule:")
+		fmt.Print(sim.RenderGantt(res, 100))
+	}
+}

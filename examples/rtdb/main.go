@@ -1,0 +1,226 @@
+// rtdb: a miniature in-memory "real-time database" built on the lock-based
+// STM — the style of system the paper's STM motivation points at.
+//
+// Schema: an orders table (transactional bucket map), per-symbol inventory
+// variables, and a statistics row. Three transaction classes run
+// concurrently under synthetic load:
+//
+//   - place-order: write one order row + decrement one inventory var +
+//     bump stats — a declared multi-variable write transaction;
+//   - restock: upgradeable per-symbol maintenance — read inventory, escalate
+//     to a write only when below the threshold (Sec. 3.6 in action);
+//   - report: read-only snapshot over all inventory + stats, concurrent
+//     with other reports and with order reads.
+//
+// Because every transaction acquires its declared locks atomically through
+// the R/W RNLP, the workload is deadlock-free and abort-free by
+// construction, and the demo verifies global consistency at the end
+// (inventory sold + remaining == initial, orders counted == stats row).
+// Per-class latency percentiles are reported — the numbers a real-time
+// system would compare against its blocking bounds.
+//
+//	go run ./examples/rtdb
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rtsync/rwrnlp/internal/stm"
+)
+
+const (
+	nSymbols     = 6
+	initialStock = 3_000
+	nClients     = 8
+	ordersEach   = 1_500
+)
+
+type order struct {
+	ID     int
+	Symbol int
+	Qty    int
+}
+
+type latRec struct {
+	mu   sync.Mutex
+	durs map[string][]time.Duration
+}
+
+func (l *latRec) add(class string, d time.Duration) {
+	l.mu.Lock()
+	l.durs[class] = append(l.durs[class], d)
+	l.mu.Unlock()
+}
+
+func (l *latRec) report() {
+	classes := make([]string, 0, len(l.durs))
+	for c := range l.durs {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Println("latency per transaction class:")
+	for _, c := range classes {
+		ds := l.durs[c]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		p := func(q float64) time.Duration { return ds[int(q*float64(len(ds)-1))] }
+		fmt.Printf("  %-12s n=%-6d p50=%-10v p99=%-10v max=%v\n", c, len(ds), p(0.5), p(0.99), ds[len(ds)-1])
+	}
+}
+
+func main() {
+	sys := stm.NewSystem()
+
+	inventory := make([]*stm.Var[int], nSymbols)
+	var invAll []stm.VarBase
+	for i := range inventory {
+		inventory[i] = stm.NewVar(sys, initialStock)
+		invAll = append(invAll, inventory[i])
+	}
+	ordersPlaced := stm.NewVar(sys, 0)
+	unitsSold := stm.NewVar(sys, 0)
+
+	// Declared shapes: per-symbol order placement (inventory + both stats),
+	// and the full report (read everything).
+	for i := range inventory {
+		sys.DeclareTx(nil, stm.Writes(inventory[i], ordersPlaced, unitsSold))
+	}
+	sys.DeclareTx(append(append([]stm.VarBase{}, invAll...), ordersPlaced, unitsSold), nil)
+	s := sys.Build(stm.Options{Placeholders: true})
+
+	// The orders table lives in its own transactional map (separate lock
+	// universe: order rows never participate in inventory transactions).
+	orders := stm.NewMap[int, order](stm.MapConfig{Buckets: 32, Options: stm.Options{Placeholders: true}})
+
+	lat := &latRec{durs: map[string][]time.Duration{}}
+	var wg sync.WaitGroup
+	var clients sync.WaitGroup
+	clientsDone := make(chan struct{})
+
+	// Order-placing clients.
+	for c := 0; c < nClients; c++ {
+		c := c
+		wg.Add(1)
+		clients.Add(1)
+		go func() {
+			defer wg.Done()
+			defer clients.Done()
+			for i := 0; i < ordersEach; i++ {
+				id := c*ordersEach + i
+				symbol := (c + i) % nSymbols
+				qty := 1 + i%3
+				start := time.Now()
+				err := s.Atomically(nil, stm.Writes(inventory[symbol], ordersPlaced, unitsSold), func(tx *stm.Tx) error {
+					stock := stm.Get(tx, inventory[symbol])
+					if stock < qty {
+						return nil // out of stock: no-op (still a valid tx)
+					}
+					stm.Set(tx, inventory[symbol], stock-qty)
+					stm.Set(tx, ordersPlaced, stm.Get(tx, ordersPlaced)+1)
+					stm.Set(tx, unitsSold, stm.Get(tx, unitsSold)+qty)
+					orders.Put(id, order{ID: id, Symbol: symbol, Qty: qty})
+					return nil
+				})
+				lat.add("place-order", time.Since(start))
+				if err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+
+	go func() { clients.Wait(); close(clientsDone) }()
+
+	// Restockers: upgradeable read-mostly maintenance, polling until the
+	// order flow ends.
+	restocks := 0
+	var restockMu sync.Mutex
+	for r := 0; r < 2; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-clientsDone:
+					return
+				default:
+				}
+				symbol := (r + i) % nSymbols
+				start := time.Now()
+				err := s.AtomicallyUpgradeable(stm.Reads(inventory[symbol]),
+					func(tx *stm.Tx) (stm.UpgradeableResult, error) {
+						if stm.Get(tx, inventory[symbol]) < initialStock/10 {
+							return stm.Upgrade, nil
+						}
+						return stm.Commit, nil
+					},
+					func(tx *stm.Tx) error {
+						if v := stm.Get(tx, inventory[symbol]); v < initialStock/10 {
+							stm.Set(tx, inventory[symbol], v+initialStock/10)
+							restockMu.Lock()
+							restocks++
+							restockMu.Unlock()
+						}
+						return nil
+					})
+				lat.add("restock", time.Since(start))
+				if err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+
+	// Reporters: consistent read-only snapshots.
+	inconsistent := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		all := append(append([]stm.VarBase{}, invAll...), ordersPlaced, unitsSold)
+		for i := 0; i < 1_000; i++ {
+			start := time.Now()
+			err := s.Atomically(all, nil, func(tx *stm.Tx) error {
+				remaining := 0
+				for _, inv := range inventory {
+					remaining += stm.Get(tx, inv)
+				}
+				// Conservation under the lock: initial + restocked(≤ now) -
+				// sold == remaining. Restocks outside this tx make exact
+				// equality unverifiable mid-flight, but remaining + sold
+				// must never exceed initial + all possible restocks.
+				sold := stm.Get(tx, unitsSold)
+				if remaining+sold < nSymbols*initialStock {
+					inconsistent++
+				}
+				return nil
+			})
+			lat.add("report", time.Since(start))
+			if err != nil {
+				panic(err)
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Final audit (single-threaded).
+	remaining := 0
+	for _, inv := range inventory {
+		remaining += stm.Peek(inv)
+	}
+	sold := stm.Peek(unitsSold)
+	placed := stm.Peek(ordersPlaced)
+	expected := nSymbols*initialStock + restocks*(initialStock/10)
+	fmt.Printf("orders placed: %d (rows in table: %d)\n", placed, orders.Len())
+	fmt.Printf("units sold: %d; remaining: %d; restocked %d times; conservation: %d == %d\n",
+		sold, remaining, restocks, remaining+sold, expected)
+	fmt.Printf("inconsistent reports: %d (must be 0)\n", inconsistent)
+	lat.report()
+	if remaining+sold != expected || placed != orders.Len() || inconsistent > 0 {
+		panic("consistency violated")
+	}
+	fmt.Println("OK")
+}

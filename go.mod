@@ -1,0 +1,3 @@
+module github.com/rtsync/rwrnlp
+
+go 1.22

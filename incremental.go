@@ -1,0 +1,80 @@
+package rwrnlp
+
+import (
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// Incremental is an in-flight incremental request (Sec. 3.7): the caller
+// declared the full set of resources it might need and takes possession in
+// steps, holding earlier grants while later ones are acquired — safely,
+// because entitlement already protects the entire declared set from
+// conflicting requests (the role the priority ceiling plays in the PCP).
+// The total blocking across all Acquire calls is bounded by a single
+// request's worst case.
+type Incremental struct {
+	p  *Protocol
+	id core.ReqID
+}
+
+// AcquireIncremental issues an incremental request whose full potential
+// sets are read and write, and blocks until the initial subset (initialRead
+// ∪ initialWrite, which must be subsets of the potential sets) is held.
+func (p *Protocol) AcquireIncremental(read, write, initialRead, initialWrite []ResourceID) (*Incremental, error) {
+	p.mu.Lock()
+	id, err := p.rsm.IssueIncremental(p.tick(), read, write, initialRead, initialWrite, nil)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	inc := &Incremental{p: p, id: id}
+	initial := append(append([]ResourceID{}, initialRead...), initialWrite...)
+	if ok, _ := p.rsm.Granted(id, initial); ok {
+		p.mu.Unlock()
+		return inc, nil
+	}
+	w := newWaiter()
+	p.waiters[id] = w
+	p.mu.Unlock()
+	w.wait(p.opt.Spin)
+	return inc, nil
+}
+
+// Acquire blocks until the additional resources (which must belong to the
+// declared potential sets) are held. Resources already held return
+// immediately.
+func (inc *Incremental) Acquire(resources ...ResourceID) error {
+	p := inc.p
+	p.mu.Lock()
+	granted, err := p.rsm.Acquire(p.tick(), inc.id, resources)
+	if err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	if granted {
+		p.mu.Unlock()
+		return nil
+	}
+	w := newWaiter()
+	p.waiters[inc.id] = w
+	p.mu.Unlock()
+	w.wait(p.opt.Spin)
+	return nil
+}
+
+// Holds reports whether all the given resources are currently held.
+func (inc *Incremental) Holds(resources ...ResourceID) bool {
+	p := inc.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ok, err := p.rsm.Granted(inc.id, resources)
+	return err == nil && ok
+}
+
+// Release ends the critical section, releasing every held resource. It is
+// valid even if only a subset of the potential resources was ever acquired.
+func (inc *Incremental) Release() error {
+	p := inc.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rsm.Complete(p.tick(), inc.id)
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"github.com/rtsync/rwrnlp/internal/sim"
+	"github.com/rtsync/rwrnlp/internal/simtime"
+	"github.com/rtsync/rwrnlp/internal/taskmodel"
+)
+
+// Analyzer computes per-task blocking bounds for one (protocol, progress
+// mechanism) pair and runs schedulability tests on the inflated system.
+//
+// The inflation follows the s-oblivious methodology the paper adopts
+// (Sec. 3.8): a job's worst-case suspensions (or spin times) are analytically
+// treated as extra computation, e'_i = e_i + b_i, after which a standard
+// suspension-free multiprocessor schedulability test applies.
+type Analyzer struct {
+	sys   *taskmodel.System
+	proto sim.Protocol
+	prog  sim.Progress
+
+	b     Bounds
+	gb    []Bounds
+	group []int
+}
+
+// NewAnalyzer prepares an analyzer for the system under the given protocol
+// and progress mechanism.
+func NewAnalyzer(sys *taskmodel.System, proto sim.Protocol, prog sim.Progress) *Analyzer {
+	a := &Analyzer{sys: sys, proto: proto, prog: prog, b: BoundsOf(sys)}
+	if proto == sim.ProtoGroupPF || proto == sim.ProtoGroupMutex {
+		a.gb = groupBounds(sys, proto)
+		a.group, _ = sim.Groups(proto, sys)
+	}
+	return a
+}
+
+// RequestBound returns the worst-case acquisition delay of one request
+// segment under the analyzer's protocol. For group protocols the bound uses
+// the CS lengths of the request's group.
+func (a *Analyzer) RequestBound(seg taskmodel.Segment) simtime.Time {
+	if seg.Kind == taskmodel.SegCompute {
+		return 0
+	}
+	switch a.proto {
+	case sim.ProtoNone:
+		return 0
+	case sim.ProtoRWRNLP:
+		if seg.Kind == taskmodel.SegUpgrade {
+			// Each half of an upgradeable request blocks like a write
+			// (Sec. 3.6); the two waits are bounded independently.
+			return 2 * a.b.WriteAcq()
+		}
+		if seg.IsWrite() {
+			return a.b.WriteAcq()
+		}
+		return a.b.ReadAcq()
+	case sim.ProtoMutexRNLP:
+		return a.b.MutexAcq()
+	default: // group protocols
+		g := a.gb[segGroup(seg, a.group)]
+		if a.proto == sim.ProtoGroupMutex {
+			return simtime.Time(g.M-1) * g.Lmax()
+		}
+		if seg.IsWrite() {
+			return g.WriteAcq()
+		}
+		return g.ReadAcq()
+	}
+}
+
+// RequestSpanBound is the worst-case span (acquisition delay + critical
+// section) of any single request under the analyzer's protocol — the
+// duration a non-preemptive spinner can occupy a processor (Rule S1) or a
+// priority donor can stay suspended (Sec. 3.8).
+func (a *Analyzer) RequestSpanBound() simtime.Time {
+	switch a.proto {
+	case sim.ProtoNone:
+		return 0
+	case sim.ProtoRWRNLP:
+		return a.b.RequestSpan()
+	case sim.ProtoMutexRNLP:
+		return a.b.MutexAcq() + a.b.Lmax()
+	default: // group protocols: the worst group's span
+		var worst simtime.Time
+		for _, g := range a.gb {
+			var s simtime.Time
+			if a.proto == sim.ProtoGroupMutex {
+				s = simtime.Time(g.M-1)*g.Lmax() + g.Lmax()
+			} else {
+				s = g.RequestSpan()
+			}
+			if s > worst {
+				worst = s
+			}
+		}
+		return worst
+	}
+}
+
+// TaskBlocking returns b_i: the per-job blocking inflation of task t — the
+// sum of its own acquisition-delay bounds plus the per-job progress-
+// mechanism term (non-preemptive blocking under Rule S1; donation duty under
+// priority donation), which affects every task, resource-using or not. Both
+// terms are one request span of the analyzer's protocol.
+func (a *Analyzer) TaskBlocking(t *taskmodel.Task) simtime.Time {
+	if a.proto == sim.ProtoNone {
+		return 0
+	}
+	var sum simtime.Time
+	for _, seg := range t.Segments {
+		sum += a.RequestBound(seg)
+	}
+	sum += a.RequestSpanBound()
+	return sum
+}
+
+// InflatedWCET returns e'_i = e_i + b_i.
+func (a *Analyzer) InflatedWCET(t *taskmodel.Task) simtime.Time {
+	return t.WCET() + a.TaskBlocking(t)
+}
+
+// InflatedUtil returns u'_i = e'_i / p_i.
+func (a *Analyzer) InflatedUtil(t *taskmodel.Task) float64 {
+	return float64(a.InflatedWCET(t)) / float64(t.Period)
+}
+
+// SchedulableGEDF applies the Goossens–Funk–Baruah bound for global EDF with
+// implicit deadlines to the inflated system:
+// U' ≤ m − (m−1)·u'_max, with every u'_i ≤ 1.
+func (a *Analyzer) SchedulableGEDF() bool {
+	total, umax := 0.0, 0.0
+	for _, t := range a.sys.Tasks {
+		u := a.InflatedUtil(t)
+		if u > 1 {
+			return false
+		}
+		total += u
+		if u > umax {
+			umax = u
+		}
+	}
+	m := float64(a.sys.M)
+	return total <= m-(m-1)*umax+1e-9
+}
+
+// SchedulablePEDF applies first-fit-decreasing partitioning of the inflated
+// utilizations onto m uniprocessor EDF bins (capacity 1, exact for implicit
+// deadlines).
+func (a *Analyzer) SchedulablePEDF() bool {
+	us := make([]float64, 0, len(a.sys.Tasks))
+	for _, t := range a.sys.Tasks {
+		u := a.InflatedUtil(t)
+		if u > 1 {
+			return false
+		}
+		us = append(us, u)
+	}
+	// Sort descending.
+	for i := 1; i < len(us); i++ {
+		for j := i; j > 0 && us[j] > us[j-1]; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+	bins := make([]float64, a.sys.M)
+	for _, u := range us {
+		placed := false
+		for i := range bins {
+			if bins[i]+u <= 1+1e-9 {
+				bins[i] += u
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return false
+		}
+	}
+	return true
+}
+
+// SchedulableCEDF partitions tasks onto m/c clusters (first-fit decreasing
+// by inflated utilization, capacity c per cluster) and applies the GFB
+// bound within each cluster.
+func (a *Analyzer) SchedulableCEDF(c int) bool {
+	if c <= 0 || a.sys.M%c != 0 {
+		return false
+	}
+	type clusterAcc struct {
+		total, umax float64
+	}
+	nclust := a.sys.M / c
+	us := make([]float64, 0, len(a.sys.Tasks))
+	for _, t := range a.sys.Tasks {
+		u := a.InflatedUtil(t)
+		if u > 1 {
+			return false
+		}
+		us = append(us, u)
+	}
+	for i := 1; i < len(us); i++ {
+		for j := i; j > 0 && us[j] > us[j-1]; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+	cl := make([]clusterAcc, nclust)
+	cf := float64(c)
+	for _, u := range us {
+		placed := false
+		for i := range cl {
+			umax := cl[i].umax
+			if u > umax {
+				umax = u
+			}
+			if cl[i].total+u <= cf-(cf-1)*umax+1e-9 {
+				cl[i].total += u
+				cl[i].umax = umax
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return false
+		}
+	}
+	return true
+}

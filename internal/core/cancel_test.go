@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCancelRequest(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{RecordHistory: true})
+
+	// Cancel a waiting write; the request behind it proceeds.
+	w1 := mustIssue(t, m, 1, nil, []ResourceID{lc})
+	w2 := mustIssue(t, m, 2, nil, []ResourceID{lc})
+	w3 := mustIssue(t, m, 3, nil, []ResourceID{lc})
+	wantState(t, m, w2, StateWaiting)
+	if err := m.CancelRequest(4, w2); err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, m, w2, StateCanceled)
+	mustComplete(t, m, 5, w1)
+	wantState(t, m, w3, StateSatisfied) // w2's queue slot is gone
+	mustComplete(t, m, 6, w3)
+
+	// Cancel an ENTITLED request: the read it blocked is satisfied via the
+	// late-read pass.
+	r1 := mustIssue(t, m, 7, []ResourceID{lc}, nil)
+	wE := mustIssue(t, m, 8, nil, []ResourceID{lc})
+	wantState(t, m, wE, StateEntitled)
+	rBlocked := mustIssue(t, m, 9, []ResourceID{lc}, nil)
+	wantState(t, m, rBlocked, StateWaiting)
+	if err := m.CancelRequest(10, wE); err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, m, rBlocked, StateSatisfied)
+	mustComplete(t, m, 11, r1)
+	mustComplete(t, m, 12, rBlocked)
+
+	// Error paths.
+	if err := m.CancelRequest(13, 999); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("unknown cancel: %v", err)
+	}
+	sat := mustIssue(t, m, 14, []ResourceID{la}, nil)
+	if err := m.CancelRequest(15, sat); !errors.Is(err, ErrBadState) {
+		t.Errorf("cancel of satisfied request: %v", err)
+	}
+	h := mustUpgradeable(t, m, 16, lc)
+	if err := m.CancelRequest(17, h.WriteID); !errors.Is(err, ErrNotUpgrade) {
+		t.Errorf("cancel of upgrade half: %v", err)
+	}
+	if err := m.FinishRead(18, h, false); err != nil {
+		t.Fatal(err)
+	}
+	mustComplete(t, m, 19, sat)
+
+	// Cancel a waiting incremental request with no grants.
+	blocker := mustIssue(t, m, 20, nil, []ResourceID{la, lb, lc})
+	inc, err := m.IssueIncremental(21, nil, []ResourceID{la}, nil, []ResourceID{la}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, m, inc, StateWaiting)
+	if err := m.CancelRequest(22, inc); err != nil {
+		t.Fatal(err)
+	}
+	mustComplete(t, m, 23, blocker)
+
+	// Cancel is refused once an incremental request holds grants.
+	rHold := mustIssue(t, m, 24, []ResourceID{lc}, nil)
+	inc2, err := m.IssueIncremental(25, nil, []ResourceID{la, lc}, nil, []ResourceID{la}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, m, inc2, StateEntitled) // holds ℓa, waits for nothing else yet
+	if err := m.CancelRequest(26, inc2); !errors.Is(err, ErrBadState) {
+		t.Errorf("cancel of granted incremental: %v", err)
+	}
+	mustComplete(t, m, 27, inc2)
+	mustComplete(t, m, 28, rHold)
+}
+
+func TestStringersAndAccessors(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{Placeholders: true})
+	if m.Spec().NumResources() != 3 {
+		t.Error("Spec accessor")
+	}
+	if !m.Options().Placeholders {
+		t.Error("Options accessor")
+	}
+	for _, s := range []string{
+		KindRead.String(), KindWrite.String(), Kind(9).String(),
+		StateWaiting.String(), StateEntitled.String(), StateSatisfied.String(),
+		StateComplete.String(), StateCanceled.String(), State(9).String(),
+		EvIssued.String(), EvEntitled.String(), EvSatisfied.String(),
+		EvGranted.String(), EvCompleted.String(), EvCanceled.String(),
+		EvPlaceholdersRemoved.String(), EvReadSegmentDone.String(), EventType(99).String(),
+		UpgradePending.String(), UpgradeReading.String(), UpgradeWriting.String(),
+		UpgradeDone.String(), UpgradePhase(9).String(),
+	} {
+		if s == "" {
+			t.Error("empty stringer output")
+		}
+	}
+	id := mustIssue(t, m, 1, []ResourceID{la}, nil)
+	if got := m.Incomplete(); len(got) != 1 || got[0] != id {
+		t.Errorf("Incomplete = %v", got)
+	}
+	ev := Event{T: 1, Type: EvIssued, Req: id, Kind: KindRead, Resources: NewResourceSet(la)}
+	if ev.String() == "" {
+		t.Error("event stringer")
+	}
+	mustComplete(t, m, 2, id)
+}

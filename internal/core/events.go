@@ -1,0 +1,88 @@
+package core
+
+import "fmt"
+
+// EventType classifies the protocol transitions the RSM reports to its
+// Observer. Every transition defined by the paper's rules maps to exactly
+// one event, which makes traces replayable and machine-checkable
+// (internal/trace verifies the paper's lemmas against event streams).
+type EventType int
+
+const (
+	// EvIssued: a request was issued and enqueued (Rules G1, R1, W1).
+	EvIssued EventType = iota
+	// EvEntitled: a request became entitled (Defs. 3–4).
+	EvEntitled
+	// EvSatisfied: a request was satisfied and now holds its lock set
+	// (Rules R1, R2, W1, W2).
+	EvSatisfied
+	// EvGranted: an incremental request was granted a subset of its
+	// resources while still entitled (Sec. 3.7).
+	EvGranted
+	// EvCompleted: a critical section completed; resources released
+	// (Rule G3).
+	EvCompleted
+	// EvCanceled: one half of an upgradeable pair was removed (Sec. 3.6).
+	EvCanceled
+	// EvPlaceholdersRemoved: a write's placeholder entries were dequeued
+	// because it became entitled or satisfied (Sec. 3.4).
+	EvPlaceholdersRemoved
+	// EvReadSegmentDone: the optimistic read half of an upgradeable request
+	// finished; Resources reports the read locks released (Sec. 3.6).
+	EvReadSegmentDone
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EvIssued:
+		return "issued"
+	case EvEntitled:
+		return "entitled"
+	case EvSatisfied:
+		return "satisfied"
+	case EvGranted:
+		return "granted"
+	case EvCompleted:
+		return "completed"
+	case EvCanceled:
+		return "canceled"
+	case EvPlaceholdersRemoved:
+		return "placeholders-removed"
+	case EvReadSegmentDone:
+		return "read-segment-done"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(e))
+	}
+}
+
+// Event is one protocol transition. Events within a single invocation share
+// the invocation's Time and are emitted in deterministic order.
+type Event struct {
+	T         Time
+	Type      EventType
+	Req       ReqID
+	Kind      Kind
+	Resources ResourceSet // resources affected (lock set, grant set, …)
+	// Read and Write are the request's read-mode and write-mode lock sets
+	// (N^r and N^w ∪ extras), so consumers — e.g. the trace checker — can
+	// reconstruct lock modes without access to the RSM.
+	Read  ResourceSet
+	Write ResourceSet
+	Tag   any // the request's caller-supplied tag
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("t=%d %s req=%d (%s) %s", e.T, e.Type, e.Req, e.Kind, e.Resources)
+}
+
+// Observer receives every protocol transition. Implementations must not call
+// back into the RSM. A nil observer disables reporting.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(e Event) { f(e) }

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is the E13 harness: it drives an RSM with randomized workloads
+// and checks the paper's structural properties as machine-verified
+// invariants after every invocation:
+//
+//	I1  Mutual exclusion: a write-locked resource has exactly one holder.
+//	I2  No two conflicting satisfied requests (and partially granted
+//	    incremental holders conflict with no satisfied request on their
+//	    granted resources).
+//	I3  Prop. E10: conflicting read and write requests are never
+//	    simultaneously entitled.
+//	I4  Write queues are timestamp ordered (Rule W1).
+//	I5  Satisfied/complete requests appear in no queue (Rule G2).
+//	I6  An entitled write (or its placeholder) heads every write queue it
+//	    is enqueued in (Def. 4).
+//	I7  Lemma 6: the earliest-timestamped incomplete write request is
+//	    entitled or satisfied.
+//	I8  Cors. 1–2: the blocking set of an entitled request never gains
+//	    members (monotone drain until satisfaction).
+//	I9  Entitled requests hold no locks (except incremental grants).
+//	I10 Liveness: when all critical sections complete, no incomplete
+//	    requests remain.
+
+// checker captures blocking sets of entitled requests to verify I8 across
+// invocations.
+type checker struct {
+	t *testing.T
+	m *RSM
+	// strict enables the full-strength Lemma 6 check, valid for
+	// Assumption-1 workloads (no mixing, no incremental requests). The
+	// extended protocol features introduce a legitimate blocking channel —
+	// an entitled read occupying RQ(ℓ) for a read-access or persistently
+	// granted resource — that the lemma's statement predates.
+	strict bool
+	// lastB maps an entitled request ID to the set of request IDs blocking it.
+	lastB map[ReqID]map[ReqID]bool
+}
+
+func newChecker(t *testing.T, m *RSM, strict bool) *checker {
+	return &checker{t: t, m: m, strict: strict, lastB: map[ReqID]map[ReqID]bool{}}
+}
+
+// blockingIDs recomputes B(r): satisfied (or partially granted incremental)
+// conflicting requests.
+func (c *checker) blockingIDs(r *request) map[ReqID]bool {
+	b := map[ReqID]bool{}
+	for _, o := range c.m.incomplete {
+		if o == r {
+			continue
+		}
+		holding := o.state == StateSatisfied ||
+			(o.state == StateEntitled && o.incremental && !o.granted.Empty())
+		if holding && r.conflictsWith(o) {
+			b[o.id] = true
+		}
+	}
+	return b
+}
+
+func (c *checker) check(ctx string) {
+	t, m := c.t, c.m
+	t.Helper()
+
+	// I1–I7 (weak form), I9 via the library self-check.
+	if v := m.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("%s: %s\n%s", ctx, v[0], dumpState(m))
+	}
+
+	// Strict I7 (Lemma 6, Assumption-1 workloads): the earliest incomplete
+	// write must be entitled or satisfied with NO exemptions.
+	if c.strict {
+		var earliestWrite *request
+		for _, r := range m.incomplete {
+			if r.kind == KindWrite && (earliestWrite == nil || r.seq < earliestWrite.seq) {
+				earliestWrite = r
+			}
+		}
+		if earliestWrite != nil && earliestWrite.state == StateWaiting {
+			t.Fatalf("%s: I7/Lemma 6 violated: earliest write %d is waiting (need %v, extra %v)\n%s",
+				ctx, earliestWrite.id, earliestWrite.need, earliestWrite.extraWrite, dumpState(m))
+		}
+	}
+
+	// I8 (Cors. 1–2): blocking sets of entitled requests only shrink.
+	nowB := map[ReqID]map[ReqID]bool{}
+	for _, r := range m.incomplete {
+		if r.state != StateEntitled {
+			continue
+		}
+		b := c.blockingIDs(r)
+		if prev, ok := c.lastB[r.id]; ok {
+			for id := range b {
+				if !prev[id] {
+					t.Fatalf("%s: I8/Cor violated: request %d gained blocker %d after entitlement", ctx, r.id, id)
+				}
+			}
+		}
+		nowB[r.id] = b
+	}
+	c.lastB = nowB
+}
+
+// dumpState renders the full RSM state for failure diagnostics.
+func dumpState(m *RSM) string {
+	var b []byte
+	for _, r := range m.incomplete {
+		b = append(b, fmt.Sprintf("  req %d kind=%s state=%s role=%d r%v/w%v extra=%v ph=%v granted=%v\n",
+			r.id, r.kind, r.state, r.upgradeRole, r.needRead, r.needWrite, r.extraWrite, r.placeholders, r.granted)...)
+	}
+	for a := 0; a < m.spec.NumResources(); a++ {
+		qs := m.Queues(ResourceID(a))
+		b = append(b, fmt.Sprintf("  res %d: RQ=%v WQ=%v ph=%v readH=%v writeH=%v\n",
+			a, qs.RQ, qs.WQ, qs.Placeholder, qs.ReadHolders, qs.WriteHolder)...)
+	}
+	return string(b)
+}
+
+// reqTemplate is one declared potential request. The paper's model requires
+// the set of potential requests to be known a priori (the read-sharing
+// relation ~ is derived from them); a workload that issues undeclared
+// multi-resource reads breaks the expansion machinery and with it Lemma 6 —
+// so the harness only ever issues subsets of declared templates.
+type reqTemplate struct {
+	read  []ResourceID
+	write []ResourceID
+}
+
+// randomSystem builds a random resource system together with the templates
+// of its declared potential requests.
+func randomSystem(rng *rand.Rand, q int, mixed bool) (*Spec, []reqTemplate) {
+	b := NewSpecBuilder(q)
+	var templates []reqTemplate
+	n := rng.Intn(5) + 3
+	for i := 0; i < n; i++ {
+		var tpl reqTemplate
+		switch {
+		case mixed && rng.Intn(3) == 0: // mixed template
+			tpl.read = pickResources(rng, q, 2)
+			tpl.write = pickResources(rng, q, 2)
+		case rng.Intn(2) == 0: // pure read group
+			tpl.read = pickResources(rng, q, 3)
+		default: // pure write
+			tpl.write = pickResources(rng, q, 3)
+		}
+		// Drop overlap: overlapping IDs would be writes anyway.
+		tpl.read = subtract(tpl.read, tpl.write)
+		if len(tpl.read) == 0 && len(tpl.write) == 0 {
+			continue
+		}
+		if err := b.DeclareRequest(tpl.read, tpl.write); err != nil {
+			panic(err)
+		}
+		templates = append(templates, tpl)
+	}
+	if len(templates) == 0 {
+		tpl := reqTemplate{write: []ResourceID{0}}
+		if err := b.DeclareRequest(nil, tpl.write); err != nil {
+			panic(err)
+		}
+		templates = append(templates, tpl)
+	}
+	return b.Build(), templates
+}
+
+func subtract(a, b []ResourceID) []ResourceID {
+	var out []ResourceID
+	for _, x := range a {
+		drop := false
+		for _, y := range b {
+			if x == y {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// sampleTemplate returns a random non-empty sub-request of a random
+// template. Sub-requests stay within the declared sharing relation.
+func sampleTemplate(rng *rand.Rand, templates []reqTemplate) (read, write []ResourceID) {
+	tpl := templates[rng.Intn(len(templates))]
+	read = subsample(rng, tpl.read)
+	write = subsample(rng, tpl.write)
+	if len(read) == 0 && len(write) == 0 {
+		if len(tpl.write) > 0 {
+			write = tpl.write[:1]
+		} else {
+			read = tpl.read[:1]
+		}
+	}
+	return read, write
+}
+
+func subsample(rng *rand.Rand, ids []ResourceID) []ResourceID {
+	var out []ResourceID
+	for _, id := range ids {
+		if rng.Intn(3) > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// readTemplates filters templates to the pure-read ones (for upgrades and
+// read-incremental requests, whose needed sets must be declared read sets).
+func readTemplates(templates []reqTemplate) []reqTemplate {
+	var out []reqTemplate
+	for _, tpl := range templates {
+		if len(tpl.write) == 0 {
+			out = append(out, tpl)
+		}
+	}
+	return out
+}
+
+func pickResources(rng *rand.Rand, q, max int) []ResourceID {
+	n := rng.Intn(max) + 1
+	seen := map[ResourceID]bool{}
+	var ids []ResourceID
+	for i := 0; i < n; i++ {
+		id := ResourceID(rng.Intn(q))
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// fuzzCfg selects which protocol features a fuzz episode exercises.
+type fuzzCfg struct {
+	opt         Options
+	upgrades    bool
+	incremental bool
+	mixed       bool
+}
+
+// fuzzRSM drives one randomized episode and invariant-checks every step.
+// Returns the number of completed requests.
+func fuzzRSM(t *testing.T, seed int64, cfg fuzzCfg) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	q := rng.Intn(6) + 2
+	spec, templates := randomSystem(rng, q, cfg.mixed)
+	rtpls := readTemplates(templates)
+	m := NewRSM(spec, cfg.opt)
+	strict := !cfg.mixed && !cfg.incremental
+	ck := newChecker(t, m, strict)
+
+	var pending []*liveReq
+	now := Time(0)
+	steps := 200 + rng.Intn(200)
+
+	for s := 0; s < steps; s++ {
+		now += Time(rng.Intn(5) + 1)
+		op := rng.Intn(10)
+		switch {
+		case op < 4 && len(pending) < 12: // issue a declared (sub-)request
+			read, write := sampleTemplate(rng, templates)
+			if len(read) == 0 && len(write) == 0 {
+				continue
+			}
+			id, err := m.Issue(now, read, write, nil)
+			if err != nil {
+				t.Fatalf("seed %d step %d: Issue: %v", seed, s, err)
+			}
+			pending = append(pending, &liveReq{id: id})
+
+		case op == 4 && cfg.upgrades && len(rtpls) > 0 && len(pending) < 12:
+			res := subsample(rng, rtpls[rng.Intn(len(rtpls))].read)
+			if len(res) == 0 {
+				continue
+			}
+			h, err := m.IssueUpgradeable(now, res, nil)
+			if err != nil {
+				t.Fatalf("seed %d step %d: IssueUpgradeable: %v", seed, s, err)
+			}
+			pending = append(pending, &liveReq{id: h.WriteID, upgrade: &h})
+
+		case op == 5 && cfg.incremental && len(pending) < 12:
+			var id ReqID
+			var err error
+			if rng.Intn(2) == 0 && len(rtpls) > 0 {
+				full := subsample(rng, rtpls[rng.Intn(len(rtpls))].read)
+				if len(full) == 0 {
+					continue
+				}
+				initial := full[:rng.Intn(len(full))+1]
+				id, err = m.IssueIncremental(now, full, nil, initial, nil, nil)
+			} else {
+				full := pickResources(rng, q, 3)
+				initial := full[:rng.Intn(len(full))+1]
+				id, err = m.IssueIncremental(now, nil, full, nil, initial, nil)
+			}
+			if err != nil {
+				t.Fatalf("seed %d step %d: IssueIncremental: %v", seed, s, err)
+			}
+			pending = append(pending, &liveReq{id: id, incr: true})
+
+		default: // progress a random pending request
+			if len(pending) == 0 {
+				continue
+			}
+			i := rng.Intn(len(pending))
+			p := pending[i]
+			done, err := progressRequest(m, now, p, rng)
+			if err != nil {
+				t.Fatalf("seed %d step %d: progress: %v", seed, s, err)
+			}
+			if done {
+				pending = append(pending[:i], pending[i+1:]...)
+			}
+		}
+		ck.check(fmt.Sprintf("seed %d step %d", seed, s))
+	}
+
+	// Drain: complete everything satisfiable until the system is empty.
+	for round := 0; round < 10000 && len(pending) > 0; round++ {
+		now += 1
+		i := round % len(pending)
+		p := pending[i]
+		done, err := progressRequest(m, now, p, rng)
+		if err != nil {
+			t.Fatalf("seed %d drain: %v", seed, err)
+		}
+		if done {
+			pending = append(pending[:i], pending[i+1:]...)
+		}
+		ck.check(fmt.Sprintf("seed %d drain %d", seed, round))
+	}
+	if len(pending) != 0 {
+		var states []string
+		for _, p := range pending {
+			st, _ := m.State(p.id)
+			states = append(states, fmt.Sprintf("%d:%s", p.id, st))
+		}
+		t.Fatalf("seed %d: I10/liveness violated: %d stuck requests: %v", seed, len(pending), states)
+	}
+	if n := len(m.Incomplete()); n != 0 {
+		t.Fatalf("seed %d: RSM reports %d incomplete after drain", seed, n)
+	}
+	return int(m.Stats().Completed)
+}
+
+// liveReq tracks one in-flight request of the fuzz harness.
+type liveReq struct {
+	id      ReqID
+	upgrade *UpgradeHandle
+	incr    bool
+}
+
+// progressRequest advances one live request by one step; returns true when
+// the request is fully done.
+func progressRequest(m *RSM, now Time, p *liveReq, rng *rand.Rand) (bool, error) {
+	if p.upgrade != nil {
+		h := *p.upgrade
+		switch m.UpgradePhase(h) {
+		case UpgradeReading:
+			up := rng.Intn(2) == 0
+			if err := m.FinishRead(now, h, up); err != nil {
+				return false, err
+			}
+			if !up {
+				return true, nil
+			}
+			return m.UpgradePhase(h) == UpgradeDone, nil
+		case UpgradeWriting:
+			if err := m.Complete(now, h.WriteID); err != nil {
+				return false, err
+			}
+			return true, nil
+		case UpgradeDone:
+			return true, nil
+		default:
+			return false, nil // still pending
+		}
+	}
+	st, err := m.State(p.id)
+	if err != nil {
+		return false, err
+	}
+	switch st {
+	case StateSatisfied:
+		return true, m.Complete(now, p.id)
+	case StateEntitled:
+		if p.incr {
+			// Sometimes complete early, sometimes ask for more.
+			if rng.Intn(3) == 0 {
+				return true, m.Complete(now, p.id)
+			}
+			ri, err := m.Info(p.id)
+			if err != nil {
+				return false, err
+			}
+			rest := Union(ri.NeedRead, ri.NeedWrite)
+			rest.SubtractWith(ri.Granted)
+			if rest.Empty() {
+				return true, m.Complete(now, p.id)
+			}
+			ids := rest.IDs()
+			_, err = m.Acquire(now, p.id, ids[:rng.Intn(len(ids))+1])
+			return false, err
+		}
+		return false, nil
+	default:
+		return false, nil
+	}
+}
+
+// Assumption-1 workloads (all-read or all-write requests): every invariant
+// including the full-strength Lemma 6 holds.
+func TestInvariantsRandomBase(t *testing.T) {
+	total := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		total += fuzzRSM(t, seed, fuzzCfg{})
+	}
+	if total == 0 {
+		t.Fatal("no requests completed across all seeds")
+	}
+}
+
+func TestInvariantsRandomPlaceholders(t *testing.T) {
+	for seed := int64(100); seed <= 130; seed++ {
+		fuzzRSM(t, seed, fuzzCfg{opt: Options{Placeholders: true}})
+	}
+}
+
+func TestInvariantsRandomMixed(t *testing.T) {
+	for seed := int64(500); seed <= 530; seed++ {
+		fuzzRSM(t, seed, fuzzCfg{mixed: true})
+	}
+}
+
+func TestInvariantsRandomMixedPlaceholders(t *testing.T) {
+	for seed := int64(600); seed <= 630; seed++ {
+		fuzzRSM(t, seed, fuzzCfg{opt: Options{Placeholders: true}, mixed: true})
+	}
+}
+
+func TestInvariantsRandomUpgrades(t *testing.T) {
+	for seed := int64(200); seed <= 230; seed++ {
+		fuzzRSM(t, seed, fuzzCfg{upgrades: true})
+	}
+}
+
+func TestInvariantsRandomIncremental(t *testing.T) {
+	for seed := int64(300); seed <= 330; seed++ {
+		fuzzRSM(t, seed, fuzzCfg{incremental: true})
+	}
+}
+
+func TestInvariantsRandomEverything(t *testing.T) {
+	for seed := int64(400); seed <= 440; seed++ {
+		fuzzRSM(t, seed, fuzzCfg{
+			opt:         Options{Placeholders: seed%2 == 0, RecordHistory: true},
+			upgrades:    true,
+			incremental: true,
+			mixed:       true,
+		})
+	}
+}
+
+// Soak coverage: many more seeds when not in -short mode.
+func TestInvariantsSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for seed := int64(1000); seed <= 1150; seed++ {
+		cfg := fuzzCfg{
+			opt:         Options{Placeholders: seed%2 == 0, RecordHistory: seed%3 == 0},
+			upgrades:    seed%2 == 0,
+			incremental: seed%3 == 0,
+			mixed:       seed%5 != 0,
+		}
+		fuzzRSM(t, seed, cfg)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// ResourceID identifies one of the q shared resources ℓ_1, …, ℓ_q.
+// IDs are dense and zero-based: valid IDs are 0 … q-1.
+type ResourceID int
+
+// ResourceSet is a bit set of resource IDs. The zero value is an empty set
+// that can grow on demand; all operations treat absent words as zero.
+//
+// ResourceSet values are used on the hot path of the RSM (conflict tests,
+// entitlement checks), so the representation is a flat []uint64 with
+// word-at-a-time operations rather than a map.
+type ResourceSet struct {
+	words []uint64
+}
+
+// NewResourceSet returns a set containing exactly the given IDs.
+func NewResourceSet(ids ...ResourceID) ResourceSet {
+	var s ResourceSet
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+func (s *ResourceSet) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts id into the set. Negative IDs panic: they indicate a
+// programming error rather than a recoverable condition.
+func (s *ResourceSet) Add(id ResourceID) {
+	if id < 0 {
+		panic(fmt.Sprintf("core: negative ResourceID %d", id))
+	}
+	w := int(id) / 64
+	s.grow(w)
+	s.words[w] |= 1 << (uint(id) % 64)
+}
+
+// Remove deletes id from the set; removing an absent ID is a no-op.
+func (s *ResourceSet) Remove(id ResourceID) {
+	if id < 0 {
+		return
+	}
+	w := int(id) / 64
+	if w >= len(s.words) {
+		return
+	}
+	s.words[w] &^= 1 << (uint(id) % 64)
+}
+
+// Has reports whether id is in the set.
+func (s ResourceSet) Has(id ResourceID) bool {
+	if id < 0 {
+		return false
+	}
+	w := int(id) / 64
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(uint(id)%64)) != 0
+}
+
+// Len returns the number of IDs in the set.
+func (s ResourceSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set contains no IDs.
+func (s ResourceSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s ResourceSet) Clone() ResourceSet {
+	if len(s.words) == 0 {
+		return ResourceSet{}
+	}
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return ResourceSet{words: w}
+}
+
+// UnionWith adds every ID of t to s.
+func (s *ResourceSet) UnionWith(t ResourceSet) {
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// SubtractWith removes every ID of t from s.
+func (s *ResourceSet) SubtractWith(t ResourceSet) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// IntersectWith removes from s every ID not in t.
+func (s *ResourceSet) IntersectWith(t ResourceSet) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// Union returns s ∪ t as a new set.
+func Union(s, t ResourceSet) ResourceSet {
+	u := s.Clone()
+	u.UnionWith(t)
+	return u
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s ResourceSet) Intersects(t ResourceSet) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAll reports whether every ID of t is also in s.
+func (s ResourceSet) ContainsAll(t ResourceSet) bool {
+	for i, w := range t.words {
+		var sw uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if w&^sw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same IDs.
+func (s ResourceSet) Equal(t ResourceSet) bool {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		var sw, tw uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if sw != tw {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls f for every ID in the set in ascending order. If f returns
+// false, iteration stops early.
+func (s ResourceSet) ForEach(f func(ResourceID) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(ResourceID(i*64 + b)) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// IDs returns the set's members in ascending order.
+func (s ResourceSet) IDs() []ResourceID {
+	ids := make([]ResourceID, 0, s.Len())
+	s.ForEach(func(id ResourceID) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids
+}
+
+// String renders the set as "{0, 3, 7}".
+func (s ResourceSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(id ResourceID) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", id)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSetBasics(t *testing.T) {
+	var s ResourceSet
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatalf("zero value not empty: %v", s)
+	}
+	s.Add(3)
+	s.Add(70)
+	s.Add(3)
+	if s.Len() != 2 || !s.Has(3) || !s.Has(70) || s.Has(4) {
+		t.Fatalf("after adds: %v", s)
+	}
+	s.Remove(3)
+	if s.Has(3) || s.Len() != 1 {
+		t.Fatalf("after remove: %v", s)
+	}
+	s.Remove(200) // absent, no-op
+	s.Remove(-1)  // negative, no-op
+	if s.Len() != 1 {
+		t.Fatalf("after no-op removes: %v", s)
+	}
+	if s.Has(-5) {
+		t.Fatal("negative ID reported present")
+	}
+}
+
+func TestResourceSetAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var s ResourceSet
+	s.Add(-1)
+}
+
+func TestResourceSetSetOps(t *testing.T) {
+	a := NewResourceSet(1, 2, 3, 64)
+	b := NewResourceSet(3, 64, 100)
+
+	u := Union(a, b)
+	for _, id := range []ResourceID{1, 2, 3, 64, 100} {
+		if !u.Has(id) {
+			t.Errorf("union missing %d", id)
+		}
+	}
+	if u.Len() != 5 {
+		t.Errorf("union len = %d, want 5", u.Len())
+	}
+
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(NewResourceSet(7, 200)) {
+		t.Error("disjoint sets reported intersecting")
+	}
+
+	c := a.Clone()
+	c.SubtractWith(b)
+	if c.Has(3) || c.Has(64) || !c.Has(1) || !c.Has(2) {
+		t.Errorf("subtract wrong: %v", c)
+	}
+
+	d := a.Clone()
+	d.IntersectWith(b)
+	if !d.Equal(NewResourceSet(3, 64)) {
+		t.Errorf("intersect wrong: %v", d)
+	}
+
+	if !u.ContainsAll(a) || !u.ContainsAll(b) {
+		t.Error("union does not contain operands")
+	}
+	if a.ContainsAll(b) {
+		t.Error("a should not contain b")
+	}
+}
+
+func TestResourceSetEqualDifferentLengths(t *testing.T) {
+	a := NewResourceSet(1)
+	b := NewResourceSet(1, 100)
+	b.Remove(100) // b now has trailing zero words
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("sets with different word counts but same members should be equal")
+	}
+}
+
+func TestResourceSetForEachOrderAndEarlyStop(t *testing.T) {
+	s := NewResourceSet(5, 1, 130, 64)
+	var got []ResourceID
+	s.ForEach(func(id ResourceID) bool {
+		got = append(got, id)
+		return true
+	})
+	want := []ResourceID{1, 5, 64, 130}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	n := 0
+	s.ForEach(func(ResourceID) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestResourceSetString(t *testing.T) {
+	if got := NewResourceSet(2, 0).String(); got != "{0, 2}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (ResourceSet{}).String(); got != "{}" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+// Property: Union is commutative and idempotent, and ContainsAll/Intersects
+// are consistent with membership — verified against a map-based model.
+func TestResourceSetQuickAgainstModel(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		var a, b ResourceSet
+		ma, mb := map[ResourceID]bool{}, map[ResourceID]bool{}
+		for _, x := range xs {
+			a.Add(ResourceID(x))
+			ma[ResourceID(x)] = true
+		}
+		for _, y := range ys {
+			b.Add(ResourceID(y))
+			mb[ResourceID(y)] = true
+		}
+		u := Union(a, b)
+		if !u.Equal(Union(b, a)) {
+			return false
+		}
+		inter := false
+		for id := range ma {
+			if !u.Has(id) {
+				return false
+			}
+			if mb[id] {
+				inter = true
+			}
+		}
+		for id := range mb {
+			if !u.Has(id) {
+				return false
+			}
+		}
+		if u.Len() != len(mergeKeys(ma, mb)) {
+			return false
+		}
+		if a.Intersects(b) != inter {
+			return false
+		}
+		return u.ContainsAll(a) && u.ContainsAll(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mergeKeys(a, b map[ResourceID]bool) map[ResourceID]bool {
+	m := map[ResourceID]bool{}
+	for k := range a {
+		m[k] = true
+	}
+	for k := range b {
+		m[k] = true
+	}
+	return m
+}
+
+// Property: Subtract then Union with the same set restores a superset
+// relationship, and IDs round-trips through NewResourceSet.
+func TestResourceSetQuickRoundTrip(t *testing.T) {
+	f := func(xs []uint8) bool {
+		var s ResourceSet
+		for _, x := range xs {
+			s.Add(ResourceID(x))
+		}
+		back := NewResourceSet(s.IDs()...)
+		return back.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,750 @@
+// Package core implements the request-satisfaction mechanism (RSM) of the
+// R/W RNLP — the reader/writer real-time nested locking protocol of Ward and
+// Anderson ("Multi-Resource Real-Time Reader/Writer Locks for
+// Multiprocessors", IPDPS 2014).
+//
+// The RSM is the protocol's ordering brain: it decides when resource
+// requests are satisfied, independent of how waiting is realized (spinning
+// or suspending) and of the progress mechanism that keeps lock holders
+// scheduled. This package is therefore a pure, single-threaded state
+// machine driven by invocations (request issuance and critical-section
+// completion, Rule G4); the discrete-event simulator (internal/sim) and the
+// goroutine-facing runtime lock (package rwrnlp) both embed it.
+//
+// Implemented protocol features:
+//
+//   - the base RSM: Rules G1–G4, R1–R2, W1–W2 and entitlement Defs. 3–4
+//     (Sec. 3.2 of the paper), with write-request expansion over read sets;
+//   - placeholder requests instead of expansion (Sec. 3.4, Options.Placeholders);
+//   - R/W mixing: requests that read some resources and write others
+//     (Sec. 3.5);
+//   - read-to-write upgrading (Sec. 3.6);
+//   - incremental locking within an entitled request (Sec. 3.7).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Options configure protocol variants of the RSM.
+type Options struct {
+	// Placeholders selects the Sec. 3.4 optimization: instead of expanding a
+	// write request's lock set to ∪ S(ℓ), enqueue placeholder entries in the
+	// write queues of the non-needed read-shared resources and lock only N.
+	// Placeholders preserve the worst-case bounds and strictly increase
+	// concurrency.
+	Placeholders bool
+
+	// RecordHistory retains a RequestInfo for every completed or canceled
+	// request, retrievable via History. Experiments use it to compute
+	// acquisition-delay statistics without an Observer.
+	RecordHistory bool
+}
+
+// Exported errors returned by RSM methods on API misuse.
+var (
+	ErrUnknownRequest = errors.New("core: unknown or completed request")
+	ErrBadState       = errors.New("core: request is not in a valid state for this operation")
+	ErrTimeRegressed  = errors.New("core: invocation time precedes an earlier invocation (violates G4 total order)")
+	ErrEmptyRequest   = errors.New("core: request needs no resources")
+	ErrNotUpgrade     = errors.New("core: request is not an upgradeable pair")
+	ErrNotIncremental = errors.New("core: request is not incremental")
+)
+
+// resourceState is the per-resource queue and lock state of Fig. 1: a read
+// queue RQ(ℓ), a timestamp-ordered write queue WQ(ℓ) (which may contain
+// placeholder entries in placeholder mode), and the current holders.
+type resourceState struct {
+	wq          []wqEntry  // FIFO by timestamp (Rule W1)
+	rq          []*request // issuance order (order is irrelevant for reads)
+	readHolders []*request // satisfied requests holding ℓ in read mode
+	writeHolder *request   // the unique satisfied request holding ℓ in write mode
+}
+
+type wqEntry struct {
+	r           *request
+	placeholder bool
+}
+
+// RSM is the request-satisfaction mechanism. It is NOT safe for concurrent
+// use; callers serialize invocations (Rule G4 requires a total order anyway).
+type RSM struct {
+	spec *Spec
+	opt  Options
+
+	nextID ReqID
+	lastT  Time
+
+	res        []resourceState
+	reqs       map[ReqID]*request
+	incomplete []*request // all incomplete requests, timestamp order
+
+	nextGroup int64
+
+	obs     Observer
+	history []RequestInfo
+
+	stats Stats
+}
+
+// Stats aggregates protocol activity counters.
+type Stats struct {
+	Issued          int64
+	Satisfied       int64
+	Completed       int64
+	Canceled        int64
+	ImmediateSats   int64 // satisfied at issuance via R1/W1
+	Entitlements    int64
+	UpgradesTaken   int64 // read halves that proceeded to the write segment
+	UpgradesSkipped int64 // write halves canceled because no upgrade was needed
+}
+
+// NewRSM creates an RSM for the resource system described by spec.
+func NewRSM(spec *Spec, opt Options) *RSM {
+	return &RSM{
+		spec: spec,
+		opt:  opt,
+		res:  make([]resourceState, spec.NumResources()),
+		reqs: make(map[ReqID]*request),
+	}
+}
+
+// SetObserver installs obs to receive protocol events; nil disables.
+func (m *RSM) SetObserver(obs Observer) { m.obs = obs }
+
+// Spec returns the resource-system description the RSM was built with.
+func (m *RSM) Spec() *Spec { return m.spec }
+
+// Options returns the protocol variant configuration.
+func (m *RSM) Options() Options { return m.opt }
+
+// Stats returns a copy of the activity counters.
+func (m *RSM) Stats() Stats { return m.stats }
+
+// History returns the records of completed/canceled requests accumulated
+// under Options.RecordHistory. The returned slice is owned by the caller.
+func (m *RSM) History() []RequestInfo {
+	h := make([]RequestInfo, len(m.history))
+	copy(h, m.history)
+	return h
+}
+
+func (m *RSM) emit(t Time, typ EventType, r *request, rs ResourceSet) {
+	if m.obs == nil {
+		return
+	}
+	m.obs.Observe(Event{
+		T: t, Type: typ, Req: r.id, Kind: r.kind,
+		Resources: rs,
+		Read:      r.needRead.Clone(),
+		Write:     r.writeLockSet(),
+		Tag:       r.tag,
+	})
+}
+
+func (m *RSM) checkTime(t Time) error {
+	if t < m.lastT {
+		return fmt.Errorf("%w: t=%d < last=%d", ErrTimeRegressed, t, m.lastT)
+	}
+	m.lastT = t
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Issuance (Rules G1, R1, W1; Secs. 3.4–3.5)
+
+// Issue issues a request at time t that needs read access to the resources
+// in read and write access to those in write (Sec. 3.5 mixing: both may be
+// non-empty; overlapping IDs are treated as writes). A request with an empty
+// write set is a read request; otherwise it is a write request.
+//
+// The returned ReqID identifies the request in subsequent calls. Use Info to
+// learn whether it was satisfied immediately. tag is an opaque annotation
+// carried into events (pass nil if unused).
+func (m *RSM) Issue(t Time, read, write []ResourceID, tag any) (ReqID, error) {
+	nr := NewResourceSet(read...)
+	nw := NewResourceSet(write...)
+	nr.SubtractWith(nw) // overlap is a write
+	return m.issueSets(t, nr, nw, tag)
+}
+
+func (m *RSM) issueSets(t Time, nr, nw ResourceSet, tag any) (ReqID, error) {
+	if err := m.checkTime(t); err != nil {
+		return 0, err
+	}
+	r, err := m.buildRequest(t, nr, nw, tag)
+	if err != nil {
+		return 0, err
+	}
+	m.enqueue(r)
+	m.emit(t, EvIssued, r, r.pertainSet())
+	m.stabilize(t)
+	return r.id, nil
+}
+
+// buildRequest validates the needed sets and constructs the request with its
+// expansion extras or placeholder set, without enqueueing it.
+func (m *RSM) buildRequest(t Time, nr, nw ResourceSet, tag any) (*request, error) {
+	if err := m.spec.Validate(nr); err != nil {
+		return nil, err
+	}
+	if err := m.spec.Validate(nw); err != nil {
+		return nil, err
+	}
+	need := Union(nr, nw)
+	if need.Empty() {
+		return nil, ErrEmptyRequest
+	}
+	m.nextID++
+	r := &request{
+		id:        m.nextID,
+		seq:       int64(m.nextID),
+		needRead:  nr,
+		needWrite: nw,
+		need:      need,
+		state:     StateWaiting,
+		issueT:    t,
+		fresh:     true,
+		tag:       tag,
+	}
+	if nw.Empty() {
+		r.kind = KindRead
+		r.rqSet = need.Clone()
+	} else {
+		r.kind = KindWrite
+		// Write-request expansion (Sec. 3.2): pertain to every resource read
+		// shared with a needed resource, either by acquiring it (expanded
+		// mode) or by a placeholder entry in its write queue (Sec. 3.4).
+		extra := m.spec.Expand(need)
+		extra.SubtractWith(need)
+		if m.opt.Placeholders {
+			r.placeholders = extra
+			r.wqSet = need.Clone()
+		} else {
+			r.extraWrite = extra
+			r.wqSet = need.Clone()
+			r.wqSet.UnionWith(extra)
+		}
+	}
+	m.stats.Issued++
+	return r, nil
+}
+
+// enqueue inserts the request into the queues of every resource it pertains
+// to (Rules R1/W1 first clauses; Sec. 3.4 placeholder enqueueing).
+func (m *RSM) enqueue(r *request) {
+	m.reqs[r.id] = r
+	m.incomplete = append(m.incomplete, r)
+	if r.kind == KindRead {
+		r.rqSet.ForEach(func(a ResourceID) bool {
+			m.res[a].rq = append(m.res[a].rq, r)
+			return true
+		})
+		return
+	}
+	r.wqSet.ForEach(func(a ResourceID) bool {
+		m.res[a].wq = append(m.res[a].wq, wqEntry{r: r})
+		return true
+	})
+	r.placeholders.ForEach(func(a ResourceID) bool {
+		m.res[a].wq = append(m.res[a].wq, wqEntry{r: r, placeholder: true})
+		return true
+	})
+	// Write queues are kept in timestamp order. Requests are issued with
+	// increasing timestamps, so appending preserves order; this sort is a
+	// defensive invariant guard that costs nothing when already sorted.
+}
+
+// ---------------------------------------------------------------------------
+// Completion (Rules G2, G3)
+
+// Complete reports at time t that the request's critical section finished.
+// All resources held by the request are unlocked (Rule G3). Valid only for
+// satisfied requests — or entitled incremental requests, which may complete
+// having acquired only a subset of their potential resources (Sec. 3.7).
+func (m *RSM) Complete(t Time, id ReqID) error {
+	if err := m.checkTime(t); err != nil {
+		return err
+	}
+	r := m.reqs[id]
+	if r == nil {
+		return fmt.Errorf("%w: id=%d", ErrUnknownRequest, id)
+	}
+	switch {
+	case r.state == StateSatisfied:
+	case r.state == StateEntitled && r.incremental:
+		// An incremental request may finish early without acquiring the rest
+		// of its potential set; it still occupies its queue slots, so remove
+		// them now.
+		m.dequeueAll(r)
+	default:
+		return fmt.Errorf("%w: Complete(%d) in state %s", ErrBadState, id, r.state)
+	}
+	m.unlockAll(r)
+	r.state = StateComplete
+	r.completeT = t
+	m.removeIncomplete(r)
+	m.stats.Completed++
+	m.emit(t, EvCompleted, r, r.pertainSet())
+	m.record(r)
+	m.stabilize(t)
+	return nil
+}
+
+// unlockAll releases every resource currently locked by r.
+func (m *RSM) unlockAll(r *request) {
+	r.granted.ForEach(func(a ResourceID) bool {
+		rs := &m.res[a]
+		if rs.writeHolder == r {
+			rs.writeHolder = nil
+		}
+		rs.readHolders = removeReq(rs.readHolders, r)
+		return true
+	})
+	r.granted = ResourceSet{}
+}
+
+// dequeueAll removes r (and its placeholders) from every queue (Rule G2).
+func (m *RSM) dequeueAll(r *request) {
+	r.rqSet.ForEach(func(a ResourceID) bool {
+		m.res[a].rq = removeReq(m.res[a].rq, r)
+		return true
+	})
+	both := Union(r.wqSet, r.placeholders)
+	both.ForEach(func(a ResourceID) bool {
+		m.res[a].wq = removeWQ(m.res[a].wq, r)
+		return true
+	})
+}
+
+func (m *RSM) removeIncomplete(r *request) {
+	m.incomplete = removeReq(m.incomplete, r)
+	delete(m.reqs, r.id)
+}
+
+func (m *RSM) record(r *request) {
+	if m.opt.RecordHistory {
+		m.history = append(m.history, r.info())
+	}
+}
+
+func removeReq(s []*request, r *request) []*request {
+	for i, x := range s {
+		if x == r {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func removeWQ(s []wqEntry, r *request) []wqEntry {
+	out := s[:0]
+	for _, e := range s {
+		if e.r != r {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// The stabilization fixed point
+
+// stabilize drives the RSM to the unique post-invocation state: it applies
+// Rules R1/W1 (immediate satisfaction, for requests flagged for recheck),
+// R2/W2 (satisfaction of entitled requests whose blocking set emptied),
+// incremental grants (Sec. 3.7), and entitlement transitions (Defs. 3–4),
+// repeating in timestamp order until no rule fires. Timestamp order makes
+// the result deterministic; the paper's Props. E1–E10 guarantee the fixed
+// point is reached after O(requests) rounds.
+func (m *RSM) stabilize(t Time) {
+	for {
+		changed := false
+		if m.freshPass(t) {
+			changed = true
+		}
+		if m.satisfyPass(t) {
+			changed = true
+		}
+		if m.grantPass(t) {
+			changed = true
+		}
+		if m.entitlePass(t) {
+			changed = true
+		}
+		if m.lateReadPass(t) {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// freshPass applies the immediate-satisfaction clauses of Rules R1/W1 to
+// requests at their issuance invocation: a fresh waiting request that
+// conflicts with no entitled or satisfied request is satisfied at once.
+// One refinement over the paper's literal text (Finding 1,
+// IMPLEMENTATION.md): a write must additionally head every write queue it
+// is enqueued in (including placeholder queues) — satisfaction must never
+// overtake an earlier-timestamped conflicting write, or Lemma 6 (and with
+// it the Theorem 2 bound) breaks. Sec. 3.4 states this explicitly:
+// placeholders "prevent later-issued write requests from becoming entitled
+// or satisfied".
+func (m *RSM) freshPass(t Time) bool {
+	changed := false
+	for _, r := range snapshot(m.incomplete) {
+		if r.state != StateWaiting || !r.fresh {
+			continue
+		}
+		r.fresh = false
+		if r.kind == KindWrite && !m.headEverywhere(r) {
+			continue
+		}
+		if !m.conflictsActive(r) {
+			m.satisfy(t, r, true)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// lateReadPass re-applies Rule R1's satisfaction test to non-fresh waiting
+// READS after entitlement updates (Finding 3): a read whose last blocker
+// vanished without write-locking anything can satisfy neither Def. 3 nor
+// R2 and would strand. Running after entitlePass ensures a write that
+// became entitled at this same invocation blocks the read (reads concede to
+// entitled writes). Writes never need this: Def. 4 has no trigger
+// precondition, so an unblocked waiting write always proceeds through
+// entitle→satisfy (Props. E7/E9).
+func (m *RSM) lateReadPass(t Time) bool {
+	changed := false
+	for _, r := range snapshot(m.incomplete) {
+		if r.state != StateWaiting || r.kind != KindRead {
+			continue
+		}
+		if !m.conflictsActive(r) {
+			m.satisfy(t, r, true)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// headEverywhere reports whether r (or its placeholder) heads every write
+// queue it is enqueued in.
+func (m *RSM) headEverywhere(r *request) bool {
+	ok := true
+	Union(r.wqSet, r.placeholders).ForEach(func(a ResourceID) bool {
+		q := m.res[a].wq
+		if len(q) == 0 || q[0].r != r {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// conflictsActive reports whether r conflicts with any entitled or satisfied
+// incomplete request (the blocking condition of Rules R1/W1).
+func (m *RSM) conflictsActive(r *request) bool {
+	for _, o := range m.incomplete {
+		if o == r || (o.state != StateEntitled && o.state != StateSatisfied) {
+			continue
+		}
+		if r.conflictsWith(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// satisfyPass applies Rules R2/W2: an entitled request is satisfied at the
+// first instant its blocking set B(R, t) is empty.
+func (m *RSM) satisfyPass(t Time) bool {
+	changed := false
+	for _, r := range snapshot(m.incomplete) {
+		if r.state != StateEntitled || r.incremental {
+			continue
+		}
+		if !m.blocked(r) {
+			m.satisfy(t, r, false)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// blocked reports whether B(r, t) ≠ ∅: some satisfied request conflicts
+// with r. (Incremental partial holders count through their granted locks.)
+func (m *RSM) blocked(r *request) bool {
+	return m.someBlocker(r, func(*request) bool { return true })
+}
+
+// someBlocker reports whether any satisfied conflicting request matching
+// keep blocks r. Conflicts are evaluated against the blocker's *actual*
+// lock-relevant sets so that partially granted incremental requests block
+// exactly through what they pertain to.
+func (m *RSM) someBlocker(r *request, keep func(*request) bool) bool {
+	for _, o := range m.incomplete {
+		if o == r || !keep(o) {
+			continue
+		}
+		holding := o.state == StateSatisfied ||
+			(o.state == StateEntitled && o.incremental && !o.granted.Empty())
+		if !holding {
+			continue
+		}
+		if r.conflictsWith(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// satisfy transitions r to Satisfied: dequeues it everywhere (Rule G2),
+// locks its lock sets, and resolves upgrade-pair interactions (Sec. 3.6).
+func (m *RSM) satisfy(t Time, r *request, immediate bool) {
+	m.dequeueAll(r)
+	if !r.placeholders.Empty() {
+		m.emit(t, EvPlaceholdersRemoved, r, r.placeholders)
+		r.placeholders = ResourceSet{}
+	}
+	r.state = StateSatisfied
+	r.satisfyT = t
+	if r.incremental {
+		if r.askT >= 0 {
+			r.incDelay += t - r.askT
+			r.askT = -1
+		}
+		r.want = ResourceSet{}
+	}
+	m.lock(r, r.needRead, false)
+	m.lock(r, r.writeLockSet(), true)
+	m.stats.Satisfied++
+	if immediate {
+		m.stats.ImmediateSats++
+	}
+	m.emit(t, EvSatisfied, r, r.granted)
+
+	// Sec. 3.6: if the write half of an upgradeable request is satisfied
+	// while the read half is still queued, the read half is canceled.
+	if r.upgradeRole == roleUWrite && r.groupPeer != nil {
+		p := r.groupPeer
+		if p.state == StateWaiting || p.state == StateEntitled {
+			m.cancel(t, p)
+		}
+	}
+}
+
+// lock records r as holder of every resource in set, in write mode if write.
+func (m *RSM) lock(r *request, set ResourceSet, write bool) {
+	set.ForEach(func(a ResourceID) bool {
+		rs := &m.res[a]
+		if write {
+			if rs.writeHolder != nil {
+				panic(fmt.Sprintf("core: double write lock on resource %d (holder %d, new %d)", a, rs.writeHolder.id, r.id))
+			}
+			rs.writeHolder = r
+		} else {
+			rs.readHolders = append(rs.readHolders, r)
+		}
+		r.granted.Add(a)
+		return true
+	})
+}
+
+// entitlePass applies Defs. 3–4: waiting requests become entitled when
+// eligible. Evaluation is in timestamp order so that, e.g., the read half of
+// an upgradeable pair is considered before its write half.
+func (m *RSM) entitlePass(t Time) bool {
+	changed := false
+	for _, r := range snapshot(m.incomplete) {
+		if r.state != StateWaiting {
+			continue
+		}
+		var ok bool
+		if r.kind == KindRead {
+			ok = m.readEntitleEligible(r)
+		} else {
+			ok = m.writeEntitleEligible(r)
+		}
+		if ok {
+			r.state = StateEntitled
+			r.entitleT = t
+			m.stats.Entitlements++
+			// Sec. 3.4: placeholders are removed when the request becomes
+			// entitled (they have done their job: no later write passed).
+			if !r.placeholders.Empty() {
+				ph := r.placeholders
+				r.placeholders = ResourceSet{}
+				ph.ForEach(func(a ResourceID) bool {
+					m.res[a].wq = removeWQ(m.res[a].wq, r)
+					return true
+				})
+				m.emit(t, EvPlaceholdersRemoved, r, ph)
+			}
+			m.emit(t, EvEntitled, r, r.pertainSet())
+			changed = true
+		}
+	}
+	return changed
+}
+
+// readEntitleEligible implements Def. 3: an unsatisfied read request becomes
+// entitled when some resource in D is write locked and, for every resource
+// in D, the head of its write queue is not entitled (placeholders are never
+// entitled; an empty queue is a null, non-entitled head).
+func (m *RSM) readEntitleEligible(r *request) bool {
+	someWriteLocked := false
+	ok := true
+	r.need.ForEach(func(a ResourceID) bool {
+		rs := &m.res[a]
+		if rs.writeHolder != nil {
+			someWriteLocked = true
+		}
+		if len(rs.wq) > 0 {
+			h := rs.wq[0]
+			if !h.placeholder && h.r.state == StateEntitled {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return someWriteLocked && ok
+}
+
+// writeEntitleEligible implements Def. 4 with the Sec. 3.4 and Sec. 3.5
+// adjustments: the request (or its placeholder) must be at the head of every
+// write queue it is enqueued in — including placeholder queues; no read
+// request in RQ(ℓ) may be entitled for any ℓ ∈ D; and no resource in D may
+// be held by a write request (a resource read-locked by a mixed request is
+// treated as if it were write locked).
+func (m *RSM) writeEntitleEligible(r *request) bool {
+	ok := true
+	// Head of every write queue where enqueued (real and placeholder).
+	Union(r.wqSet, r.placeholders).ForEach(func(a ResourceID) bool {
+		rs := &m.res[a]
+		if len(rs.wq) == 0 || rs.wq[0].r != r {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return false
+	}
+	// For each ℓ ∈ D (needed set plus expansion extras): no entitled read,
+	// and no write-kind holder.
+	r.pertainSet().ForEach(func(a ResourceID) bool {
+		rs := &m.res[a]
+		for _, rr := range rs.rq {
+			if rr.state == StateEntitled {
+				ok = false
+				return false
+			}
+		}
+		if rs.writeHolder != nil {
+			ok = false
+			return false
+		}
+		for _, h := range rs.readHolders {
+			if h.kind == KindWrite { // read-locked by a mixed request (Sec. 3.5)
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// snapshot copies the incomplete list so passes may mutate it while ranging.
+func snapshot(s []*request) []*request {
+	out := make([]*request, len(s))
+	copy(out, s)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// Info returns a snapshot of the request's state. Completed or canceled
+// requests are reported only when Options.RecordHistory is enabled;
+// otherwise Info returns ErrUnknownRequest once a request is gone.
+func (m *RSM) Info(id ReqID) (RequestInfo, error) {
+	if r := m.reqs[id]; r != nil {
+		return r.info(), nil
+	}
+	if m.opt.RecordHistory {
+		for i := len(m.history) - 1; i >= 0; i-- {
+			if m.history[i].ID == id {
+				return m.history[i], nil
+			}
+		}
+	}
+	return RequestInfo{}, fmt.Errorf("%w: id=%d", ErrUnknownRequest, id)
+}
+
+// State returns the request's current lifecycle state, or StateComplete /
+// StateCanceled from history if recorded.
+func (m *RSM) State(id ReqID) (State, error) {
+	ri, err := m.Info(id)
+	return ri.State, err
+}
+
+// QueueState describes a resource's RSM state at one instant (Fig. 2(b)).
+type QueueState struct {
+	Resource    ResourceID
+	RQ          []ReqID // waiting/entitled read requests
+	WQ          []ReqID // waiting/entitled write requests, timestamp order
+	Placeholder []bool  // Placeholder[i] reports whether WQ[i] is a placeholder entry
+	ReadHolders []ReqID
+	WriteHolder ReqID // 0 = none
+}
+
+// Queues returns the current queue/lock state of resource a.
+func (m *RSM) Queues(a ResourceID) QueueState {
+	rs := &m.res[a]
+	qs := QueueState{Resource: a}
+	for _, r := range rs.rq {
+		qs.RQ = append(qs.RQ, r.id)
+	}
+	for _, e := range rs.wq {
+		qs.WQ = append(qs.WQ, e.r.id)
+		qs.Placeholder = append(qs.Placeholder, e.placeholder)
+	}
+	for _, r := range rs.readHolders {
+		qs.ReadHolders = append(qs.ReadHolders, r.id)
+	}
+	if rs.writeHolder != nil {
+		qs.WriteHolder = rs.writeHolder.id
+	}
+	return qs
+}
+
+// Incomplete returns the IDs of all incomplete requests in timestamp order.
+func (m *RSM) Incomplete() []ReqID {
+	ids := make([]ReqID, len(m.incomplete))
+	for i, r := range m.incomplete {
+		ids[i] = r.id
+	}
+	return ids
+}
+
+// Holders returns the IDs of requests currently holding resource a, with
+// the write holder (if any) first.
+func (m *RSM) Holders(a ResourceID) []ReqID {
+	rs := &m.res[a]
+	var ids []ReqID
+	if rs.writeHolder != nil {
+		ids = append(ids, rs.writeHolder.id)
+	}
+	for _, r := range rs.readHolders {
+		ids = append(ids, r.id)
+	}
+	return ids
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// Resource names matching the paper's running example.
+const (
+	la ResourceID = 0
+	lb ResourceID = 1
+	lc ResourceID = 2
+)
+
+func mustIssue(t testing.TB, m *RSM, at Time, read, write []ResourceID) ReqID {
+	t.Helper()
+	id, err := m.Issue(at, read, write, nil)
+	if err != nil {
+		t.Fatalf("Issue at t=%d: %v", at, err)
+	}
+	return id
+}
+
+func mustComplete(t testing.TB, m *RSM, at Time, id ReqID) {
+	t.Helper()
+	if err := m.Complete(at, id); err != nil {
+		t.Fatalf("Complete(%d) at t=%d: %v", id, at, err)
+	}
+}
+
+func wantState(t testing.TB, m *RSM, id ReqID, want State) {
+	t.Helper()
+	got, err := m.State(id)
+	if err != nil {
+		t.Fatalf("State(%d): %v", id, err)
+	}
+	if got != want {
+		t.Fatalf("request %d state = %s, want %s", id, got, want)
+	}
+}
+
+// TestFig2RunningExample replays the paper's running example (Fig. 2) event
+// by event and asserts every state transition the narrative describes, plus
+// the Fig. 2(b) queue table. All five tasks have their own processor, so
+// Props. P1/P2 hold trivially and the RSM's logical decisions are exactly
+// the schedule of Fig. 2(a).
+//
+// Request sets (reconciling the paper's internally inconsistent statements —
+// see EXPERIMENTS.md E1 for the discrepancy notes):
+//
+//	R1,1^w : write {ℓa, ℓb}     issued t=1, CS [1, 5)
+//	R2,1^w : write {ℓa, ℓb, ℓc} issued t=2, CS [8, 10)
+//	R3,1^r : read  {ℓc}         issued t=3, CS [3, 8)
+//	R4,1^r : read  {ℓc}         issued t=4, CS [4, 6)
+//	R5,1^r : read  {ℓa, ℓb}     issued t=7, CS [10, 12)
+func TestFig2RunningExample(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{RecordHistory: true})
+
+	// t=1: R1,1 issued and satisfied immediately (Rule W1).
+	w11 := mustIssue(t, m, 1, nil, []ResourceID{la, lb})
+	wantState(t, m, w11, StateSatisfied)
+
+	// t=2: R2,1 issued; enqueued in WQ(ℓa), WQ(ℓb), WQ(ℓc); not satisfied,
+	// not entitled (ℓa, ℓb write locked by R1,1).
+	w21 := mustIssue(t, m, 2, nil, []ResourceID{la, lb, lc})
+	wantState(t, m, w21, StateWaiting)
+	for _, l := range []ResourceID{la, lb, lc} {
+		qs := m.Queues(l)
+		if len(qs.WQ) != 1 || qs.WQ[0] != w21 {
+			t.Fatalf("WQ(%d) = %v, want [%d]", l, qs.WQ, w21)
+		}
+	}
+
+	// t=3: R3,1 (read ℓc) cuts ahead of the non-entitled R2,1 (Rule R1).
+	r31 := mustIssue(t, m, 3, []ResourceID{lc}, nil)
+	wantState(t, m, r31, StateSatisfied)
+
+	// t=4: R4,1 (read ℓc) also satisfied immediately: reader parallelism on
+	// ℓc while ℓa, ℓb are write locked — only possible with fine-grained
+	// locking.
+	r41 := mustIssue(t, m, 4, []ResourceID{lc}, nil)
+	wantState(t, m, r41, StateSatisfied)
+	if h := m.Holders(lc); len(h) != 2 {
+		t.Fatalf("ℓc holders = %v, want two readers", h)
+	}
+
+	// t=5: R1,1 completes; R2,1 becomes entitled (earliest write, nothing
+	// write locked) but stays blocked: B(R2,1) = {R3,1, R4,1}.
+	mustComplete(t, m, 5, w11)
+	wantState(t, m, w21, StateEntitled)
+
+	// t=6: R4,1 completes; B(R2,1) = {R3,1}: still blocked.
+	mustComplete(t, m, 6, r41)
+	wantState(t, m, w21, StateEntitled)
+
+	// t=7: R5,1 (read ℓa, ℓb) issued; blocked by the entitled R2,1, and not
+	// entitled itself (no resource in its set is write locked).
+	r51 := mustIssue(t, m, 7, []ResourceID{la, lb}, nil)
+	wantState(t, m, r51, StateWaiting)
+
+	// t=8: R3,1 completes; R2,1 is satisfied (Rule W2) and dequeued from
+	// all write queues; R5,1 becomes entitled (ℓa write locked, empty write
+	// queues).
+	mustComplete(t, m, 8, r31)
+	wantState(t, m, w21, StateSatisfied)
+	wantState(t, m, r51, StateEntitled)
+	for _, l := range []ResourceID{la, lb, lc} {
+		if qs := m.Queues(l); len(qs.WQ) != 0 {
+			t.Fatalf("WQ(%d) = %v after R2,1 satisfied, want empty", l, qs.WQ)
+		}
+		if h := m.Holders(l); len(h) != 1 || h[0] != w21 {
+			t.Fatalf("holders(%d) = %v, want [%d]", l, m.Holders(l), w21)
+		}
+	}
+
+	// t=10: R2,1 completes; R5,1 satisfied (Rule R2).
+	mustComplete(t, m, 10, w21)
+	wantState(t, m, r51, StateSatisfied)
+
+	// t=12: R5,1 completes; system drained.
+	mustComplete(t, m, 12, r51)
+	if n := len(m.Incomplete()); n != 0 {
+		t.Fatalf("%d incomplete requests after drain", n)
+	}
+
+	// Acquisition delays measured off the schedule: R2,1 waited [2,8);
+	// R5,1 waited [7,10); everything else was satisfied immediately.
+	checkDelay := func(id ReqID, want Time) {
+		t.Helper()
+		ri, err := m.Info(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ri.AcquisitionDelay(); got != want {
+			t.Errorf("request %d acquisition delay = %d, want %d", id, got, want)
+		}
+	}
+	checkDelay(w11, 0)
+	checkDelay(w21, 6)
+	checkDelay(r31, 0)
+	checkDelay(r41, 0)
+	checkDelay(r51, 3)
+
+	st := m.Stats()
+	if st.Issued != 5 || st.Satisfied != 5 || st.Completed != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ImmediateSats != 3 {
+		t.Errorf("immediate satisfactions = %d, want 3 (R1,1, R3,1, R4,1)", st.ImmediateSats)
+	}
+}
+
+// TestFig2QueueTable replays Fig. 2 and asserts the queue-state table of
+// Fig. 2(b) for ℓa and ℓb at a representative instant inside each interval.
+// (The published table omits R5,1 from RQ(ℓa) during [7,10); since
+// N5,1 = {ℓa, ℓb} per the paper's own Sec. 3.2 example, R5,1 is enqueued in
+// both read queues — see EXPERIMENTS.md E2.)
+func TestFig2QueueTable(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+
+	type row struct {
+		rqA, wqA, rqB, wqB []ReqID
+	}
+	check := func(at string, want row) {
+		t.Helper()
+		got := row{
+			rqA: m.Queues(la).RQ, wqA: m.Queues(la).WQ,
+			rqB: m.Queues(lb).RQ, wqB: m.Queues(lb).WQ,
+		}
+		eq := func(a, b []ReqID) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if !eq(got.rqA, want.rqA) || !eq(got.wqA, want.wqA) || !eq(got.rqB, want.rqB) || !eq(got.wqB, want.wqB) {
+			t.Errorf("%s: queues = %+v, want %+v", at, got, want)
+		}
+	}
+
+	// [0, 2): all empty (R1,1 satisfied at issuance, instantly dequeued).
+	w11 := mustIssue(t, m, 1, nil, []ResourceID{la, lb})
+	check("[0,2) after t=1", row{})
+
+	// [2, 7): WQ(ℓa) = WQ(ℓb) = {R2,1}.
+	w21 := mustIssue(t, m, 2, nil, []ResourceID{la, lb, lc})
+	r31 := mustIssue(t, m, 3, []ResourceID{lc}, nil)
+	r41 := mustIssue(t, m, 4, []ResourceID{lc}, nil)
+	mustComplete(t, m, 5, w11)
+	mustComplete(t, m, 6, r41)
+	check("[2,7)", row{wqA: []ReqID{w21}, wqB: []ReqID{w21}})
+
+	// [7, 8): R5,1 joins the read queues of both ℓa and ℓb.
+	r51 := mustIssue(t, m, 7, []ResourceID{la, lb}, nil)
+	check("[7,8)", row{rqA: []ReqID{r51}, wqA: []ReqID{w21}, rqB: []ReqID{r51}, wqB: []ReqID{w21}})
+
+	// [8, 10): R2,1 satisfied and dequeued; R5,1 entitled, still queued.
+	mustComplete(t, m, 8, r31)
+	check("[8,10)", row{rqA: []ReqID{r51}, rqB: []ReqID{r51}})
+
+	// [10, 12]: all empty again.
+	mustComplete(t, m, 10, w21)
+	check("[10,12]", row{})
+	mustComplete(t, m, 12, r51)
+}
+
+func TestIssueErrors(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	if _, err := m.Issue(1, nil, nil, nil); !errors.Is(err, ErrEmptyRequest) {
+		t.Errorf("empty request: err = %v", err)
+	}
+	if _, err := m.Issue(1, []ResourceID{9}, nil, nil); err == nil {
+		t.Error("out-of-range resource accepted")
+	}
+	id := mustIssue(t, m, 5, []ResourceID{la}, nil)
+	if _, err := m.Issue(4, []ResourceID{la}, nil, nil); !errors.Is(err, ErrTimeRegressed) {
+		t.Errorf("time regression: err = %v", err)
+	}
+	if err := m.Complete(5, id+100); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("unknown request: err = %v", err)
+	}
+	mustComplete(t, m, 6, id)
+	if err := m.Complete(7, id); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("double complete: err = %v", err)
+	}
+}
+
+func TestCompleteBeforeSatisfiedRejected(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	w1 := mustIssue(t, m, 1, nil, []ResourceID{la})
+	w2 := mustIssue(t, m, 2, nil, []ResourceID{la})
+	// Per Def. 4 a write behind a write *holder* is waiting, not entitled:
+	// entitled writes are blocked only by satisfied readers.
+	wantState(t, m, w2, StateWaiting)
+	if err := m.Complete(3, w2); !errors.Is(err, ErrBadState) {
+		t.Errorf("completing an unsatisfied request: err = %v", err)
+	}
+	mustComplete(t, m, 3, w1)
+	wantState(t, m, w2, StateSatisfied)
+}
+
+// Overlapping read and write sets are treated as writes.
+func TestIssueOverlapIsWrite(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	id := mustIssue(t, m, 1, []ResourceID{la, lb}, []ResourceID{la})
+	ri, err := m.Info(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Kind != KindWrite {
+		t.Errorf("kind = %s, want write", ri.Kind)
+	}
+	if !ri.NeedWrite.Equal(NewResourceSet(la)) || !ri.NeedRead.Equal(NewResourceSet(lb)) {
+		t.Errorf("need sets: read %v write %v", ri.NeedRead, ri.NeedWrite)
+	}
+}
+
+// A write request whose needed set intersects a read group expands to cover
+// the group's read set (Sec. 3.2) in expanded mode: a reader of the extras
+// is then blocked.
+func TestWriteExpansionBlocksReaderOfExtras(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	// Write needing only ℓa expands to D = {ℓa, ℓb}.
+	w := mustIssue(t, m, 1, nil, []ResourceID{la})
+	wantState(t, m, w, StateSatisfied)
+	ri, _ := m.Info(w)
+	if ri.Placeholder || !ri.Extra.Equal(NewResourceSet(lb)) {
+		t.Fatalf("extras = %v (placeholder=%v), want locked {ℓb}", ri.Extra, ri.Placeholder)
+	}
+	// A read of ℓb alone now conflicts with the expanded write; blocked by a
+	// satisfied write with empty write queues, it is entitled at once
+	// (Def. 3).
+	r := mustIssue(t, m, 2, []ResourceID{lb}, nil)
+	wantState(t, m, r, StateEntitled)
+	mustComplete(t, m, 3, w)
+	wantState(t, m, r, StateSatisfied)
+}
+
+// Multiple readers of disjoint and overlapping sets are all satisfied
+// concurrently; a writer arriving later becomes entitled and is satisfied
+// once the last conflicting reader completes, and readers arriving after
+// the writer's entitlement must wait (phase-fairness: reads concede to
+// writes).
+func TestPhaseAlternation(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	r1 := mustIssue(t, m, 1, []ResourceID{la, lb}, nil)
+	r2 := mustIssue(t, m, 2, []ResourceID{lb}, nil)
+	wantState(t, m, r1, StateSatisfied)
+	wantState(t, m, r2, StateSatisfied)
+
+	w := mustIssue(t, m, 3, nil, []ResourceID{lb})
+	wantState(t, m, w, StateEntitled) // blocked by both readers
+
+	r3 := mustIssue(t, m, 4, []ResourceID{lb}, nil)
+	wantState(t, m, r3, StateWaiting) // reads concede to the entitled write
+
+	mustComplete(t, m, 5, r1)
+	wantState(t, m, w, StateEntitled)
+	mustComplete(t, m, 6, r2)
+	wantState(t, m, w, StateSatisfied) // write phase begins
+	wantState(t, m, r3, StateEntitled) // next read phase is entitled
+
+	mustComplete(t, m, 7, w)
+	wantState(t, m, r3, StateSatisfied) // writes concede to reads
+}
+
+// Two writers on disjoint resources proceed concurrently (fine-grained
+// locking); under a single group lock they would serialize.
+func TestDisjointWritersConcurrent(t *testing.T) {
+	b := NewSpecBuilder(4)
+	s := b.Build()
+	m := NewRSM(s, Options{})
+	w1 := mustIssue(t, m, 1, nil, []ResourceID{0, 1})
+	w2 := mustIssue(t, m, 2, nil, []ResourceID{2, 3})
+	wantState(t, m, w1, StateSatisfied)
+	wantState(t, m, w2, StateSatisfied)
+}
+
+// FIFO among conflicting writers: satisfaction follows timestamp order.
+func TestWriterFIFO(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	w1 := mustIssue(t, m, 1, nil, []ResourceID{lc})
+	w2 := mustIssue(t, m, 2, nil, []ResourceID{lc})
+	w3 := mustIssue(t, m, 3, nil, []ResourceID{lc})
+	wantState(t, m, w1, StateSatisfied)
+	// Writes behind a write holder are waiting (Def. 4: a resource in D must
+	// not be write locked for entitlement); satisfaction still follows
+	// timestamp order through the FIFO write queue.
+	wantState(t, m, w2, StateWaiting)
+	wantState(t, m, w3, StateWaiting)
+	mustComplete(t, m, 4, w1)
+	wantState(t, m, w2, StateSatisfied)
+	wantState(t, m, w3, StateWaiting)
+	mustComplete(t, m, 5, w2)
+	wantState(t, m, w3, StateSatisfied)
+	mustComplete(t, m, 6, w3)
+}
+
+// Info on an unknown ID fails; with RecordHistory, completed requests stay
+// observable.
+func TestInfoHistory(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{RecordHistory: true})
+	id := mustIssue(t, m, 1, []ResourceID{la}, nil)
+	mustComplete(t, m, 2, id)
+	ri, err := m.Info(id)
+	if err != nil {
+		t.Fatalf("history lookup failed: %v", err)
+	}
+	if ri.State != StateComplete || ri.CompleteT != 2 {
+		t.Errorf("history info = %+v", ri)
+	}
+	if h := m.History(); len(h) != 1 || h[0].ID != id {
+		t.Errorf("History() = %+v", h)
+	}
+
+	m2 := NewRSM(fig2Spec(t), Options{})
+	id2 := mustIssue(t, m2, 1, []ResourceID{la}, nil)
+	mustComplete(t, m2, 2, id2)
+	if _, err := m2.Info(id2); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("without history: err = %v", err)
+	}
+}
+
+// Tags round-trip through events and infos.
+func TestTagsAndObserver(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	var events []Event
+	m.SetObserver(ObserverFunc(func(e Event) { events = append(events, e) }))
+	id, err := m.Issue(1, []ResourceID{la}, nil, "job-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustComplete(t, m, 2, id)
+	if len(events) != 3 { // issued, satisfied, completed
+		t.Fatalf("events = %v", events)
+	}
+	want := []EventType{EvIssued, EvSatisfied, EvCompleted}
+	for i, e := range events {
+		if e.Type != want[i] || e.Req != id || e.Tag != "job-7" {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+}

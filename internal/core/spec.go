@@ -1,0 +1,166 @@
+package core
+
+import "fmt"
+
+// Spec is the static description of the resource system required by the
+// R/W RNLP: the number of resources q and the read-sharing relation ~
+// (Sec. 3.2 of the paper, generalized for mixed requests in Sec. 3.5).
+//
+// Two resources ℓa and ℓb are read shared, ℓb ~ ℓa, if some potential
+// request R has ℓa ∈ N (its needed set) and ℓb ∈ N^r (its read subset).
+// The read set S(ℓa) = {ℓb | ℓb ~ ℓa} is the set a write request that needs
+// ℓa must additionally pertain to (either by acquiring the extras — the
+// "expanded" mode of Sec. 3.2 — or by enqueueing placeholder requests in
+// their write queues — Sec. 3.4).
+//
+// A Spec is immutable once built; RSMs share it without copying.
+type Spec struct {
+	q        int
+	readSets []ResourceSet // readSets[a] = S(ℓa); always contains a itself
+}
+
+// SpecBuilder accumulates the potential requests of the system and derives
+// the read-sharing relation from them. The set of potential requests must be
+// known a priori — the same assumption made by classical real-time protocols
+// such as the priority ceiling protocol (see Sec. 3.7 of the paper).
+type SpecBuilder struct {
+	q        int
+	readSets []ResourceSet
+}
+
+// NewSpecBuilder creates a builder for a system of numResources resources.
+// Read sharing is reflexive: initially S(ℓ) = {ℓ} for every resource.
+func NewSpecBuilder(numResources int) *SpecBuilder {
+	if numResources < 0 {
+		panic(fmt.Sprintf("core: negative resource count %d", numResources))
+	}
+	b := &SpecBuilder{q: numResources, readSets: make([]ResourceSet, numResources)}
+	for i := range b.readSets {
+		b.readSets[i].Add(ResourceID(i))
+	}
+	return b
+}
+
+// NumResources returns q.
+func (b *SpecBuilder) NumResources() int { return b.q }
+
+func (b *SpecBuilder) check(ids []ResourceID) error {
+	for _, id := range ids {
+		if id < 0 || int(id) >= b.q {
+			return fmt.Errorf("core: resource %d out of range [0,%d)", id, b.q)
+		}
+	}
+	return nil
+}
+
+// DeclareRequest registers a potential request that reads the resources in
+// read and writes the resources in write (either may be empty). Every
+// resource in read becomes read shared with every resource in read ∪ write.
+//
+// A pure read request is declared with write == nil; a pure write request
+// (write-only) with read == nil contributes no read sharing, and a mixed
+// request contributes sharing from its read subset only (Sec. 3.5: the
+// relation need not be symmetric once mixed requests exist).
+func (b *SpecBuilder) DeclareRequest(read, write []ResourceID) error {
+	if err := b.check(read); err != nil {
+		return err
+	}
+	if err := b.check(write); err != nil {
+		return err
+	}
+	// ℓb ~ ℓa  ⇔  ∃ potential R: ℓa ∈ N ∧ ℓb ∈ N^r.
+	for _, a := range read {
+		for _, bID := range read {
+			b.readSets[a].Add(bID)
+		}
+	}
+	for _, a := range write {
+		for _, bID := range read {
+			b.readSets[a].Add(bID)
+		}
+	}
+	return nil
+}
+
+// DeclareReadGroup is shorthand for DeclareRequest(ids, nil): it declares
+// that the listed resources may all be requested together by a single read
+// request, making them pairwise read shared.
+func (b *SpecBuilder) DeclareReadGroup(ids ...ResourceID) error {
+	return b.DeclareRequest(ids, nil)
+}
+
+// Build freezes the builder into an immutable Spec. The builder may continue
+// to be used afterwards; the Spec keeps independent copies.
+//
+// Build transitively closes the read sets: if ℓb ∈ S(ℓa) then S(ℓb) ⊆ S(ℓa).
+// The paper defines D = ∪_{ℓa∈N} S(ℓa) over the raw relation, but ~ is not
+// transitive, and without closure a write request can lock an expansion
+// extra ℓ' whose own read set is not covered by D. A read blocked on that
+// extra then blocks the entitlement of an earlier-timestamped write that
+// shares a resource with the read but not with the holder — falsifying
+// Lemma 6 and with it the Theorem 2 bound. (Concrete counterexample, found
+// by the randomized invariant harness: declared read sets {ℓ0,ℓ3} and
+// {ℓ2,ℓ3}; W46 writes ℓ4, W48 writes ℓ2 and so locks extra ℓ3; read R58 of
+// {ℓ0,ℓ3} is blocked by W48's lock on ℓ3 and becomes entitled, its presence
+// in RQ(ℓ0) blocking the earlier W46, which expands over ℓ0 — W46 is the
+// earliest incomplete write yet neither entitled nor satisfied.) Closure
+// makes D self-covering, which is exactly what the Lemma 6 proof's step
+// "ℓa must be in at least one of these read sets" requires.
+func (b *SpecBuilder) Build() *Spec {
+	s := &Spec{q: b.q, readSets: make([]ResourceSet, b.q)}
+	for i := range b.readSets {
+		s.readSets[i] = b.readSets[i].Clone()
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := range s.readSets {
+			before := s.readSets[a].Len()
+			s.readSets[a].ForEach(func(bID ResourceID) bool {
+				if int(bID) != a {
+					s.readSets[a].UnionWith(s.readSets[bID])
+				}
+				return true
+			})
+			if s.readSets[a].Len() != before {
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// NumResources returns q, the number of resources in the system.
+func (s *Spec) NumResources() int { return s.q }
+
+// ReadSet returns S(ℓa), the set of resources read shared with a.
+// The returned set must not be modified.
+func (s *Spec) ReadSet(a ResourceID) ResourceSet {
+	if a < 0 || int(a) >= s.q {
+		panic(fmt.Sprintf("core: resource %d out of range [0,%d)", a, s.q))
+	}
+	return s.readSets[a]
+}
+
+// Expand returns ∪_{ℓa ∈ n} S(ℓa): the full set of resources a write
+// request needing n must pertain to (Sec. 3.2).
+func (s *Spec) Expand(n ResourceSet) ResourceSet {
+	var d ResourceSet
+	n.ForEach(func(a ResourceID) bool {
+		d.UnionWith(s.readSets[a])
+		return true
+	})
+	return d
+}
+
+// Validate checks that every ID of n names a resource of this system.
+func (s *Spec) Validate(n ResourceSet) error {
+	var err error
+	n.ForEach(func(a ResourceID) bool {
+		if int(a) >= s.q {
+			err = fmt.Errorf("core: resource %d out of range [0,%d)", a, s.q)
+			return false
+		}
+		return true
+	})
+	return err
+}

@@ -1,0 +1,105 @@
+package core
+
+import "testing"
+
+// The Fig. 2 system: three resources ℓa=0, ℓb=1, ℓc=2, with one potential
+// multi-resource read request {ℓa, ℓb} (request R5,1), so that
+// S(ℓa) = S(ℓb) = {ℓa, ℓb} and S(ℓc) = {ℓc}.
+func fig2Spec(t testing.TB) *Spec {
+	b := NewSpecBuilder(3)
+	if err := b.DeclareReadGroup(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestSpecReflexive(t *testing.T) {
+	s := NewSpecBuilder(4).Build()
+	for i := 0; i < 4; i++ {
+		rs := s.ReadSet(ResourceID(i))
+		if rs.Len() != 1 || !rs.Has(ResourceID(i)) {
+			t.Errorf("S(%d) = %v, want {%d}", i, rs, i)
+		}
+	}
+}
+
+func TestSpecFig2ReadSets(t *testing.T) {
+	s := fig2Spec(t)
+	if got := s.ReadSet(0); !got.Equal(NewResourceSet(0, 1)) {
+		t.Errorf("S(ℓa) = %v, want {0, 1}", got)
+	}
+	if got := s.ReadSet(1); !got.Equal(NewResourceSet(0, 1)) {
+		t.Errorf("S(ℓb) = %v, want {0, 1}", got)
+	}
+	if got := s.ReadSet(2); !got.Equal(NewResourceSet(2)) {
+		t.Errorf("S(ℓc) = %v, want {2}", got)
+	}
+}
+
+func TestSpecExpand(t *testing.T) {
+	s := fig2Spec(t)
+	// A write needing {ℓa, ℓc} expands to {ℓa, ℓb, ℓc} (the Sec. 3.4
+	// example: D2,1 = {ℓa, ℓb, ℓc} when N2,1 = {ℓa, ℓc}).
+	d := s.Expand(NewResourceSet(0, 2))
+	if !d.Equal(NewResourceSet(0, 1, 2)) {
+		t.Errorf("Expand({a,c}) = %v, want {0, 1, 2}", d)
+	}
+}
+
+func TestSpecMixedAsymmetric(t *testing.T) {
+	// A mixed request reading ℓ0 and writing ℓ1 makes ℓ0 read shared with
+	// ℓ1 (ℓ0 ∈ S(ℓ1)) but not vice versa (Sec. 3.5 footnote: the relation
+	// need not be symmetric once mixed requests exist).
+	b := NewSpecBuilder(2)
+	if err := b.DeclareRequest([]ResourceID{0}, []ResourceID{1}); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Build()
+	if got := s.ReadSet(1); !got.Equal(NewResourceSet(0, 1)) {
+		t.Errorf("S(ℓ1) = %v, want {0, 1}", got)
+	}
+	if got := s.ReadSet(0); !got.Equal(NewResourceSet(0)) {
+		t.Errorf("S(ℓ0) = %v, want {0}", got)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	b := NewSpecBuilder(2)
+	if err := b.DeclareReadGroup(0, 5); err == nil {
+		t.Error("out-of-range declaration accepted")
+	}
+	if err := b.DeclareRequest(nil, []ResourceID{-1}); err == nil {
+		t.Error("negative ID accepted")
+	}
+	s := b.Build()
+	if err := s.Validate(NewResourceSet(0, 1)); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	if err := s.Validate(NewResourceSet(2)); err == nil {
+		t.Error("out-of-range set accepted")
+	}
+}
+
+func TestSpecBuilderIndependence(t *testing.T) {
+	b := NewSpecBuilder(3)
+	s1 := b.Build()
+	if err := b.DeclareReadGroup(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s2 := b.Build()
+	if s1.ReadSet(0).Len() != 1 {
+		t.Error("earlier Build affected by later declarations")
+	}
+	if s2.ReadSet(0).Len() != 3 {
+		t.Error("later Build missing declarations")
+	}
+}
+
+func TestSpecBuilderNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSpecBuilder(-1) did not panic")
+		}
+	}()
+	NewSpecBuilder(-1)
+}

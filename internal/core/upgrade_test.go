@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustUpgradeable(t testing.TB, m *RSM, at Time, res ...ResourceID) UpgradeHandle {
+	t.Helper()
+	h, err := m.IssueUpgradeable(at, res, nil)
+	if err != nil {
+		t.Fatalf("IssueUpgradeable at t=%d: %v", at, err)
+	}
+	return h
+}
+
+// On an uncontended system, the read half is satisfied immediately and the
+// write half becomes entitled behind it, blocked by its own read half.
+func TestUpgradeUncontendedReadsFirst(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	h := mustUpgradeable(t, m, 1, la)
+	if got := m.UpgradePhase(h); got != UpgradeReading {
+		t.Fatalf("phase = %s, want reading", got)
+	}
+	wantState(t, m, h.ReadID, StateSatisfied)
+	wantState(t, m, h.WriteID, StateEntitled)
+}
+
+// Decide not to upgrade: the write half is canceled and other requests
+// blocked by it proceed.
+func TestUpgradeSkipped(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{RecordHistory: true})
+	h := mustUpgradeable(t, m, 1, la)
+
+	// Another reader arrives: it conflicts with the *entitled* write half,
+	// so it must wait (the upgrade pair behaves like a write request toward
+	// the rest of the system).
+	r := mustIssue(t, m, 2, []ResourceID{la}, nil)
+	wantState(t, m, r, StateWaiting)
+
+	if err := m.FinishRead(3, h, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.UpgradePhase(h); got != UpgradeDone {
+		t.Fatalf("phase = %s, want done", got)
+	}
+	// Cancellation unblocked the reader even though nothing was unlocked at
+	// cancellation time itself (read locks were released by FinishRead).
+	wantState(t, m, r, StateSatisfied)
+	mustComplete(t, m, 4, r)
+
+	st := m.Stats()
+	if st.UpgradesSkipped != 1 || st.UpgradesTaken != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Canceled != 1 {
+		t.Errorf("canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// Upgrade taken: read segment, then write segment, with the write half
+// satisfied after the read locks are released.
+func TestUpgradeTaken(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	h := mustUpgradeable(t, m, 1, la)
+
+	if err := m.FinishRead(2, h, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.UpgradePhase(h); got != UpgradeWriting {
+		t.Fatalf("phase = %s, want writing", got)
+	}
+	wantState(t, m, h.WriteID, StateSatisfied)
+	mustComplete(t, m, 3, h.WriteID)
+	if got := m.UpgradePhase(h); got != UpgradeDone {
+		t.Fatalf("phase = %s, want done", got)
+	}
+}
+
+// Concurrent readers share the read phase with the upgradeable read half.
+func TestUpgradeReadHalfSharesWithReaders(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	r := mustIssue(t, m, 1, []ResourceID{la}, nil)
+	h := mustUpgradeable(t, m, 2, la)
+	wantState(t, m, r, StateSatisfied)
+	wantState(t, m, h.ReadID, StateSatisfied)
+	// The write half is entitled, blocked by both readers.
+	wantState(t, m, h.WriteID, StateEntitled)
+
+	// Upgrade: write half must wait for the *other* reader too.
+	if err := m.FinishRead(3, h, true); err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, m, h.WriteID, StateEntitled)
+	mustComplete(t, m, 4, r)
+	wantState(t, m, h.WriteID, StateSatisfied)
+	mustComplete(t, m, 5, h.WriteID)
+}
+
+// If the write half is satisfied first, the read half is canceled: the job
+// skips the optimistic read segment and goes straight to writing. We force
+// this by canceling... the natural path cannot produce it (the read half
+// always wins ties), so we drive the write half through entitlement while
+// the read half is still blocked by an entitled write of another job — and
+// then let the other job finish in an order that satisfies the write half
+// first. Since both halves share the same resources this cannot happen
+// under the protocol's phasing; instead we verify the defensive branch
+// directly: satisfying the write half while the read half is waiting
+// cancels the read half.
+func TestUpgradeWriteWinsCancelsRead(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{RecordHistory: true})
+
+	// Occupy ℓa with a writer so both halves must queue.
+	w := mustIssue(t, m, 1, nil, []ResourceID{la})
+	h := mustUpgradeable(t, m, 2, la)
+	// The read half is entitled (blocked by the satisfied write w, whose
+	// queue head — the write half — cannot be entitled while ℓa is write
+	// locked); the write half waits.
+	wantState(t, m, h.ReadID, StateEntitled)
+	wantState(t, m, h.WriteID, StateWaiting)
+
+	// Force the write half to win: drop the read half's entitlement chance
+	// by satisfying the write half via the white-box path. (Driving this
+	// through public invocations is impossible by design — Prop. E10-style
+	// phasing always lets the read half go first — so we exercise the
+	// defensive cancellation branch directly.)
+	ur := m.reqs[h.ReadID]
+	uw := m.reqs[h.WriteID]
+	if ur == nil || uw == nil {
+		t.Fatal("halves not queued")
+	}
+	m.unlockAll(m.reqs[w])
+	m.reqs[w].state = StateComplete
+	m.removeIncomplete(m.reqs[w])
+	// Satisfy the write half directly.
+	m.satisfy(3, uw, false)
+	if ur.state != StateCanceled {
+		t.Fatalf("read half state = %s, want canceled", ur.state)
+	}
+	if got := m.UpgradePhase(h); got != UpgradeWriting {
+		t.Fatalf("phase = %s, want writing", got)
+	}
+	mustComplete(t, m, 4, h.WriteID)
+}
+
+func TestUpgradeErrors(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	h := mustUpgradeable(t, m, 1, la)
+
+	// FinishRead on the wrong ID.
+	if err := m.FinishRead(2, UpgradeHandle{ReadID: h.WriteID, WriteID: h.ReadID}, true); !errors.Is(err, ErrNotUpgrade) {
+		t.Errorf("swapped handle: err = %v", err)
+	}
+
+	// FinishRead while the read half is not satisfied.
+	m2 := NewRSM(fig2Spec(t), Options{})
+	w := mustIssue(t, m2, 1, nil, []ResourceID{la})
+	h2 := mustUpgradeable(t, m2, 2, la)
+	if err := m2.FinishRead(3, h2, true); !errors.Is(err, ErrBadState) {
+		t.Errorf("unsatisfied read half: err = %v", err)
+	}
+	mustComplete(t, m2, 4, w)
+
+	// Upgradeable with no resources.
+	if _, err := m.IssueUpgradeable(5, nil, nil); !errors.Is(err, ErrEmptyRequest) {
+		t.Errorf("empty upgradeable: err = %v", err)
+	}
+}
+
+// The pair counts as one request in the Issued statistic (Prop. P2
+// accounting: an upgradeable request is only one request).
+func TestUpgradePairCountsOnce(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	mustUpgradeable(t, m, 1, la, lb)
+	if st := m.Stats(); st.Issued != 1 {
+		t.Errorf("issued = %d, want 1", st.Issued)
+	}
+}
+
+// An upgradeable request in a contended system: the write half keeps its
+// timestamp position among other writes.
+func TestUpgradeWriteHalfFIFOPosition(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	w0 := mustIssue(t, m, 1, nil, []ResourceID{lc}) // holder
+	h := mustUpgradeable(t, m, 2, lc)               // halves queue behind
+	w1 := mustIssue(t, m, 3, nil, []ResourceID{lc}) // later write
+
+	mustComplete(t, m, 4, w0)
+	// Read half wins first (reads concede only to entitled writes with
+	// earlier position; the write half cannot be entitled while its own
+	// read half is queued ahead in time).
+	wantState(t, m, h.ReadID, StateSatisfied)
+	wantState(t, m, w1, StateWaiting)
+
+	if err := m.FinishRead(5, h, true); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade: the write half precedes w1 in WQ(ℓc).
+	wantState(t, m, h.WriteID, StateSatisfied)
+	wantState(t, m, w1, StateWaiting)
+	mustComplete(t, m, 6, h.WriteID)
+	wantState(t, m, w1, StateSatisfied)
+	mustComplete(t, m, 7, w1)
+}

@@ -1,0 +1,185 @@
+package core
+
+import "testing"
+
+// TestSec34PlaceholderExample replays the Sec. 3.4 worked example: with
+// placeholder requests, R1,1 needs only N1,1 = {ℓb} and R2,1 only
+// N2,1 = {ℓa, ℓc}. R2,1 no longer conflicts with R1,1 and is satisfied
+// immediately at t=2 — concurrency the expanded protocol forgoes.
+func TestSec34PlaceholderExample(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{Placeholders: true})
+
+	// t=1: R1,1 needs {ℓb}; placeholder would go to WQ(ℓa), but immediate
+	// satisfaction removes it at once.
+	w11 := mustIssue(t, m, 1, nil, []ResourceID{lb})
+	wantState(t, m, w11, StateSatisfied)
+	if qs := m.Queues(la); len(qs.WQ) != 0 {
+		t.Fatalf("WQ(ℓa) = %v, want empty (placeholder removed on satisfaction)", qs.WQ)
+	}
+	if h := m.Holders(la); len(h) != 0 {
+		t.Fatalf("ℓa holders = %v, want none (placeholder mode locks only N)", h)
+	}
+
+	// t=2: R2,1 needs {ℓa, ℓc}; placeholder in WQ(ℓb). R1,1 holds only ℓb,
+	// so R2,1 is satisfied immediately.
+	w21 := mustIssue(t, m, 2, nil, []ResourceID{la, lc})
+	wantState(t, m, w21, StateSatisfied)
+
+	mustComplete(t, m, 3, w11)
+	mustComplete(t, m, 4, w21)
+}
+
+// Under the expanded protocol the same workload serializes: R1,1 expands to
+// {ℓa, ℓb}, so R2,1 (needing ℓa) must wait. This is the E9 ablation pair.
+func TestSec34ExpandedSerializes(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{Placeholders: false})
+	w11 := mustIssue(t, m, 1, nil, []ResourceID{lb})
+	wantState(t, m, w11, StateSatisfied)
+	w21 := mustIssue(t, m, 2, nil, []ResourceID{la, lc})
+	wantState(t, m, w21, StateWaiting)
+	mustComplete(t, m, 3, w11)
+	wantState(t, m, w21, StateSatisfied)
+	mustComplete(t, m, 4, w21)
+}
+
+// Placeholders still prevent later-timestamped writes from overtaking: a
+// waiting write's placeholder holds its spot in the queues of non-needed
+// read-shared resources until the write becomes entitled (Lemma 6 is
+// preserved).
+func TestPlaceholderGatesLaterWrites(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{Placeholders: true})
+
+	// Reader group {ℓa, ℓb}: a write of ℓa placeholds ℓb and vice versa.
+	// w0 write-locks ℓa for a while.
+	w0 := mustIssue(t, m, 1, nil, []ResourceID{la})
+	wantState(t, m, w0, StateSatisfied)
+
+	// w1 needs {ℓa}: blocked behind w0, waiting (not entitled: ℓa write
+	// locked). Its placeholder sits at the head of WQ(ℓb).
+	w1 := mustIssue(t, m, 2, nil, []ResourceID{la})
+	wantState(t, m, w1, StateWaiting)
+	if qs := m.Queues(lb); len(qs.WQ) != 1 || qs.WQ[0] != w1 || !qs.Placeholder[0] {
+		t.Fatalf("WQ(ℓb) = %+v, want placeholder of w1", qs)
+	}
+
+	// w2 needs {ℓb}: ℓb is unlocked and w2 conflicts with no entitled or
+	// satisfied request, but w1's placeholder heads WQ(ℓb), and per
+	// Sec. 3.4 placeholders "prevent later-issued write requests from
+	// becoming entitled or satisfied" — Lemma 6 depends on it. So w2 waits.
+	w2 := mustIssue(t, m, 3, nil, []ResourceID{lb})
+	wantState(t, m, w2, StateWaiting)
+
+	// w0 completes: w1 becomes entitled and satisfied (its placeholder
+	// heads WQ(ℓb), ℓa is free). The placeholder removal then lets w2 reach
+	// the head of WQ(ℓb); it becomes entitled with an empty blocking set
+	// (w1 locks only ℓa in placeholder mode) and is satisfied in the same
+	// invocation.
+	mustComplete(t, m, 4, w0)
+	wantState(t, m, w1, StateSatisfied)
+	wantState(t, m, w2, StateSatisfied)
+	mustComplete(t, m, 5, w1)
+	mustComplete(t, m, 6, w2)
+}
+
+// TestSec35MixingExample replays the Sec. 3.5 worked example: R2,1 is a
+// mixed request reading {ℓa, ℓb} and writing {ℓc}. R5,1 (read {ℓa, ℓb}) no
+// longer conflicts with it and is satisfied immediately at t=7 instead of
+// waiting until t=10.
+func TestSec35MixingExample(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+
+	w11 := mustIssue(t, m, 1, nil, []ResourceID{la, lb})
+	w21 := mustIssue(t, m, 2, []ResourceID{la, lb}, []ResourceID{lc}) // mixed
+	r31 := mustIssue(t, m, 3, []ResourceID{lc}, nil)
+	r41 := mustIssue(t, m, 4, []ResourceID{lc}, nil)
+	wantState(t, m, r31, StateSatisfied)
+	wantState(t, m, r41, StateSatisfied)
+	wantState(t, m, w21, StateWaiting)
+
+	mustComplete(t, m, 5, w11)
+	wantState(t, m, w21, StateEntitled)
+	mustComplete(t, m, 6, r41)
+
+	// t=7: R5,1 reads {ℓa, ℓb}; it does not conflict with the mixed R2,1
+	// (both only read ℓa, ℓb) nor with R3,1, so Rule R1 satisfies it now.
+	r51 := mustIssue(t, m, 7, []ResourceID{la, lb}, nil)
+	wantState(t, m, r51, StateSatisfied)
+
+	mustComplete(t, m, 8, r31)
+	wantState(t, m, w21, StateSatisfied)
+	// ℓa and ℓb are read locked by BOTH the mixed write and R5,1.
+	if h := m.Holders(la); len(h) != 2 {
+		t.Fatalf("ℓa holders = %v, want mixed + reader", h)
+	}
+	mustComplete(t, m, 10, w21)
+	mustComplete(t, m, 12, r51)
+}
+
+// A resource read locked by a mixed request is treated as write locked for
+// writer entitlement (Sec. 3.5): a later write needing that resource cannot
+// become entitled until the mixed request completes.
+func TestMixedReadLockBlocksWriterEntitlement(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	// Mixed: read {ℓa}, write {ℓc}. Expansion of {ℓa, ℓc}: S(ℓa) = {ℓa,ℓb}
+	// adds ℓb as a locked extra (expanded mode).
+	mixed := mustIssue(t, m, 1, []ResourceID{la}, []ResourceID{lc})
+	wantState(t, m, mixed, StateSatisfied)
+
+	// Pure write of ℓa: ℓa is read locked by a mixed (write-kind) request,
+	// so the writer is NOT entitled, merely waiting.
+	w := mustIssue(t, m, 2, nil, []ResourceID{la})
+	wantState(t, m, w, StateWaiting)
+
+	// A plain read of ℓa does not conflict with the mixed holder... but it
+	// must not overtake an in-queue write either; with w waiting (not
+	// entitled), Rule R1 lets the read through (reader parallelism).
+	r := mustIssue(t, m, 3, []ResourceID{la}, nil)
+	wantState(t, m, r, StateSatisfied)
+
+	mustComplete(t, m, 4, mixed)
+	// Now w is entitled (blocked only by the satisfied reader r).
+	wantState(t, m, w, StateEntitled)
+	mustComplete(t, m, 5, r)
+	wantState(t, m, w, StateSatisfied)
+	mustComplete(t, m, 6, w)
+}
+
+// Mixed requests queue in the write queue of every needed resource,
+// including read-only ones, and must be at the head of all of them to become
+// entitled (Sec. 3.5).
+func TestMixedQueuesInAllWriteQueues(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{})
+	blocker := mustIssue(t, m, 1, nil, []ResourceID{lc})
+	mixed := mustIssue(t, m, 2, []ResourceID{la}, []ResourceID{lc})
+	wantState(t, m, mixed, StateWaiting)
+	qa := m.Queues(la)
+	if len(qa.WQ) != 1 || qa.WQ[0] != mixed {
+		t.Fatalf("WQ(ℓa) = %v, want mixed request enqueued for its read-access resource", qa.WQ)
+	}
+	mustComplete(t, m, 3, blocker)
+	wantState(t, m, mixed, StateSatisfied)
+	// ℓa read locked, ℓc write locked by the same request.
+	if qs := m.Queues(la); len(qs.ReadHolders) != 1 || qs.ReadHolders[0] != mixed {
+		t.Fatalf("ℓa read holders = %v", qs.ReadHolders)
+	}
+	if qs := m.Queues(lc); qs.WriteHolder != mixed {
+		t.Fatalf("ℓc write holder = %v", qs.WriteHolder)
+	}
+	mustComplete(t, m, 4, mixed)
+}
+
+// Placeholder mode composes with mixing: the mixed request locks only N and
+// placeholds the read-shared extras.
+func TestMixedWithPlaceholders(t *testing.T) {
+	m := NewRSM(fig2Spec(t), Options{Placeholders: true})
+	mixed := mustIssue(t, m, 1, []ResourceID{la}, []ResourceID{lc})
+	wantState(t, m, mixed, StateSatisfied)
+	// ℓb (read shared with ℓa) must NOT be locked.
+	if h := m.Holders(lb); len(h) != 0 {
+		t.Fatalf("ℓb holders = %v, want none", h)
+	}
+	r := mustIssue(t, m, 2, []ResourceID{lb}, nil)
+	wantState(t, m, r, StateSatisfied)
+	mustComplete(t, m, 3, mixed)
+	mustComplete(t, m, 4, r)
+}

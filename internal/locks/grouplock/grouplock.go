@@ -1,0 +1,119 @@
+// Package grouplock implements coarse-grained group locking (Sec. 1 of the
+// paper): resources that may be accessed together are folded into a single
+// lockable group protected by one phase-fair reader/writer lock (or a mutex
+// in mutex mode). It is the classical baseline the R/W RNLP is measured
+// against — simple, deadlock-free, and destructive to concurrency: requests
+// for unrelated resources in the same group serialize.
+//
+// Requests spanning several groups acquire the group locks in ascending
+// group order, the standard total-order discipline that keeps multi-group
+// acquisition deadlock-free.
+package grouplock
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/locks/phasefair"
+)
+
+// Lock is a group-locking protocol instance.
+type Lock struct {
+	group   []int // resource -> group
+	locks   []*phasefair.Lock
+	mutexed bool // mutex mode: every acquisition is exclusive
+}
+
+// New creates a group lock. group maps each resource ID to its group index
+// in [0, ngroups). If mutexOnly is true, read requests are acquired
+// exclusively (the group-mutex baseline); otherwise readers share
+// (phase-fair group R/W locking).
+func New(group []int, ngroups int, mutexOnly bool) (*Lock, error) {
+	for r, g := range group {
+		if g < 0 || g >= ngroups {
+			return nil, fmt.Errorf("grouplock: resource %d mapped to group %d out of [0,%d)", r, g, ngroups)
+		}
+	}
+	l := &Lock{group: group, mutexed: mutexOnly}
+	l.locks = make([]*phasefair.Lock, ngroups)
+	for i := range l.locks {
+		l.locks[i] = new(phasefair.Lock)
+	}
+	return l, nil
+}
+
+// NewSingle creates the fully coarse variant: one group covering all q
+// resources.
+func NewSingle(q int, mutexOnly bool) *Lock {
+	group := make([]int, q)
+	l, err := New(group, 1, mutexOnly)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Token records the groups held and their modes, for Release.
+type Token struct {
+	groups []int
+	write  []bool
+}
+
+// Acquire locks the groups covering the requested resources: in write mode
+// for groups containing a written resource (or all groups in mutex mode),
+// in read mode otherwise. Groups are locked in ascending order.
+func (l *Lock) Acquire(read, write []core.ResourceID) (Token, error) {
+	type mode struct{ write bool }
+	gm := map[int]*mode{}
+	for _, r := range read {
+		if int(r) >= len(l.group) {
+			return Token{}, fmt.Errorf("grouplock: resource %d out of range", r)
+		}
+		g := l.group[r]
+		if gm[g] == nil {
+			gm[g] = &mode{}
+		}
+	}
+	for _, r := range write {
+		if int(r) >= len(l.group) {
+			return Token{}, fmt.Errorf("grouplock: resource %d out of range", r)
+		}
+		g := l.group[r]
+		if gm[g] == nil {
+			gm[g] = &mode{}
+		}
+		gm[g].write = true
+	}
+	if len(gm) == 0 {
+		return Token{}, fmt.Errorf("grouplock: empty request")
+	}
+	var gs []int
+	for g := range gm {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	tok := Token{}
+	for _, g := range gs {
+		w := gm[g].write || l.mutexed
+		if w {
+			l.locks[g].Lock()
+		} else {
+			l.locks[g].RLock()
+		}
+		tok.groups = append(tok.groups, g)
+		tok.write = append(tok.write, w)
+	}
+	return tok, nil
+}
+
+// Release unlocks the token's groups in reverse acquisition order.
+func (l *Lock) Release(t Token) {
+	for i := len(t.groups) - 1; i >= 0; i-- {
+		if t.write[i] {
+			l.locks[t.groups[i]].Unlock()
+		} else {
+			l.locks[t.groups[i]].RUnlock()
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package mutexrnlp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+func TestExclusiveEvenForReads(t *testing.T) {
+	l := New(2)
+	t1, err := l.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	go func() {
+		t2, err := l.Acquire(0) // a "read" would share under R/W; here it waits
+		if err != nil {
+			t.Error(err)
+		}
+		close(entered)
+		l.Release(t2)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("mutex RNLP shared a resource")
+	case <-time.After(100 * time.Millisecond):
+	}
+	l.Release(t1)
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("successor never acquired")
+	}
+}
+
+func TestNestedMutualExclusion(t *testing.T) {
+	l := New(4)
+	var data [4]int64
+	var inside [4]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res := []core.ResourceID{core.ResourceID(g % 4), core.ResourceID((g + 1) % 4)}
+			for i := 0; i < 400; i++ {
+				tok, err := l.Acquire(res...)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, r := range res {
+					if inside[r].Add(1) != 1 {
+						t.Errorf("overlap on %d", r)
+					}
+					data[r]++
+				}
+				for _, r := range res {
+					inside[r].Add(-1)
+				}
+				if err := l.Release(tok); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := l.Stats(); st.Completed != 6*400 {
+		t.Errorf("completed = %d", st.Completed)
+	}
+}
+
+// Disjoint requests proceed concurrently (fine-grained, unlike a group
+// lock).
+func TestDisjointConcurrency(t *testing.T) {
+	l := New(2)
+	t1, _ := l.Acquire(0)
+	done := make(chan struct{})
+	go func() {
+		t2, err := l.Acquire(1)
+		if err != nil {
+			t.Error(err)
+		}
+		l.Release(t2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("disjoint request blocked")
+	}
+	l.Release(t1)
+}

@@ -1,0 +1,105 @@
+// Package phasefair implements a ticket-based phase-fair reader/writer spin
+// lock (the PF-T lock of Brandenburg and Anderson, "Spin-based reader-writer
+// synchronization for multiprocessor real-time systems", Real-Time Systems
+// 46, 2010 — reference [7] of the paper).
+//
+// Phase-fairness is the single-resource property the R/W RNLP generalizes to
+// fine-grained nested locking: read phases and write phases alternate, reads
+// concede to writes and writes concede to reads, giving O(1) worst-case
+// reader blocking (at most one write phase plus one read phase) and O(m)
+// writer blocking. This implementation is the runtime-plane baseline for the
+// throughput benchmarks (E15) and the building block of the group-lock
+// baseline.
+//
+// Caveat (repro note): the Go runtime does not honor real-time priorities,
+// so this lock preserves phase-fair *ordering*, not the paper's timing
+// bounds; those are validated on the simulator plane.
+package phasefair
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Layout of the rin/rout words: the low byte holds the writer-presence and
+// phase-ID bits; reader arrivals increment in units of readerInc above them.
+const (
+	wPresent  = 0x1 // a writer holds or is entitled to the lock
+	wPhase    = 0x2 // phase ID bit, toggles per writer
+	wMask     = wPresent | wPhase
+	readerInc = 0x100
+)
+
+// Lock is a phase-fair reader/writer spin lock. The zero value is unlocked.
+// It must not be copied after first use.
+type Lock struct {
+	rin  atomic.Uint32 // reader arrivals + writer presence/phase bits
+	rout atomic.Uint32 // reader departures
+	win  atomic.Uint32 // writer ticket dispenser
+	wout atomic.Uint32 // writer tickets served
+}
+
+// RLock acquires the lock for reading. Readers block only while a writer is
+// present, and only until that writer's phase completes — at most one write
+// phase, regardless of how many writers are queued (phase-fairness).
+func (l *Lock) RLock() {
+	w := l.rin.Add(readerInc) & wMask
+	if w == 0 {
+		return // no writer present: read phase in progress
+	}
+	// Spin until the writer phase changes: either the presence bit clears
+	// or the phase ID flips (a different writer: our blocker finished).
+	for spins := 0; l.rin.Load()&wMask == w; spins++ {
+		backoff(spins)
+	}
+}
+
+// RUnlock releases a read acquisition.
+func (l *Lock) RUnlock() {
+	l.rout.Add(readerInc)
+}
+
+// Lock acquires the lock for writing. Writers queue FIFO by ticket; the
+// head writer publishes its presence (blocking later readers) and waits for
+// in-flight readers to drain.
+func (l *Lock) Lock() {
+	ticket := l.win.Add(1) - 1
+	for spins := 0; l.wout.Load() != ticket; spins++ {
+		backoff(spins) // wait for predecessor writers
+	}
+	// Presence bit plus an alternating phase ID so consecutive writers are
+	// distinguishable to spinning readers.
+	w := uint32(wPresent) | uint32(ticket&1)<<1
+	// Publish presence and snapshot the reader arrival count (the low bits
+	// are clear here: our predecessor removed its presence bits before
+	// passing the ticket, and readers only touch the high bits).
+	r := l.rin.Add(w) - w
+	// Wait until every reader that arrived before us has departed.
+	for spins := 0; l.rout.Load() != r; spins++ {
+		backoff(spins)
+	}
+}
+
+// Unlock releases a write acquisition: clears the presence bits (releasing
+// the blocked read phase) and passes the ticket to the next writer.
+func (l *Lock) Unlock() {
+	// Clear the writer bits in rin (CAS loop: portable atomic AND).
+	for {
+		old := l.rin.Load()
+		if l.rin.CompareAndSwap(old, old&^uint32(wMask)) {
+			break
+		}
+	}
+	l.wout.Add(1)
+}
+
+// backoff yields the processor progressively: pure spinning for a short
+// burst, then cooperative yields so the Go scheduler can run the lock
+// holder. (On an RTOS, Rule S1's non-preemptive spinning makes this
+// unnecessary; under the Go runtime it is required for liveness when
+// goroutines outnumber Ps.)
+func backoff(spins int) {
+	if spins > 64 {
+		runtime.Gosched()
+	}
+}

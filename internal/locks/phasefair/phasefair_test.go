@@ -1,0 +1,246 @@
+package phasefair
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Mutual exclusion: writers never overlap each other or readers. Run with
+// -race for full effect.
+func TestMutualExclusion(t *testing.T) {
+	var l Lock
+	var shared int64
+	var inWrite atomic.Int32
+	var readersSeen atomic.Int32
+	var wg sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lock()
+				if inWrite.Add(1) != 1 {
+					t.Error("two writers inside")
+				}
+				shared++
+				inWrite.Add(-1)
+				l.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.RLock()
+				if inWrite.Load() != 0 {
+					t.Error("reader overlapped a writer")
+				}
+				readersSeen.Add(1)
+				_ = shared
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != 4*2000 {
+		t.Errorf("shared = %d, want %d (lost writer updates)", shared, 4*2000)
+	}
+	if readersSeen.Load() != 8*2000 {
+		t.Errorf("readersSeen = %d", readersSeen.Load())
+	}
+}
+
+// Readers are concurrent: two readers can be inside simultaneously.
+func TestReaderConcurrency(t *testing.T) {
+	var l Lock
+	l.RLock()
+	done := make(chan struct{})
+	go func() {
+		l.RLock() // must not block
+		l.RUnlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second reader blocked by first")
+	}
+	l.RUnlock()
+}
+
+// Phase-fairness: a reader arriving while a writer waits behind the current
+// read phase must wait for that writer (reads concede to writes), and is
+// admitted as soon as the writer's single phase ends (writes concede to
+// reads) — it does NOT wait for later queued writers.
+func TestPhaseFairOrdering(t *testing.T) {
+	var l Lock
+	l.RLock() // read phase in progress
+
+	writerIn := make(chan struct{})
+	writerGo := make(chan struct{})
+	go func() {
+		l.Lock() // queues behind the read phase, publishes presence
+		close(writerIn)
+		<-writerGo
+		l.Unlock()
+	}()
+
+	// Give the writer time to publish presence.
+	time.Sleep(50 * time.Millisecond)
+
+	lateReader := make(chan struct{})
+	go func() {
+		l.RLock() // must wait: writer present
+		close(lateReader)
+		l.RUnlock()
+	}()
+
+	select {
+	case <-lateReader:
+		t.Fatal("late reader entered during a pending write phase")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	l.RUnlock() // end read phase: writer enters
+	select {
+	case <-writerIn:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer never entered after readers drained")
+	}
+	close(writerGo) // writer exits: the blocked reader's phase begins
+	select {
+	case <-lateReader:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not admitted after one write phase")
+	}
+}
+
+// A reader waits at most ONE write phase even with multiple queued writers.
+func TestReaderWaitsOneWritePhase(t *testing.T) {
+	var l Lock
+	l.RLock()
+
+	var order []string
+	var mu sync.Mutex
+	log := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+
+	w1in := make(chan struct{})
+	w1go := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(w1in)
+		<-w1go
+		log("w1")
+		l.Unlock()
+	}()
+	time.Sleep(50 * time.Millisecond)
+	go func() {
+		l.Lock() // second writer queues behind the first
+		log("w2")
+		l.Unlock()
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	readerDone := make(chan struct{})
+	go func() {
+		l.RLock()
+		log("r")
+		l.RUnlock()
+		close(readerDone)
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	l.RUnlock() // w1 enters
+	<-w1in
+	close(w1go) // w1 exits; phase-fair: the reader goes before w2
+	select {
+	case <-readerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader starved behind second writer (not phase-fair)")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range order {
+		if s == "r" {
+			for _, later := range order[i+1:] {
+				if later == "w1" {
+					t.Errorf("order %v: reader preceded its blocking writer", order)
+				}
+			}
+		}
+	}
+}
+
+// Writers are FIFO by ticket.
+func TestWriterFIFO(t *testing.T) {
+	var l Lock
+	l.Lock()
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Lock()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Unlock()
+		}()
+		time.Sleep(50 * time.Millisecond) // serialize ticket draws
+	}
+	l.Unlock()
+	wg.Wait()
+	for i := 1; i <= 3; i++ {
+		if order[i-1] != i {
+			t.Fatalf("writer order %v, want [1 2 3]", order)
+		}
+	}
+}
+
+func BenchmarkReadHeavy(b *testing.B) {
+	var l Lock
+	var x int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				l.Lock()
+				x++
+				l.Unlock()
+			} else {
+				l.RLock()
+				_ = x
+				l.RUnlock()
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkRWMutexReadHeavy(b *testing.B) {
+	var l sync.RWMutex
+	var x int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				l.Lock()
+				x++
+				l.Unlock()
+			} else {
+				l.RLock()
+				_ = x
+				l.RUnlock()
+			}
+			i++
+		}
+	})
+}

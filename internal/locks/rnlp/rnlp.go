@@ -1,0 +1,201 @@
+// Package rnlp implements the original mutex RNLP of Ward and Anderson
+// ("Supporting Nested Locking in Multiprocessor Real-Time Systems",
+// ECRTS 2012 — reference [19] of the R/W paper) as a runtime lock with TRUE
+// nested (incremental) acquisition, the protocol the R/W RNLP extends.
+//
+// Mechanics (the paper's token lock + RSM, collapsed for a runtime setting):
+//
+//   - A job opens a request by declaring the full set of resources it may
+//     acquire (the a-priori knowledge assumption shared by the whole RNLP
+//     family). The open assigns a timestamp and enqueues the request in the
+//     queue of EVERY potential resource, in timestamp order.
+//   - Acquire(ℓ) blocks until the request is at the head of Q(ℓ). Because
+//     every earlier-timestamped request that may still acquire ℓ sits ahead
+//     in Q(ℓ), grants follow timestamp order and deadlock is impossible —
+//     no matter in which order nested resources are taken.
+//   - Close releases everything and dequeues the request everywhere.
+//
+// The token lock of the original paper (limiting concurrent requests to m
+// and supplying timestamps) corresponds here to the open operation: in a
+// runtime setting the progress mechanism's P2 role is played by the caller
+// limiting its own concurrency, exactly as with the R/W RNLP runtime plane.
+//
+// Everything — including read-only accesses — is exclusive: that is the
+// limitation motivating the R/W RNLP (compare package rwrnlp).
+package rnlp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ResourceID identifies a resource (dense, zero-based).
+type ResourceID int
+
+// Exported errors.
+var (
+	ErrOutOfRange  = errors.New("rnlp: resource out of range")
+	ErrNotDeclared = errors.New("rnlp: resource not in the request's declared set")
+	ErrClosed      = errors.New("rnlp: request already closed")
+	ErrHeld        = errors.New("rnlp: resource already held by this request")
+)
+
+// Lock is an RNLP instance over q resources.
+type Lock struct {
+	mu     sync.Mutex
+	q      int
+	nextTS uint64
+	queues [][]*request // per resource, timestamp order
+}
+
+// New creates an RNLP for q resources.
+func New(q int) *Lock {
+	return &Lock{q: q, queues: make([][]*request, q)}
+}
+
+type request struct {
+	ts       uint64
+	declared map[ResourceID]bool
+	held     map[ResourceID]bool
+	closed   bool
+	waiters  map[ResourceID]chan struct{} // parked Acquire calls
+}
+
+// Request is an open nested acquisition.
+type Request struct {
+	l *Lock
+	r *request
+}
+
+// Open starts a request that may acquire any of the declared resources,
+// in any order, without deadlock. Nothing is held yet.
+func (l *Lock) Open(declared ...ResourceID) (*Request, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := &request{
+		declared: make(map[ResourceID]bool, len(declared)),
+		held:     map[ResourceID]bool{},
+		waiters:  map[ResourceID]chan struct{}{},
+	}
+	for _, id := range declared {
+		if id < 0 || int(id) >= l.q {
+			return nil, fmt.Errorf("%w: %d", ErrOutOfRange, id)
+		}
+		r.declared[id] = true
+	}
+	l.nextTS++
+	r.ts = l.nextTS
+	// Enqueue in every potential resource's queue (timestamp order =
+	// append order, since timestamps are drawn under the lock).
+	for id := range r.declared {
+		l.queues[id] = append(l.queues[id], r)
+	}
+	return &Request{l: l, r: r}, nil
+}
+
+// head reports whether r heads Q(id). Caller holds l.mu.
+func (l *Lock) head(r *request, id ResourceID) bool {
+	q := l.queues[id]
+	return len(q) > 0 && q[0] == r
+}
+
+// Acquire blocks until the resource — which must be in the declared set —
+// is granted. Grants follow timestamp order per resource; a request may
+// interleave Acquire calls with its own computation (true nested locking).
+func (rq *Request) Acquire(id ResourceID) error {
+	l := rq.l
+	l.mu.Lock()
+	r := rq.r
+	if r.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if !r.declared[id] {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNotDeclared, id)
+	}
+	if r.held[id] {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrHeld, id)
+	}
+	if l.head(r, id) {
+		r.held[id] = true
+		l.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	r.waiters[id] = ch
+	l.mu.Unlock()
+	<-ch
+	return nil
+}
+
+// TryAcquire acquires the resource only if it is immediately grantable.
+func (rq *Request) TryAcquire(id ResourceID) (bool, error) {
+	l := rq.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := rq.r
+	if r.closed {
+		return false, ErrClosed
+	}
+	if !r.declared[id] {
+		return false, fmt.Errorf("%w: %d", ErrNotDeclared, id)
+	}
+	if r.held[id] {
+		return true, nil
+	}
+	if l.head(r, id) {
+		r.held[id] = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// Holds reports whether the resource is currently held by this request.
+func (rq *Request) Holds(id ResourceID) bool {
+	rq.l.mu.Lock()
+	defer rq.l.mu.Unlock()
+	return rq.r.held[id]
+}
+
+// Close releases every held resource and withdraws the request from all
+// queues, granting successors as they reach the heads.
+func (rq *Request) Close() error {
+	l := rq.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := rq.r
+	if r.closed {
+		return ErrClosed
+	}
+	r.closed = true
+	for id := range r.declared {
+		q := l.queues[id]
+		for i, x := range q {
+			if x == r {
+				l.queues[id] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		// The new head, if parked on this resource, is granted now.
+		l.grantHead(id)
+	}
+	return nil
+}
+
+// grantHead wakes the head of Q(id) if it is parked waiting for id.
+// Caller holds l.mu.
+func (l *Lock) grantHead(id ResourceID) {
+	q := l.queues[id]
+	if len(q) == 0 {
+		return
+	}
+	h := q[0]
+	if ch, ok := h.waiters[id]; ok && !h.held[id] {
+		h.held[id] = true
+		delete(h.waiters, id)
+		close(ch)
+	}
+}

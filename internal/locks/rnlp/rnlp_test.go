@@ -1,0 +1,233 @@
+package rnlp
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBasicNesting(t *testing.T) {
+	l := New(3)
+	rq, err := l.Open(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rq.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	// Nested: take ℓ2 while holding ℓ0 — any order is safe.
+	if err := rq.Acquire(2); err != nil {
+		t.Fatal(err)
+	}
+	if !rq.Holds(0) || !rq.Holds(2) || rq.Holds(1) {
+		t.Fatal("holdings wrong")
+	}
+	if err := rq.Acquire(0); !errors.Is(err, ErrHeld) {
+		t.Errorf("re-acquire: %v", err)
+	}
+	if err := rq.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rq.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	l := New(2)
+	if _, err := l.Open(5); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out of range: %v", err)
+	}
+	rq, _ := l.Open(0)
+	if err := rq.Acquire(1); !errors.Is(err, ErrNotDeclared) {
+		t.Errorf("undeclared: %v", err)
+	}
+	if _, err := rq.TryAcquire(1); !errors.Is(err, ErrNotDeclared) {
+		t.Errorf("undeclared try: %v", err)
+	}
+	rq.Close()
+	if err := rq.Acquire(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("acquire after close: %v", err)
+	}
+	if _, err := rq.TryAcquire(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("try after close: %v", err)
+	}
+}
+
+// Grants follow timestamp order per resource: a later request cannot take a
+// resource an earlier request may still acquire — even before the earlier
+// one asks for it. (This conservatism is the price of deadlock freedom; the
+// R/W RNLP's entitlement machinery keeps it while adding read sharing.)
+func TestTimestampOrderBlocksLaterRequest(t *testing.T) {
+	l := New(2)
+	early, _ := l.Open(0, 1) // earlier timestamp; has not acquired anything
+	late, _ := l.Open(1)
+
+	if ok, _ := late.TryAcquire(1); ok {
+		t.Fatal("later request granted a resource an earlier request may still take")
+	}
+	// The earlier request never takes ℓ1 and closes: now the later one goes.
+	if err := early.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	early.Close()
+	if ok, _ := late.TryAcquire(1); !ok {
+		t.Fatal("later request still blocked after the earlier one closed")
+	}
+	late.Close()
+}
+
+// The classic deadlock scenario — two requests taking two resources in
+// opposite orders — cannot deadlock: timestamp order serializes them.
+func TestNoDeadlockOppositeOrders(t *testing.T) {
+	l := New(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				rq, err := l.Open(0, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				first, second := ResourceID(0), ResourceID(1)
+				if g%2 == 1 {
+					first, second = second, first
+				}
+				if err := rq.Acquire(first); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := rq.Acquire(second); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := rq.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock")
+	}
+}
+
+// Mutual exclusion under concurrent nested use.
+func TestMutualExclusion(t *testing.T) {
+	l := New(4)
+	var inside [4]atomic.Int32
+	var data [4]int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r0 := ResourceID(g % 4)
+			r1 := ResourceID((g + 1) % 4)
+			for i := 0; i < 400; i++ {
+				rq, err := l.Open(r0, r1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := rq.Acquire(r0); err != nil {
+					t.Error(err)
+					return
+				}
+				if inside[r0].Add(1) != 1 {
+					t.Errorf("overlap on %d", r0)
+				}
+				data[r0]++
+				// Nested acquisition mid-CS.
+				if err := rq.Acquire(r1); err != nil {
+					t.Error(err)
+					return
+				}
+				if inside[r1].Add(1) != 1 {
+					t.Errorf("overlap on %d", r1)
+				}
+				data[r1]++
+				inside[r1].Add(-1)
+				inside[r0].Add(-1)
+				if err := rq.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Disjoint declared sets proceed fully concurrently (fine-grained).
+func TestDisjointConcurrency(t *testing.T) {
+	l := New(2)
+	a, _ := l.Open(0)
+	if err := a.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		b, _ := l.Open(1)
+		if err := b.Acquire(1); err != nil {
+			t.Error(err)
+		}
+		b.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("disjoint request blocked")
+	}
+	a.Close()
+}
+
+// Everything is exclusive — even "read-only" use: the motivating limitation.
+func TestNoReadSharing(t *testing.T) {
+	l := New(1)
+	a, _ := l.Open(0)
+	a.Acquire(0)
+	b, _ := l.Open(0)
+	got := make(chan struct{})
+	go func() {
+		b.Acquire(0)
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("two requests held the same resource")
+	case <-time.After(100 * time.Millisecond):
+	}
+	a.Close()
+	<-got
+	b.Close()
+}
+
+func BenchmarkNestedPair(b *testing.B) {
+	l := New(8)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r0 := ResourceID(i % 8)
+			r1 := ResourceID((i + 1) % 8)
+			rq, _ := l.Open(r0, r1)
+			rq.Acquire(r0)
+			rq.Acquire(r1)
+			rq.Close()
+			i++
+		}
+	})
+}

@@ -1,0 +1,107 @@
+// Package taskfair implements a task-fair (FIFO) ticket-based reader/writer
+// spin lock — the TF-T lock of Brandenburg and Anderson's reader/writer
+// study (reference [7] of the paper), and the foil against which
+// phase-fairness is defined: under task-fairness readers and writers are
+// served strictly in arrival order, so a reader that arrives behind k queued
+// writers waits for ALL k of them (O(m) reader blocking), whereas a
+// phase-fair reader waits for at most one write phase (O(1)).
+//
+// The algorithm is the classic "rwticket" lock: three packed counters —
+// ticket dispenser (users), next-writer ticket (write), and next-reader
+// ticket (read). A writer enters when write reaches its ticket and leaves by
+// advancing both write and read; a reader enters when read reaches its
+// ticket, immediately advances read (admitting a consecutive reader), and
+// leaves by advancing write. Consecutive readers therefore overlap, but any
+// intervening writer ticket fences them — strict FIFO.
+//
+// The counters are 16-bit tickets packed in one 64-bit word; updates use a
+// CAS loop with field-wise wrap-around (a plain fetch-and-add would carry
+// into the neighboring field when a ticket wraps past 65535).
+package taskfair
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	writeShift = 0
+	readShift  = 16
+	usersShift = 32
+	mask       = 0xffff
+)
+
+// Lock is a task-fair reader/writer spin lock. The zero value is unlocked.
+// It must not be copied after first use. Up to 65535 simultaneous waiters
+// are supported (the counters are 16-bit tickets that wrap).
+type Lock struct {
+	state atomic.Uint64
+}
+
+func unpack(v uint64) (w, r, u uint64) {
+	return (v >> writeShift) & mask, (v >> readShift) & mask, (v >> usersShift) & mask
+}
+
+func pack(w, r, u uint64) uint64 {
+	return (w&mask)<<writeShift | (r&mask)<<readShift | (u&mask)<<usersShift
+}
+
+// bump applies the field deltas with per-field wrap-around and returns the
+// PREVIOUS field values.
+func (l *Lock) bump(dw, dr, du uint64) (w, r, u uint64) {
+	for {
+		old := l.state.Load()
+		w, r, u = unpack(old)
+		if l.state.CompareAndSwap(old, pack(w+dw, r+dr, u+du)) {
+			return w, r, u
+		}
+	}
+}
+
+// Lock acquires write access: strict FIFO behind every earlier reader and
+// writer.
+func (l *Lock) Lock() {
+	_, _, me := l.bump(0, 0, 1) // draw a ticket
+	for spins := 0; ; spins++ {
+		w, _, _ := unpack(l.state.Load())
+		if w == me {
+			return
+		}
+		backoff(spins)
+	}
+}
+
+// Unlock releases write access, admitting the next ticket holder (reader or
+// writer alike: both write and read advance).
+func (l *Lock) Unlock() {
+	l.bump(1, 1, 0)
+}
+
+// RLock acquires read access: FIFO behind earlier writers, concurrent with
+// adjacent readers.
+func (l *Lock) RLock() {
+	_, _, me := l.bump(0, 0, 1) // draw a ticket
+	for spins := 0; ; spins++ {
+		_, r, _ := unpack(l.state.Load())
+		if r == me {
+			break
+		}
+		backoff(spins)
+	}
+	// Admit the next ticket holder if it is a reader; a writer still waits
+	// for the write counter, which only departing holders advance.
+	l.bump(0, 1, 0)
+}
+
+// RUnlock releases read access: each departing reader advances the write
+// ticket, so a writer queued behind a batch of k readers enters once all k
+// have departed.
+func (l *Lock) RUnlock() {
+	l.bump(1, 0, 0)
+}
+
+func backoff(spins int) {
+	if spins > 64 {
+		runtime.Gosched()
+	}
+}

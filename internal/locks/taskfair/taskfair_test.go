@@ -1,0 +1,200 @@
+package taskfair
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	var l Lock
+	var shared int64
+	var inWrite atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lock()
+				if inWrite.Add(1) != 1 {
+					t.Error("two writers inside")
+				}
+				shared++
+				inWrite.Add(-1)
+				l.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.RLock()
+				if inWrite.Load() != 0 {
+					t.Error("reader overlapped a writer")
+				}
+				_ = shared
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != 4*2000 {
+		t.Errorf("shared = %d, want %d", shared, 4*2000)
+	}
+}
+
+func TestAdjacentReadersShare(t *testing.T) {
+	var l Lock
+	l.RLock()
+	done := make(chan struct{})
+	go func() {
+		l.RLock()
+		l.RUnlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("adjacent reader blocked")
+	}
+	l.RUnlock()
+}
+
+// Task-fairness vs phase-fairness: a reader arriving behind TWO queued
+// writers waits for BOTH write phases — the O(m) reader blocking the
+// R/W RNLP's phase-fair design eliminates.
+func TestReaderWaitsAllQueuedWriters(t *testing.T) {
+	var l Lock
+	l.RLock() // read phase in progress
+
+	w1go := make(chan struct{})
+	w1in := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(w1in)
+		<-w1go
+		l.Unlock()
+	}()
+	time.Sleep(50 * time.Millisecond)
+	w2go := make(chan struct{})
+	w2in := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(w2in)
+		<-w2go
+		l.Unlock()
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	readerDone := make(chan struct{})
+	go func() {
+		l.RLock() // queued behind BOTH writers
+		close(readerDone)
+		l.RUnlock()
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	l.RUnlock() // w1 enters
+	<-w1in
+	close(w1go) // w1 exits; task-fair: w2 goes BEFORE the reader
+	select {
+	case <-readerDone:
+		t.Fatal("reader entered before the second queued writer (not task-fair)")
+	case <-time.After(100 * time.Millisecond):
+	}
+	<-w2in
+	close(w2go)
+	select {
+	case <-readerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never entered")
+	}
+}
+
+// Strict FIFO among writers.
+func TestWriterFIFO(t *testing.T) {
+	var l Lock
+	l.Lock()
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Lock()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Unlock()
+		}()
+		time.Sleep(50 * time.Millisecond)
+	}
+	l.Unlock()
+	wg.Wait()
+	for i := 1; i <= 3; i++ {
+		if order[i-1] != i {
+			t.Fatalf("writer order %v", order)
+		}
+	}
+}
+
+func BenchmarkTaskFairReadHeavy(b *testing.B) {
+	var l Lock
+	var x int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				l.Lock()
+				x++
+				l.Unlock()
+			} else {
+				l.RLock()
+				_ = x
+				l.RUnlock()
+			}
+			i++
+		}
+	})
+}
+
+// Ticket wrap-around: more than 65536 acquisitions must not corrupt the
+// packed counters (a plain fetch-and-add would carry across fields).
+func TestTicketWrapAround(t *testing.T) {
+	var l Lock
+	var wg sync.WaitGroup
+	var shared int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25_000; i++ { // 4×25k readers+writers ≫ 65536
+				if i%4 == 0 {
+					l.Lock()
+					shared++
+					l.Unlock()
+				} else {
+					l.RLock()
+					_ = shared
+					l.RUnlock()
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("wrap-around deadlock")
+	}
+	if shared != 4*25_000/4 {
+		t.Errorf("shared = %d", shared)
+	}
+}

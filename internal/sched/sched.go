@@ -1,0 +1,62 @@
+// Package sched defines the job-level fixed-priority (JLFP) scheduling
+// policies of the paper's system model (Sec. 2): each job has a constant
+// base priority (EDF: its absolute deadline; FP: its task's fixed priority),
+// and locking protocols may elevate a job's effective priority through a
+// progress mechanism. The cluster dispatching machinery lives in
+// internal/sim; this package provides the pure priority algebra it is built
+// on.
+package sched
+
+import "github.com/rtsync/rwrnlp/internal/simtime"
+
+// Policy selects how job base priorities are derived.
+type Policy int
+
+const (
+	// EDF: earlier absolute deadline = higher priority (job-level fixed).
+	EDF Policy = iota
+	// FP: fixed task priority (rate-monotonic if priorities are assigned by
+	// period); all jobs of a task share it.
+	FP
+)
+
+func (p Policy) String() string {
+	switch p {
+	case EDF:
+		return "EDF"
+	case FP:
+		return "FP"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// Prio is a total priority order: lower Val = higher priority, with Tie
+// breaking equal values deterministically (release order / task ID). The
+// zero value is the highest possible priority.
+type Prio struct {
+	Val int64
+	Tie int64
+}
+
+// Less reports whether a is strictly higher priority than b.
+func (a Prio) Less(b Prio) bool {
+	if a.Val != b.Val {
+		return a.Val < b.Val
+	}
+	return a.Tie < b.Tie
+}
+
+// JobPrio computes a job's base priority under the policy.
+//
+//   - EDF: Val is the absolute deadline, Tie the task ID (so simultaneous
+//     deadlines resolve deterministically by task).
+//   - FP: Val is the task's fixed priority, Tie the task ID.
+func JobPrio(p Policy, taskID int, taskPrio int, absDeadline simtime.Time) Prio {
+	switch p {
+	case FP:
+		return Prio{Val: int64(taskPrio), Tie: int64(taskID)}
+	default:
+		return Prio{Val: int64(absDeadline), Tie: int64(taskID)}
+	}
+}

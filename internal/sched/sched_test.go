@@ -1,0 +1,39 @@
+package sched
+
+import "testing"
+
+func TestPrioLess(t *testing.T) {
+	a := Prio{Val: 1, Tie: 5}
+	b := Prio{Val: 2, Tie: 0}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("Val ordering wrong")
+	}
+	c := Prio{Val: 1, Tie: 6}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("Tie ordering wrong")
+	}
+	if a.Less(a) {
+		t.Error("irreflexive violated")
+	}
+}
+
+func TestJobPrio(t *testing.T) {
+	edf := JobPrio(EDF, 3, 7, 1000)
+	if edf.Val != 1000 || edf.Tie != 3 {
+		t.Errorf("EDF prio = %+v", edf)
+	}
+	fp := JobPrio(FP, 3, 7, 1000)
+	if fp.Val != 7 || fp.Tie != 3 {
+		t.Errorf("FP prio = %+v", fp)
+	}
+	// Earlier deadline = higher priority under EDF.
+	if !JobPrio(EDF, 0, 0, 10).Less(JobPrio(EDF, 1, 0, 20)) {
+		t.Error("EDF deadline ordering wrong")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if EDF.String() != "EDF" || FP.String() != "FP" {
+		t.Error("policy strings")
+	}
+}

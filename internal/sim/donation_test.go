@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/sched"
+	"github.com/rtsync/rwrnlp/internal/simtime"
+	"github.com/rtsync/rwrnlp/internal/taskmodel"
+)
+
+// White-box tests of the priority-donation machinery (Sec. 3.8 /
+// EMSOFT'11): donation on displacement, donor substitution, donor resume.
+
+// donationScenario builds a 1-CPU (c=1) system where the donation paths are
+// fully deterministic.
+func donationTask(id int, dl, offset simtime.Time, segs ...taskmodel.Segment) *taskmodel.Task {
+	return &taskmodel.Task{
+		ID: id, Cluster: 0, Period: 100_000, Deadline: dl, Offset: offset,
+		Segments: segs,
+	}
+}
+
+func compute(d simtime.Time) taskmodel.Segment {
+	return taskmodel.Segment{Kind: taskmodel.SegCompute, Duration: d}
+}
+
+func writeReq(cs simtime.Time, res ...core.ResourceID) taskmodel.Segment {
+	return taskmodel.Segment{Kind: taskmodel.SegRequest, Write: res, Duration: cs}
+}
+
+// A low-priority lock holder is displaced by a high-priority release: the
+// releasee donates (suspends) and the holder finishes its CS boosted —
+// Property P1 in action on one CPU.
+func TestDonationBoostsDisplacedHolder(t *testing.T) {
+	sb := core.NewSpecBuilder(1)
+	sys := &taskmodel.System{
+		Spec: sb.Build(), M: 1, ClusterSize: 1,
+		Tasks: []*taskmodel.Task{
+			// Low priority (late deadline): takes the lock at t=1, CS 10.
+			donationTask(0, 50, 0, compute(1), writeReq(10, 0), compute(1)),
+			// High priority (tight deadline): released at t=2, pure compute.
+			donationTask(1, 10, 2, compute(3)),
+		},
+	}
+	s, err := New(Config{
+		System: sys, Policy: sched.EDF, Progress: Donation,
+		Protocol: ProtoRWRNLP, Horizon: 1_000, JobsPerTask: 1,
+		CheckInvariants: true, RecordSchedule: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	// Without donation, T1 (EDF-higher) would preempt T0 mid-CS, violating
+	// P1. With donation, T1 suspends as donor until T0's request completes
+	// at t=11, then runs [11,14): response 12.
+	if got := res.Tasks[1].MaxResp; got != 12 {
+		t.Errorf("donor response = %d, want 12 (donated during the CS)", got)
+	}
+	// T0 runs its CS uninterrupted (P1), but the donation ends WITH the
+	// request: the resumed donor (EDF-higher) preempts T0's trailing
+	// compute, so T0 finishes at 15 — compute [0,1), CS [1,11), preempted
+	// [11,14), compute [14,15).
+	if got := res.Tasks[0].MaxResp; got != 15 {
+		t.Errorf("holder response = %d, want 15", got)
+	}
+	// The donor's suspension [2,11) is s-oblivious pi-blocking: 9.
+	if got := res.Tasks[1].MaxPiSOb; got != 9 {
+		t.Errorf("donor s-oblivious pi-blocking = %d, want 9", got)
+	}
+}
+
+// Donor substitution: a second, even higher-priority release takes over the
+// donation; the first donor resumes and runs.
+func TestDonationDonorSubstitution(t *testing.T) {
+	sb := core.NewSpecBuilder(1)
+	sys := &taskmodel.System{
+		Spec: sb.Build(), M: 1, ClusterSize: 1,
+		Tasks: []*taskmodel.Task{
+			donationTask(0, 90, 0, compute(1), writeReq(20, 0)), // holder, CS [1,21)
+			donationTask(1, 40, 2, compute(5)),                  // first donor
+			donationTask(2, 30, 4, compute(3)),                  // substitute donor (tighter deadline)
+		},
+	}
+	s, err := New(Config{
+		System: sys, Policy: sched.EDF, Progress: Donation,
+		Protocol: ProtoRWRNLP, Horizon: 1_000, JobsPerTask: 1,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	// T2 (released t=4, tightest deadline) substitutes as donor for T1:
+	// T1 resumes... but the CPU is occupied by the boosted holder T0, so T1
+	// stays ready-but-unscheduled until T0's request ends at 21. Then EDF:
+	// T2 (dl 34) runs [21,24), T1 (dl 42) runs [24,29).
+	if got := res.Tasks[2].MaxResp; got != 20 { // released 4, done 24
+		t.Errorf("substitute donor response = %d, want 20", got)
+	}
+	if got := res.Tasks[1].MaxResp; got != 27 { // released 2, done 29
+		t.Errorf("first donor response = %d, want 27", got)
+	}
+	// All three meet their (generous) deadlines.
+	if res.Misses != 0 {
+		t.Errorf("misses = %d", res.Misses)
+	}
+}
+
+// The issue gate: a job outside the top-c pending set must not issue; it
+// issues once it rises into the top-c (P2 prerequisite).
+func TestDonationIssueGate(t *testing.T) {
+	sb := core.NewSpecBuilder(1)
+	sys := &taskmodel.System{
+		Spec: sb.Build(), M: 1, ClusterSize: 1,
+		Tasks: []*taskmodel.Task{
+			// Highest priority: computes [0,6) — no resources.
+			donationTask(0, 20, 0, compute(6)),
+			// Lowest priority: wants the lock at its very release (t=1) but
+			// is NOT top-1 pending until T0 finishes at 6.
+			donationTask(1, 80, 1, writeReq(2, 0), compute(1)),
+		},
+	}
+	s, err := New(Config{
+		System: sys, Policy: sched.EDF, Progress: Donation,
+		Protocol: ProtoRWRNLP, Horizon: 1_000, JobsPerTask: 1,
+		CheckInvariants: true, RecordRequests: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if len(res.Requests) != 1 {
+		t.Fatalf("requests = %d", len(res.Requests))
+	}
+	// Gated until t=6; then issued and satisfied immediately (uncontended).
+	if got := res.Requests[0].Issue; got != 6 {
+		t.Errorf("gated request issued at %d, want 6", got)
+	}
+	if got := res.Requests[0].Acq; got != 0 {
+		t.Errorf("acquisition delay = %d, want 0", got)
+	}
+	// T1: gate wait [1,6) + CS 2 + compute 1 → done at 9.
+	if got := res.Tasks[1].MaxResp; got != 8 {
+		t.Errorf("gated task response = %d, want 8", got)
+	}
+}

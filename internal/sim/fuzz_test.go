@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/sched"
+	"github.com/rtsync/rwrnlp/internal/simtime"
+	"github.com/rtsync/rwrnlp/internal/taskmodel"
+)
+
+// FuzzSimEpisode drives the entire stack — task model, clustered scheduler,
+// progress mechanism, RSM — from a byte-encoded system description, with
+// invariant checks and bound assertions on every run. The seed corpus runs
+// as an ordinary test; `go test -fuzz=FuzzSimEpisode ./internal/sim` fuzzes
+// continuously.
+func FuzzSimEpisode(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 10, 5, 1, 0, 20, 8, 2, 1, 30, 3, 0, 2})
+	f.Add([]byte{4, 2, 3, 7, 7, 7, 9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 6 {
+			return
+		}
+		m := int(raw[0])%4 + 1
+		c := 1
+		if raw[1]%2 == 0 {
+			c = m
+		}
+		q := int(raw[2])%4 + 1
+		prog := SpinNP
+		if raw[3]%2 == 1 {
+			prog = Donation
+		}
+
+		sb := core.NewSpecBuilder(q)
+		// One declared read group over everything keeps any generated
+		// multi-resource read legal.
+		var all []core.ResourceID
+		for i := 0; i < q; i++ {
+			all = append(all, core.ResourceID(i))
+		}
+		if err := sb.DeclareReadGroup(all...); err != nil {
+			t.Fatal(err)
+		}
+
+		var tasks []*taskmodel.Task
+		i := 4
+		id := 0
+		for ; i+5 < len(raw) && id < 8; i += 6 {
+			period := simtime.Time(int(raw[i])%90+10) * 1000
+			cs := simtime.Time(int(raw[i+1])%20+1) * 100
+			pre := simtime.Time(int(raw[i+2])%30) * 100
+			r0 := core.ResourceID(int(raw[i+3]) % q)
+			r1 := core.ResourceID(int(raw[i+4]) % q)
+			isRead := raw[i+5]%2 == 0
+			seg := taskmodel.Segment{Kind: taskmodel.SegRequest, Duration: cs}
+			if isRead {
+				seg.Read = []core.ResourceID{r0, r1}
+			} else {
+				seg.Write = []core.ResourceID{r0}
+			}
+			tasks = append(tasks, &taskmodel.Task{
+				ID: id, Cluster: id % (m / c), Period: period, Deadline: period,
+				Offset:   simtime.Time(int(raw[i+5])%50) * 100,
+				Priority: id,
+				Segments: []taskmodel.Segment{
+					{Kind: taskmodel.SegCompute, Duration: pre},
+					seg,
+				},
+			})
+			id++
+		}
+		if len(tasks) == 0 {
+			return
+		}
+		sys := &taskmodel.System{Spec: sb.Build(), M: m, ClusterSize: c, Tasks: tasks}
+		if err := sys.Validate(); err != nil {
+			return // structurally invalid inputs are not interesting
+		}
+		lr, lw := sys.CSBounds()
+		s, err := New(Config{
+			System: sys, Policy: sched.EDF, Progress: prog,
+			Protocol: ProtoRWRNLP, RSM: core.Options{Placeholders: raw[0]%2 == 0},
+			Horizon: 2_000_000, Seed: int64(raw[1]),
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		if len(res.Violations) != 0 {
+			t.Fatalf("violations: %v", res.Violations[0])
+		}
+		if res.MaxReadAcq > lr+lw {
+			t.Fatalf("Theorem 1 violated: %d > %d", res.MaxReadAcq, lr+lw)
+		}
+		if res.MaxWriteAcq > simtime.Time(m-1)*(lr+lw) && m > 1 {
+			t.Fatalf("Theorem 2 violated: %d > %d", res.MaxWriteAcq, simtime.Time(m-1)*(lr+lw))
+		}
+	})
+}

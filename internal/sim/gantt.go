@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/rtsync/rwrnlp/internal/simtime"
+)
+
+// SchedSlice is one contiguous interval of a job occupying a CPU.
+type SchedSlice struct {
+	Task, Job int
+	Cluster   int
+	CPU       int
+	From, To  simtime.Time
+	State     SliceState
+}
+
+// SliceState classifies what the job was doing on the CPU.
+type SliceState int
+
+const (
+	// SliceCompute: executing a compute segment.
+	SliceCompute SliceState = iota
+	// SliceCS: executing inside a critical section.
+	SliceCS
+	// SliceSpin: busy-waiting for the RSM (s-blocking).
+	SliceSpin
+)
+
+func (s SliceState) String() string {
+	switch s {
+	case SliceCS:
+		return "cs"
+	case SliceSpin:
+		return "spin"
+	default:
+		return "compute"
+	}
+}
+
+// recordSchedule appends/merges the running jobs' occupancy over
+// [lastAcct, t); called from account when Config.RecordSchedule is set.
+func (s *Simulator) recordSchedule(from, to simtime.Time) {
+	for _, cl := range s.clusters {
+		for _, j := range cl.members {
+			if !j.scheduled() {
+				continue
+			}
+			state := SliceCompute
+			switch {
+			case j.spinning:
+				state = SliceSpin
+			case j.phase == phChunk && j.what != chCompute:
+				state = SliceCS
+			}
+			key := [2]int{j.cluster, j.cpu}
+			if idx, ok := s.lastSlice[key]; ok {
+				last := &s.res.Schedule[idx]
+				if last.Task == j.task.ID && last.Job == j.jobIdx &&
+					last.State == state && last.To == from {
+					last.To = to
+					continue
+				}
+			}
+			if s.lastSlice == nil {
+				s.lastSlice = map[[2]int]int{}
+			}
+			s.lastSlice[key] = len(s.res.Schedule)
+			s.res.Schedule = append(s.res.Schedule, SchedSlice{
+				Task: j.task.ID, Job: j.jobIdx, Cluster: j.cluster, CPU: j.cpu,
+				From: from, To: to, State: state,
+			})
+		}
+	}
+}
+
+// RenderGantt renders the recorded schedule as an ASCII chart: one row per
+// (cluster, CPU), time quantized into width columns. Symbols: task ID digit
+// (last digit) while computing, '#'-prefixed while in a critical section,
+// '~' while spinning, '.' idle.
+func RenderGantt(res *Result, width int) string {
+	if len(res.Schedule) == 0 {
+		return "(no schedule recorded; set Config.RecordSchedule)\n"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	horizon := res.Horizon
+	if horizon <= 0 {
+		for _, sl := range res.Schedule {
+			if sl.To > horizon {
+				horizon = sl.To
+			}
+		}
+	}
+	type cpuKey struct{ cluster, cpu int }
+	rows := map[cpuKey][]rune{}
+	keys := []cpuKey{}
+	cell := func(k cpuKey) []rune {
+		if rows[k] == nil {
+			r := make([]rune, width)
+			for i := range r {
+				r[i] = '.'
+			}
+			rows[k] = r
+			keys = append(keys, k)
+		}
+		return rows[k]
+	}
+	for _, sl := range res.Schedule {
+		row := cell(cpuKey{sl.Cluster, sl.CPU})
+		lo := int(int64(sl.From) * int64(width) / int64(horizon))
+		hi := int(int64(sl.To) * int64(width) / int64(horizon))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			switch sl.State {
+			case SliceSpin:
+				row[i] = '~'
+			case SliceCS:
+				row[i] = rune('A' + sl.Task%26) // CS: letters
+			default:
+				row[i] = rune('0' + sl.Task%10) // compute: digits
+			}
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].cluster != keys[b].cluster {
+			return keys[a].cluster < keys[b].cluster
+		}
+		return keys[a].cpu < keys[b].cpu
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %d  (one column ≈ %.2g ticks; digits=compute, letters=CS, ~=spin, .=idle)\n",
+		horizon, float64(horizon)/float64(width))
+	for _, k := range keys {
+		fmt.Fprintf(&b, "c%d/cpu%-2d |%s|\n", k.cluster, k.cpu, string(rows[k]))
+	}
+	return b.String()
+}

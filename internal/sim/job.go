@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/sched"
+	"github.com/rtsync/rwrnlp/internal/simtime"
+	"github.com/rtsync/rwrnlp/internal/taskmodel"
+)
+
+// jobState is the coarse lifecycle state of a job.
+type jobState int
+
+const (
+	// jsReady: released and runnable (possibly running right now).
+	jsReady jobState = iota
+	// jsSuspended: released but not runnable — waiting for a lock
+	// (suspension-based variant), serving as a priority donor, or gated
+	// from issuing a request (donation rule).
+	jsSuspended
+	// jsFinished: all segments complete.
+	jsFinished
+)
+
+// segPhase tracks where a job is inside its current segment.
+type segPhase int
+
+const (
+	phNone      segPhase = iota
+	phChunk              // executing a compute chunk or critical section
+	phWaitSat            // waiting for the request to be satisfied
+	phWaitGrant          // waiting for an incremental grant (Sec. 3.7)
+	phWaitWrite          // waiting for the upgrade write half (Sec. 3.6)
+	phWaitIssue          // donation gate: waiting to be eligible to issue
+	phAtIssue            // parked at an issue point, issuing when scheduled
+)
+
+// chunkWhat identifies what the current chunk's completion means.
+type chunkWhat int
+
+const (
+	chCompute chunkWhat = iota
+	chCS                // critical section of a plain request
+	chReadCS            // optimistic read segment of an upgrade
+	chWriteCS           // write segment of an upgrade
+	chIncHold           // in-CS hold of an incremental step
+)
+
+// job is one job J_i of a sporadic task.
+type job struct {
+	id      int // global job sequence number
+	task    *taskmodel.Task
+	jobIdx  int
+	release simtime.Time
+	absDL   simtime.Time
+	prio    sched.Prio // base priority
+	boosted bool       // effective priority is boost (priority donation)
+	boost   sched.Prio
+	cluster int
+
+	state      jobState
+	cpu        int // CPU index within the cluster, -1 if not scheduled
+	nonpreempt bool
+	spinning   bool // scheduled, burning cycles waiting for the RSM
+
+	scale     float64 // per-job execution-time scale (ExecVar), 1.0 = WCET
+	segIdx    int
+	phase     segPhase
+	what      chunkWhat
+	remaining simtime.Time
+	endEv     *simtime.Event
+	runSince  simtime.Time
+
+	// Request bookkeeping.
+	reqID                   core.ReqID
+	hasReq                  bool // an incomplete request exists (P2 accounting)
+	holding                 bool // the job currently holds ≥1 resource (P1 accounting)
+	upg                     core.UpgradeHandle
+	upgTake                 bool
+	inUpgrade               bool
+	incStep                 int
+	mappedRead, mappedWrite []core.ResourceID // protocol-space request sets
+	issueT                  simtime.Time
+	waitStart               simtime.Time // start of the current wait (metrics)
+	curAcq                  simtime.Time // accumulated acquisition delay of this request
+	reqIsWrite              bool
+
+	// Priority donation links (suspension-based progress mechanism).
+	donor *job // the job donating its priority to us
+	donee *job // the job we are donating to (we are suspended while set)
+
+	// Per-job metric accumulators.
+	piSpin, piSOb, piSAware simtime.Time
+	sBlock                  simtime.Time
+	finish                  simtime.Time
+}
+
+// effPrio is the job's effective priority: the donated priority when boosted.
+func (j *job) effPrio() sched.Prio {
+	if j.boosted {
+		return j.boost
+	}
+	return j.prio
+}
+
+// pending reports whether the job is released and incomplete.
+func (j *job) pending() bool { return j.state != jsFinished }
+
+// ready reports whether the job is runnable.
+func (j *job) ready() bool { return j.state == jsReady }
+
+// scheduled reports whether the job occupies a CPU.
+func (j *job) scheduled() bool { return j.cpu >= 0 }
+
+func (j *job) String() string {
+	return fmt.Sprintf("T%d/J%d", j.task.ID, j.jobIdx)
+}
+
+// seg returns the current segment.
+func (j *job) seg() *taskmodel.Segment { return &j.task.Segments[j.segIdx] }

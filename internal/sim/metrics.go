@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"github.com/rtsync/rwrnlp/internal/simtime"
+)
+
+// ReqRecord describes one completed resource acquisition, the unit of the
+// paper's blocking analysis.
+type ReqRecord struct {
+	Task, Job int
+	Write     bool // write or mixed or upgrade-half (writer bound applies)
+	Upgrade   bool
+	Incr      bool
+	Issue     simtime.Time
+	Acq       simtime.Time // acquisition delay (cumulative for incremental)
+	CS        simtime.Time // critical-section length actually executed
+}
+
+// TaskStats aggregates per-task outcomes.
+type TaskStats struct {
+	Task      int
+	Jobs      int
+	Misses    int
+	MaxResp   simtime.Time
+	MaxPiSpin simtime.Time // Def. 1 pi-blocking (spin analysis)
+	MaxPiSOb  simtime.Time // Def. 5 s-oblivious pi-blocking
+	MaxPiSAw  simtime.Time // Def. 5 s-aware pi-blocking
+	MaxSBlock simtime.Time // Def. 2 s-blocking (spin time)
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Horizon     simtime.Time
+	Jobs        int
+	Finished    int
+	Misses      int
+	Tasks       []TaskStats
+	Requests    []ReqRecord
+	MaxReadAcq  simtime.Time
+	MaxWriteAcq simtime.Time
+	SumReadAcq  simtime.Time
+	SumWriteAcq simtime.Time
+	NumReadAcq  int
+	NumWriteAcq int
+
+	// CSParallelism is the average number of simultaneously held critical
+	// sections while at least one is held — the concurrency the protocol
+	// achieves (1.0 = full serialization; the quantity coarse-grained
+	// locking destroys). CSUtilization is the fraction of the horizon with
+	// at least one CS in progress.
+	CSParallelism float64
+	CSUtilization float64
+
+	// Schedulability-style maxima across all jobs.
+	MaxPiSpin simtime.Time
+	MaxPiSOb  simtime.Time
+	MaxPiSAw  simtime.Time
+	MaxSBlock simtime.Time
+
+	// Invariant violations (must be empty for a correct progress
+	// mechanism; E6 asserts this).
+	Violations []string
+
+	// Schedule holds per-CPU occupancy slices when Config.RecordSchedule is
+	// set; render with RenderGantt.
+	Schedule []SchedSlice
+}
+
+// MeanReadAcq returns the mean read acquisition delay.
+func (r *Result) MeanReadAcq() float64 {
+	if r.NumReadAcq == 0 {
+		return 0
+	}
+	return float64(r.SumReadAcq) / float64(r.NumReadAcq)
+}
+
+// MeanWriteAcq returns the mean write acquisition delay.
+func (r *Result) MeanWriteAcq() float64 {
+	if r.NumWriteAcq == 0 {
+		return 0
+	}
+	return float64(r.SumWriteAcq) / float64(r.NumWriteAcq)
+}
+
+// recordAcqLight updates the aggregates without retaining a record.
+func (r *Result) recordAcqLight(write bool, acq simtime.Time) {
+	if write {
+		r.NumWriteAcq++
+		r.SumWriteAcq += acq
+		if acq > r.MaxWriteAcq {
+			r.MaxWriteAcq = acq
+		}
+	} else {
+		r.NumReadAcq++
+		r.SumReadAcq += acq
+		if acq > r.MaxReadAcq {
+			r.MaxReadAcq = acq
+		}
+	}
+}
+
+func (r *Result) recordAcq(rec ReqRecord) {
+	r.Requests = append(r.Requests, rec)
+	if rec.Write {
+		r.NumWriteAcq++
+		r.SumWriteAcq += rec.Acq
+		if rec.Acq > r.MaxWriteAcq {
+			r.MaxWriteAcq = rec.Acq
+		}
+	} else {
+		r.NumReadAcq++
+		r.SumReadAcq += rec.Acq
+		if rec.Acq > r.MaxReadAcq {
+			r.MaxReadAcq = rec.Acq
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []Time
+	e.At(5, func(t Time) { got = append(got, t) })
+	e.At(1, func(t Time) { got = append(got, t) })
+	e.At(3, func(t Time) { got = append(got, t) })
+	e.Run(Forever)
+	want := []Time{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now() = %d, want 5", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func(Time) { got = append(got, i) })
+	}
+	e.Run(Forever)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.At(2, func(Time) { fired = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	e.Run(Forever)
+	if fired {
+		t.Error("canceled event fired")
+	}
+	ev.Cancel() // double cancel is a no-op
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var got []Time
+	e.At(1, func(t Time) {
+		got = append(got, t)
+		e.After(2, func(t Time) { got = append(got, t) })
+		e.At(t, func(t Time) { got = append(got, t) }) // same-time, fires after current
+	})
+	e.Run(Forever)
+	want := []Time{1, 1, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	var e Engine
+	e.At(5, func(Time) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(1, func(Time) {})
+}
+
+func TestEngineHorizon(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(3, func(Time) { fired++ })
+	e.At(10, func(Time) { fired++ })
+	end := e.Run(5)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if end != 5 {
+		t.Errorf("end = %d, want 5 (clock advanced to horizon)", end)
+	}
+	// Event at exactly the horizon fires.
+	var e2 Engine
+	e2.At(5, func(Time) { fired++ })
+	e2.Run(5)
+	if fired != 2 {
+		t.Errorf("horizon-edge event did not fire")
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	var e Engine
+	a := e.At(1, func(Time) {})
+	e.At(2, func(Time) {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	a.Cancel()
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d after cancel, want 1", e.Pending())
+	}
+}
+
+// Randomized: the engine fires events in nondecreasing time order matching a
+// sorted reference, under interleaved scheduling and cancellation.
+func TestEngineRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var e Engine
+		var fired []Time
+		var want []Time
+		n := rng.Intn(200) + 1
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(1000))
+			ev := e.At(at, func(t Time) { fired = append(fired, t) })
+			if rng.Intn(5) == 0 {
+				ev.Cancel()
+			} else {
+				want = append(want, at)
+			}
+		}
+		e.Run(Forever)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: order mismatch at %d", trial, i)
+			}
+		}
+	}
+}

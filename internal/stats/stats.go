@@ -1,0 +1,112 @@
+// Package stats provides the small statistical helpers the experiment
+// drivers report with: maxima, means, percentiles, and fixed-width
+// histograms over simtime durations.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/rtsync/rwrnlp/internal/simtime"
+)
+
+// Summary aggregates a sample of durations.
+type Summary struct {
+	N    int
+	Min  simtime.Time
+	Max  simtime.Time
+	Mean float64
+	P50  simtime.Time
+	P95  simtime.Time
+	P99  simtime.Time
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []simtime.Time) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]simtime.Time, len(xs))
+	copy(s, xs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum float64
+	for _, x := range s {
+		sum += float64(x)
+	}
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+		P50:  percentile(s, 0.50),
+		P95:  percentile(s, 0.95),
+		P99:  percentile(s, 0.99),
+	}
+}
+
+func percentile(sorted []simtime.Time, p float64) simtime.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d mean=%.1f p50=%d p95=%d p99=%d max=%d",
+		s.N, s.Min, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Histogram renders a fixed-width ASCII histogram of the sample with the
+// given number of buckets, for quick terminal inspection.
+func Histogram(xs []simtime.Time, buckets int) string {
+	if len(xs) == 0 || buckets <= 0 {
+		return "(empty)"
+	}
+	var lo, hi simtime.Time
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, buckets)
+	for _, x := range xs {
+		b := int(int64(x-lo) * int64(buckets) / int64(hi-lo+1))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	width := simtime.Time(int64(hi-lo)) / simtime.Time(buckets)
+	for i, c := range counts {
+		bar := ""
+		if maxC > 0 {
+			bar = strings.Repeat("#", c*40/maxC)
+		}
+		fmt.Fprintf(&b, "%12d ┤%-40s %d\n", lo+simtime.Time(i)*width, bar, c)
+	}
+	return b.String()
+}
+
+// Ratio formats a/b with a guard for b == 0.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.2f", a/b)
+}

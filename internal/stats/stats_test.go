@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rtsync/rwrnlp/internal/simtime"
+)
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	xs := make([]simtime.Time, 100)
+	for i := range xs {
+		xs[i] = simtime.Time(100 - i) // 1..100 reversed: Summarize must sort
+	}
+	s := Summarize(xs)
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+	if s.P50 < 45 || s.P50 > 55 {
+		t.Errorf("p50 = %d", s.P50)
+	}
+	if s.P99 < 95 {
+		t.Errorf("p99 = %d", s.P99)
+	}
+	if !strings.Contains(s.String(), "n=100") {
+		t.Errorf("String: %s", s)
+	}
+	// Input unmodified.
+	if xs[0] != 100 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if h := Histogram(nil, 4); h != "(empty)" {
+		t.Errorf("empty hist: %q", h)
+	}
+	xs := []simtime.Time{1, 1, 2, 10, 10, 10}
+	h := Histogram(xs, 2)
+	if !strings.Contains(h, "#") {
+		t.Errorf("no bars: %q", h)
+	}
+	if n := strings.Count(h, "\n"); n != 2 {
+		t.Errorf("bucket lines = %d", n)
+	}
+	// Identical values do not divide by zero.
+	_ = Histogram([]simtime.Time{5, 5, 5}, 3)
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != "∞" {
+		t.Error("division by zero")
+	}
+	if Ratio(3, 2) != "1.50" {
+		t.Errorf("ratio = %s", Ratio(3, 2))
+	}
+}

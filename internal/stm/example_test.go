@@ -1,0 +1,68 @@
+package stm_test
+
+import (
+	"fmt"
+
+	"github.com/rtsync/rwrnlp/internal/stm"
+)
+
+// A transfer between two accounts: declared shape, atomic, never deadlocks
+// or aborts.
+func Example() {
+	sys := stm.NewSystem()
+	a := stm.NewVar(sys, 100)
+	b := stm.NewVar(sys, 50)
+	sys.DeclareTx(nil, stm.Writes(a, b))
+	s := sys.Build(stm.Options{Placeholders: true})
+
+	err := s.Atomically(nil, stm.Writes(a, b), func(tx *stm.Tx) error {
+		stm.Set(tx, a, stm.Get(tx, a)-30)
+		stm.Set(tx, b, stm.Get(tx, b)+30)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(stm.Peek(a), stm.Peek(b))
+	// Output: 70 80
+}
+
+// An upgradeable transaction reads optimistically and escalates only when a
+// write turns out to be necessary (Sec. 3.6 of the paper).
+func ExampleSTM_AtomicallyUpgradeable() {
+	sys := stm.NewSystem()
+	counter := stm.NewVar(sys, 41)
+	s := sys.Build(stm.Options{})
+
+	err := s.AtomicallyUpgradeable(stm.Reads(counter),
+		func(tx *stm.Tx) (stm.UpgradeableResult, error) {
+			if stm.Get(tx, counter) >= 42 {
+				return stm.Commit, nil // already done: stayed read-only
+			}
+			return stm.Upgrade, nil
+		},
+		func(tx *stm.Tx) error {
+			// Re-read after the upgrade: the value may have changed.
+			if v := stm.Get(tx, counter); v < 42 {
+				stm.Set(tx, counter, 42)
+			}
+			return nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(stm.Peek(counter))
+	// Output: 42
+}
+
+// The transactional map: point operations lock one bucket; snapshots are
+// consistent across all buckets.
+func ExampleMap() {
+	m := stm.NewMap[string, int](stm.MapConfig{Buckets: 8})
+	m.Put("x", 1)
+	m.Put("y", 2)
+	m.Update("x", false, func(v int) (int, bool) { return v + 10, true })
+	snap := m.Snapshot()
+	fmt.Println(snap["x"], snap["y"], m.Len())
+	// Output: 11 2 2
+}

@@ -1,0 +1,272 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func bankSystem(t testing.TB, n int) (*STM, []*Var[int]) {
+	t.Helper()
+	sys := NewSystem()
+	accounts := make([]*Var[int], n)
+	var all []VarBase
+	for i := range accounts {
+		accounts[i] = NewVar(sys, 100)
+		all = append(all, accounts[i])
+	}
+	// Shapes: any-pair transfer (write 2), full audit (read all), and
+	// upgradeable single-account maintenance.
+	sys.DeclareTx(all, nil)
+	for i := range accounts {
+		for j := range accounts {
+			if i != j {
+				sys.DeclareTx(nil, Writes(accounts[i], accounts[j]))
+			}
+		}
+	}
+	return sys.Build(Options{Placeholders: true}), accounts
+}
+
+func TestTransferPreservesTotal(t *testing.T) {
+	s, acc := bankSystem(t, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			from, to := acc[g%4], acc[(g+1)%4]
+			for i := 0; i < 300; i++ {
+				err := s.Atomically(nil, Writes(from, to), func(tx *Tx) error {
+					f := Get(tx, from)
+					Set(tx, from, f-1)
+					Set(tx, to, Get(tx, to)+1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent audits must always observe a consistent total.
+	auditDone := make(chan struct{})
+	go func() {
+		defer close(auditDone)
+		for i := 0; i < 200; i++ {
+			err := s.Atomically(Reads(acc[0], acc[1], acc[2], acc[3]), nil, func(tx *Tx) error {
+				total := 0
+				for _, a := range acc {
+					total += Get(tx, a)
+				}
+				if total != 400 {
+					t.Errorf("audit saw total %d, want 400", total)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-auditDone
+
+	total := 0
+	for _, a := range acc {
+		total += Peek(a)
+	}
+	if total != 400 {
+		t.Errorf("final total %d, want 400", total)
+	}
+}
+
+func TestUndeclaredShapeRejected(t *testing.T) {
+	sys := NewSystem()
+	a := NewVar(sys, 1)
+	b := NewVar(sys, 2)
+	c := NewVar(sys, 3)
+	sys.DeclareTx(Reads(a, b), nil)
+	s := sys.Build(Options{})
+
+	// Declared shape and its subsets pass.
+	if err := s.Atomically(Reads(a, b), nil, func(*Tx) error { return nil }); err != nil {
+		t.Errorf("declared shape rejected: %v", err)
+	}
+	if err := s.Atomically(Reads(a), nil, func(*Tx) error { return nil }); err != nil {
+		t.Errorf("subset shape rejected: %v", err)
+	}
+	// Undeclared multi-variable read is rejected.
+	err := s.Atomically(Reads(a, c), nil, func(*Tx) error { return nil })
+	if !errors.Is(err, ErrUndeclared) {
+		t.Errorf("undeclared shape: err = %v", err)
+	}
+	// Single-variable transactions never need declaration.
+	if err := s.Atomically(Reads(c), nil, func(*Tx) error { return nil }); err != nil {
+		t.Errorf("singleton read rejected: %v", err)
+	}
+	if err := s.Atomically(nil, Writes(c), func(tx *Tx) error { Set(tx, c, 9); return nil }); err != nil {
+		t.Errorf("singleton write rejected: %v", err)
+	}
+	if Peek(c) != 9 {
+		t.Errorf("write lost: c = %d", Peek(c))
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	sys := NewSystem()
+	a := NewVar(sys, 1)
+	b := NewVar(sys, 2)
+	sys.DeclareTx(Reads(a), Writes(b))
+	s := sys.Build(Options{})
+
+	err := s.Atomically(Reads(a), Writes(b), func(tx *Tx) error {
+		_ = Get(tx, a) // declared read: fine
+		_ = Get(tx, b) // reading a write-set var: fine
+		Set(tx, b, 5)  // declared write: fine
+
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("write to read-only var did not panic")
+				}
+			}()
+			Set(tx, a, 99)
+		}()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Peek(a) != 1 || Peek(b) != 5 {
+		t.Errorf("a=%d b=%d", Peek(a), Peek(b))
+	}
+
+	// Access outside the declared set panics.
+	sys2 := NewSystem()
+	x := NewVar(sys2, 0)
+	y := NewVar(sys2, 0)
+	s2 := sys2.Build(Options{})
+	_ = s2.Atomically(Reads(x), nil, func(tx *Tx) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("undeclared access did not panic")
+			}
+		}()
+		_ = Get(tx, y)
+		return nil
+	})
+}
+
+func TestUpgradeableTransaction(t *testing.T) {
+	sys := NewSystem()
+	counter := NewVar(sys, 0)
+	s := sys.Build(Options{})
+
+	// Optimistic read that commits without writing.
+	readOnly := 0
+	err := s.AtomicallyUpgradeable(Reads(counter),
+		func(tx *Tx) (UpgradeableResult, error) {
+			readOnly = Get(tx, counter)
+			return Commit, nil
+		},
+		func(tx *Tx) error {
+			t.Error("write phase ran although Commit was returned")
+			return nil
+		})
+	if err != nil || readOnly != 0 {
+		t.Fatalf("err=%v readOnly=%d", err, readOnly)
+	}
+
+	// Conditional upgrade: increment only if below threshold.
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				err := s.AtomicallyUpgradeable(Reads(counter),
+					func(tx *Tx) (UpgradeableResult, error) {
+						if Get(tx, counter) >= 300 {
+							return Commit, nil
+						}
+						return Upgrade, nil
+					},
+					func(tx *Tx) error {
+						// Must re-read: the value may have changed between
+						// the phases.
+						if v := Get(tx, counter); v < 300 {
+							Set(tx, counter, v+1)
+						}
+						return nil
+					})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := Peek(counter); v != 300 {
+		t.Errorf("counter = %d, want 300 (upgrade races lost updates)", v)
+	}
+}
+
+func TestWritePhaseGuardsDuringRead(t *testing.T) {
+	sys := NewSystem()
+	v := NewVar(sys, 0)
+	s := sys.Build(Options{})
+	_ = s.AtomicallyUpgradeable(Reads(v),
+		func(tx *Tx) (UpgradeableResult, error) {
+			defer func() {
+				if recover() == nil {
+					t.Error("Set during optimistic read phase did not panic")
+				}
+			}()
+			Set(tx, v, 1)
+			return Commit, nil
+		},
+		func(tx *Tx) error { return nil })
+}
+
+func TestBuildGuards(t *testing.T) {
+	sys := NewSystem()
+	NewVar(sys, 0)
+	_ = sys.Build(Options{})
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s after Build did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewVar", func() { NewVar(sys, 1) })
+	mustPanic("DeclareTx", func() { sys.DeclareTx(nil, nil) })
+	mustPanic("Build", func() { sys.Build(Options{}) })
+}
+
+func TestTxError(t *testing.T) {
+	sys := NewSystem()
+	v := NewVar(sys, 7)
+	s := sys.Build(Options{})
+	sentinel := errors.New("boom")
+	if err := s.Atomically(nil, Writes(v), func(tx *Tx) error {
+		Set(tx, v, 8)
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+	// The lock was released despite the error; another tx proceeds.
+	if err := s.Atomically(Reads(v), nil, func(tx *Tx) error {
+		if Get(tx, v) != 8 {
+			t.Error("STM is not a database: writes are not rolled back")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package taskmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/simtime"
+)
+
+// JSON (de)serialization of task systems, so scenarios can be stored in
+// files and replayed with cmd/rnlpsim -system file.json. The wire schema is
+// a flattened view: the resource spec is represented by its declared read
+// groups (pairs of read/write shape declarations).
+
+type jsonSystem struct {
+	M           int         `json:"m"`
+	ClusterSize int         `json:"cluster_size"`
+	Resources   int         `json:"resources"`
+	Shapes      []jsonShape `json:"shapes,omitempty"`
+	Tasks       []jsonTask  `json:"tasks"`
+}
+
+type jsonShape struct {
+	Read  []core.ResourceID `json:"read,omitempty"`
+	Write []core.ResourceID `json:"write,omitempty"`
+}
+
+type jsonTask struct {
+	ID       int           `json:"id"`
+	Name     string        `json:"name,omitempty"`
+	Cluster  int           `json:"cluster"`
+	Period   int64         `json:"period"`
+	Deadline int64         `json:"deadline"`
+	Offset   int64         `json:"offset,omitempty"`
+	Jitter   int64         `json:"jitter,omitempty"`
+	ExecVar  float64       `json:"exec_var,omitempty"`
+	Priority int           `json:"priority,omitempty"`
+	Segments []jsonSegment `json:"segments"`
+}
+
+type jsonSegment struct {
+	Kind        string            `json:"kind"` // compute|request|upgrade|incremental
+	Duration    int64             `json:"duration,omitempty"`
+	Read        []core.ResourceID `json:"read,omitempty"`
+	Write       []core.ResourceID `json:"write,omitempty"`
+	ReadCS      int64             `json:"read_cs,omitempty"`
+	WriteCS     int64             `json:"write_cs,omitempty"`
+	UpgradeProb float64           `json:"upgrade_prob,omitempty"`
+	Steps       []jsonStep        `json:"steps,omitempty"`
+}
+
+type jsonStep struct {
+	Acquire []core.ResourceID `json:"acquire,omitempty"`
+	Hold    int64             `json:"hold"`
+}
+
+var kindNames = map[SegKind]string{
+	SegCompute:     "compute",
+	SegRequest:     "request",
+	SegUpgrade:     "upgrade",
+	SegIncremental: "incremental",
+}
+
+// WriteJSON serializes the system. The spec's full sharing relation cannot
+// be reconstructed from the Spec type (it stores the closure), so callers
+// should provide the declared shapes; WriteJSON derives a safe equivalent by
+// declaring every read-mode segment set plus every resource's closed read
+// set, which round-trips to a spec with the same closure.
+func (s *System) WriteJSON(w io.Writer) error {
+	js := jsonSystem{
+		M:           s.M,
+		ClusterSize: s.ClusterSize,
+		Resources:   s.Spec.NumResources(),
+	}
+	for a := 0; a < s.Spec.NumResources(); a++ {
+		rs := s.Spec.ReadSet(core.ResourceID(a))
+		if rs.Len() > 1 {
+			js.Shapes = append(js.Shapes, jsonShape{Read: rs.IDs()})
+		}
+	}
+	for _, t := range s.Tasks {
+		jt := jsonTask{
+			ID: t.ID, Name: t.Name, Cluster: t.Cluster,
+			Period: int64(t.Period), Deadline: int64(t.Deadline),
+			Offset: int64(t.Offset), Jitter: int64(t.Jitter),
+			ExecVar: t.ExecVar, Priority: t.Priority,
+		}
+		for _, seg := range t.Segments {
+			jseg := jsonSegment{
+				Kind:        kindNames[seg.Kind],
+				Duration:    int64(seg.Duration),
+				Read:        seg.Read,
+				Write:       seg.Write,
+				ReadCS:      int64(seg.ReadCS),
+				WriteCS:     int64(seg.WriteCS),
+				UpgradeProb: seg.UpgradeProb,
+			}
+			for _, st := range seg.Steps {
+				jseg.Steps = append(jseg.Steps, jsonStep{Acquire: st.Acquire, Hold: int64(st.Hold)})
+			}
+			jt.Segments = append(jt.Segments, jseg)
+		}
+		js.Tasks = append(js.Tasks, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// ReadJSON deserializes a system and validates it.
+func ReadJSON(r io.Reader) (*System, error) {
+	var js jsonSystem
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("taskmodel: decoding system: %w", err)
+	}
+	sb := core.NewSpecBuilder(js.Resources)
+	for _, sh := range js.Shapes {
+		if err := sb.DeclareRequest(sh.Read, sh.Write); err != nil {
+			return nil, fmt.Errorf("taskmodel: shape: %w", err)
+		}
+	}
+	sys := &System{M: js.M, ClusterSize: js.ClusterSize}
+	kinds := map[string]SegKind{}
+	for k, v := range kindNames {
+		kinds[v] = k
+	}
+	for _, jt := range js.Tasks {
+		t := &Task{
+			ID: jt.ID, Name: jt.Name, Cluster: jt.Cluster,
+			Period: simTime(jt.Period), Deadline: simTime(jt.Deadline),
+			Offset: simTime(jt.Offset), Jitter: simTime(jt.Jitter),
+			ExecVar: jt.ExecVar, Priority: jt.Priority,
+		}
+		for si, jseg := range jt.Segments {
+			kind, ok := kinds[jseg.Kind]
+			if !ok {
+				return nil, fmt.Errorf("taskmodel: task %d segment %d: unknown kind %q", jt.ID, si, jseg.Kind)
+			}
+			seg := Segment{
+				Kind: kind, Duration: simTime(jseg.Duration),
+				Read: jseg.Read, Write: jseg.Write,
+				ReadCS: simTime(jseg.ReadCS), WriteCS: simTime(jseg.WriteCS),
+				UpgradeProb: jseg.UpgradeProb,
+			}
+			for _, st := range jseg.Steps {
+				seg.Steps = append(seg.Steps, IncStep{Acquire: st.Acquire, Hold: simTime(st.Hold)})
+			}
+			// Requests must be declared so expansion covers them.
+			if kind != SegCompute {
+				if err := sb.DeclareRequest(seg.Read, seg.Write); err != nil {
+					return nil, fmt.Errorf("taskmodel: task %d segment %d: %w", jt.ID, si, err)
+				}
+			}
+			t.Segments = append(t.Segments, seg)
+		}
+		sys.Tasks = append(sys.Tasks, t)
+	}
+	sys.Spec = sb.Build()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func simTime(v int64) simtime.Time { return simtime.Time(v) }

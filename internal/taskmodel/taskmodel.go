@@ -1,0 +1,282 @@
+// Package taskmodel describes sporadic task systems (Sec. 2 of the paper):
+// m processors grouped into clusters of size c, and n sporadic tasks, each
+// releasing a sequence of jobs with a minimum separation (period), a relative
+// deadline, and a program of execution segments that may issue resource
+// requests to a locking protocol.
+package taskmodel
+
+import (
+	"fmt"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/simtime"
+)
+
+// SegKind classifies a program segment of a job.
+type SegKind int
+
+const (
+	// SegCompute executes for Duration ticks without holding resources.
+	SegCompute SegKind = iota
+	// SegRequest issues one resource request (read, write, or mixed —
+	// Sec. 3.5) and executes a critical section of Duration ticks once
+	// satisfied.
+	SegRequest
+	// SegUpgrade issues an upgradeable request (Sec. 3.6): an optimistic
+	// read segment of ReadCS ticks, then — with probability UpgradeProb,
+	// decided per job — a write segment of WriteCS ticks.
+	SegUpgrade
+	// SegIncremental issues an incremental request (Sec. 3.7) over the full
+	// Read/Write sets and then walks Steps: each step acquires an additional
+	// subset and computes inside the critical section for Hold ticks. All
+	// resources are released when the last step finishes.
+	SegIncremental
+)
+
+func (k SegKind) String() string {
+	switch k {
+	case SegCompute:
+		return "compute"
+	case SegRequest:
+		return "request"
+	case SegUpgrade:
+		return "upgrade"
+	case SegIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("SegKind(%d)", int(k))
+	}
+}
+
+// IncStep is one step of an incremental critical section.
+type IncStep struct {
+	Acquire []core.ResourceID // additional resources to acquire (may be empty)
+	Hold    simtime.Time      // in-CS computation after the grant
+}
+
+// Segment is one step of a job's program.
+type Segment struct {
+	Kind     SegKind
+	Duration simtime.Time // compute time (SegCompute) or CS length (SegRequest)
+
+	Read  []core.ResourceID // resources read (SegRequest/SegIncremental)
+	Write []core.ResourceID // resources written (SegRequest/SegIncremental)
+
+	// SegUpgrade fields.
+	ReadCS      simtime.Time
+	WriteCS     simtime.Time
+	UpgradeProb float64
+
+	// SegIncremental fields.
+	Steps []IncStep
+}
+
+// CSLength returns the total critical-section time of the segment (0 for
+// compute segments). For upgrade segments it is the worst case: read segment
+// plus write segment.
+func (s Segment) CSLength() simtime.Time {
+	switch s.Kind {
+	case SegRequest:
+		return s.Duration
+	case SegUpgrade:
+		return s.ReadCS + s.WriteCS
+	case SegIncremental:
+		var sum simtime.Time
+		for _, st := range s.Steps {
+			sum += st.Hold
+		}
+		return sum
+	default:
+		return 0
+	}
+}
+
+// IsWrite reports whether the segment's request is a write request (any
+// write access, including mixed; upgrades count as writes — their blocking
+// bound is a writer's).
+func (s Segment) IsWrite() bool {
+	switch s.Kind {
+	case SegUpgrade:
+		return true
+	case SegRequest, SegIncremental:
+		return len(s.Write) > 0
+	default:
+		return false
+	}
+}
+
+// Task is one sporadic task T_i.
+type Task struct {
+	ID      int
+	Name    string
+	Cluster int
+
+	Period   simtime.Time // minimum job separation p_i
+	Deadline simtime.Time // relative deadline d_i
+	Offset   simtime.Time // release of the first job
+
+	// Jitter is the maximum extra sporadic delay added to each release
+	// separation; the simulator draws it uniformly from [0, Jitter].
+	Jitter simtime.Time
+
+	// ExecVar is the per-job execution-time variation fraction in [0, 1):
+	// each job's compute and critical-section durations are scaled by a
+	// factor drawn uniformly from [1-ExecVar, 1]. Segment durations remain
+	// the WORST case, so all blocking bounds and schedulability analyses
+	// stay valid; the simulator merely exercises earlier completions and
+	// different interleavings (as real systems do).
+	ExecVar float64
+
+	// Priority is the task's fixed priority for FP scheduling (lower value =
+	// higher priority). Ignored under EDF.
+	Priority int
+
+	Segments []Segment
+}
+
+// WCET returns e_i: the sum of all segment durations, with upgrade segments
+// contributing their worst case (read + write CS).
+func (t *Task) WCET() simtime.Time {
+	var sum simtime.Time
+	for _, s := range t.Segments {
+		if s.Kind == SegCompute {
+			sum += s.Duration
+		} else {
+			sum += s.CSLength()
+		}
+	}
+	return sum
+}
+
+// Utilization returns e_i / p_i.
+func (t *Task) Utilization() float64 {
+	if t.Period == 0 {
+		return 0
+	}
+	return float64(t.WCET()) / float64(t.Period)
+}
+
+// NumRequests returns the number of resource requests per job.
+func (t *Task) NumRequests() int {
+	n := 0
+	for _, s := range t.Segments {
+		if s.Kind != SegCompute {
+			n++
+		}
+	}
+	return n
+}
+
+// System is a complete simulated platform: the resource spec, the tasks, and
+// the processor/cluster configuration. ClusterSize c divides M; c = 1 is
+// partitioned and c = M is global scheduling (Sec. 2).
+type System struct {
+	Spec        *core.Spec
+	Tasks       []*Task
+	M           int // processors
+	ClusterSize int // c
+}
+
+// Clusters returns m/c.
+func (s *System) Clusters() int { return s.M / s.ClusterSize }
+
+// Validate checks structural consistency of the system.
+func (s *System) Validate() error {
+	if s.M <= 0 {
+		return fmt.Errorf("taskmodel: M = %d", s.M)
+	}
+	if s.ClusterSize <= 0 || s.M%s.ClusterSize != 0 {
+		return fmt.Errorf("taskmodel: cluster size %d does not divide M = %d", s.ClusterSize, s.M)
+	}
+	if s.Spec == nil {
+		return fmt.Errorf("taskmodel: nil resource spec")
+	}
+	q := s.Spec.NumResources()
+	for _, t := range s.Tasks {
+		if t.Period <= 0 {
+			return fmt.Errorf("taskmodel: task %d period %d", t.ID, t.Period)
+		}
+		if t.Deadline <= 0 {
+			return fmt.Errorf("taskmodel: task %d deadline %d", t.ID, t.Deadline)
+		}
+		if t.Cluster < 0 || t.Cluster >= s.Clusters() {
+			return fmt.Errorf("taskmodel: task %d cluster %d out of range [0,%d)", t.ID, t.Cluster, s.Clusters())
+		}
+		if t.ExecVar < 0 || t.ExecVar >= 1 {
+			return fmt.Errorf("taskmodel: task %d exec variation %f outside [0,1)", t.ID, t.ExecVar)
+		}
+		for si, seg := range t.Segments {
+			for _, id := range append(append([]core.ResourceID{}, seg.Read...), seg.Write...) {
+				if id < 0 || int(id) >= q {
+					return fmt.Errorf("taskmodel: task %d segment %d resource %d out of range", t.ID, si, id)
+				}
+			}
+			switch seg.Kind {
+			case SegCompute:
+				if seg.Duration < 0 {
+					return fmt.Errorf("taskmodel: task %d segment %d negative duration", t.ID, si)
+				}
+			case SegRequest:
+				if len(seg.Read)+len(seg.Write) == 0 {
+					return fmt.Errorf("taskmodel: task %d segment %d requests no resources", t.ID, si)
+				}
+			case SegUpgrade:
+				if len(seg.Read) == 0 {
+					return fmt.Errorf("taskmodel: task %d segment %d upgrade with no resources", t.ID, si)
+				}
+				if seg.UpgradeProb < 0 || seg.UpgradeProb > 1 {
+					return fmt.Errorf("taskmodel: task %d segment %d upgrade probability %f", t.ID, si, seg.UpgradeProb)
+				}
+			case SegIncremental:
+				if len(seg.Read)+len(seg.Write) == 0 {
+					return fmt.Errorf("taskmodel: task %d segment %d incremental with no resources", t.ID, si)
+				}
+				if len(seg.Steps) == 0 {
+					return fmt.Errorf("taskmodel: task %d segment %d incremental with no steps", t.ID, si)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Utilization returns the total system utilization Σ e_i/p_i.
+func (s *System) Utilization() float64 {
+	u := 0.0
+	for _, t := range s.Tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// CSBounds returns the longest read and write critical-section lengths
+// (L^r_max, L^w_max) over all tasks, the quantities the paper's blocking
+// bounds are stated in. Upgrade segments contribute ReadCS to L^r_max and
+// WriteCS to L^w_max (footnote 3: the read-only segment of an upgradeable
+// request is assumed to finish within L^r_max).
+func (s *System) CSBounds() (lr, lw simtime.Time) {
+	for _, t := range s.Tasks {
+		for _, seg := range t.Segments {
+			switch seg.Kind {
+			case SegRequest, SegIncremental:
+				if seg.IsWrite() {
+					if l := seg.CSLength(); l > lw {
+						lw = l
+					}
+				} else {
+					if l := seg.CSLength(); l > lr {
+						lr = l
+					}
+				}
+			case SegUpgrade:
+				if seg.ReadCS > lr {
+					lr = seg.ReadCS
+				}
+				if seg.WriteCS > lw {
+					lw = seg.WriteCS
+				}
+			}
+		}
+	}
+	return lr, lw
+}

@@ -1,0 +1,191 @@
+package taskmodel
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+func validSystem() *System {
+	return &System{
+		Spec:        core.NewSpecBuilder(3).Build(),
+		M:           4,
+		ClusterSize: 2,
+		Tasks: []*Task{{
+			ID: 0, Period: 100, Deadline: 100, Cluster: 1,
+			Segments: []Segment{
+				{Kind: SegCompute, Duration: 10},
+				{Kind: SegRequest, Read: []core.ResourceID{0}, Duration: 5},
+				{Kind: SegCompute, Duration: 5},
+			},
+		}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	s := validSystem()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clusters() != 2 {
+		t.Errorf("clusters = %d", s.Clusters())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*System)
+	}{
+		{"zero M", func(s *System) { s.M = 0 }},
+		{"bad cluster size", func(s *System) { s.ClusterSize = 3 }},
+		{"nil spec", func(s *System) { s.Spec = nil }},
+		{"zero period", func(s *System) { s.Tasks[0].Period = 0 }},
+		{"zero deadline", func(s *System) { s.Tasks[0].Deadline = 0 }},
+		{"bad cluster", func(s *System) { s.Tasks[0].Cluster = 7 }},
+		{"bad resource", func(s *System) { s.Tasks[0].Segments[1].Read = []core.ResourceID{9} }},
+		{"empty request", func(s *System) {
+			s.Tasks[0].Segments[1].Read = nil
+		}},
+		{"negative compute", func(s *System) { s.Tasks[0].Segments[0].Duration = -1 }},
+		{"upgrade no resources", func(s *System) {
+			s.Tasks[0].Segments[1] = Segment{Kind: SegUpgrade}
+		}},
+		{"upgrade bad prob", func(s *System) {
+			s.Tasks[0].Segments[1] = Segment{Kind: SegUpgrade, Read: []core.ResourceID{0}, UpgradeProb: 2}
+		}},
+		{"incremental no steps", func(s *System) {
+			s.Tasks[0].Segments[1] = Segment{Kind: SegIncremental, Write: []core.ResourceID{0}}
+		}},
+	}
+	for _, c := range cases {
+		s := validSystem()
+		c.mod(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestWCETAndUtilization(t *testing.T) {
+	s := validSystem()
+	tk := s.Tasks[0]
+	if got := tk.WCET(); got != 20 {
+		t.Errorf("WCET = %d, want 20", got)
+	}
+	if got := tk.Utilization(); got != 0.2 {
+		t.Errorf("U = %f, want 0.2", got)
+	}
+	if got := tk.NumRequests(); got != 1 {
+		t.Errorf("requests = %d", got)
+	}
+	if got := s.Utilization(); got != 0.2 {
+		t.Errorf("system U = %f", got)
+	}
+}
+
+func TestCSBounds(t *testing.T) {
+	s := validSystem()
+	s.Tasks[0].Segments = append(s.Tasks[0].Segments,
+		Segment{Kind: SegRequest, Write: []core.ResourceID{1}, Duration: 9},
+		Segment{Kind: SegUpgrade, Read: []core.ResourceID{2}, ReadCS: 7, WriteCS: 3, UpgradeProb: 0.5},
+		Segment{Kind: SegIncremental, Write: []core.ResourceID{1, 2},
+			Steps: []IncStep{{Acquire: []core.ResourceID{1}, Hold: 4}, {Acquire: []core.ResourceID{2}, Hold: 8}}},
+	)
+	lr, lw := s.CSBounds()
+	if lr != 7 { // max(read request 5, upgrade read 7)
+		t.Errorf("Lr = %d, want 7", lr)
+	}
+	if lw != 12 { // max(write 9, upgrade write 3, incremental 4+8)
+		t.Errorf("Lw = %d, want 12", lw)
+	}
+}
+
+func TestSegmentHelpers(t *testing.T) {
+	up := Segment{Kind: SegUpgrade, Read: []core.ResourceID{0}, ReadCS: 3, WriteCS: 2}
+	if up.CSLength() != 5 || !up.IsWrite() {
+		t.Errorf("upgrade: cs=%d write=%v", up.CSLength(), up.IsWrite())
+	}
+	rd := Segment{Kind: SegRequest, Read: []core.ResourceID{0}, Duration: 4}
+	if rd.CSLength() != 4 || rd.IsWrite() {
+		t.Errorf("read: cs=%d write=%v", rd.CSLength(), rd.IsWrite())
+	}
+	cp := Segment{Kind: SegCompute, Duration: 4}
+	if cp.CSLength() != 0 || cp.IsWrite() {
+		t.Errorf("compute: cs=%d write=%v", cp.CSLength(), cp.IsWrite())
+	}
+	if SegCompute.String() != "compute" || SegUpgrade.String() != "upgrade" {
+		t.Error("SegKind strings")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sb := core.NewSpecBuilder(4)
+	if err := sb.DeclareReadGroup(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	orig := &System{
+		Spec: sb.Build(), M: 4, ClusterSize: 2,
+		Tasks: []*Task{{
+			ID: 3, Name: "demo", Cluster: 1, Period: 1000, Deadline: 900,
+			Offset: 5, Jitter: 10, Priority: 2,
+			Segments: []Segment{
+				{Kind: SegCompute, Duration: 50},
+				{Kind: SegRequest, Read: []core.ResourceID{0, 1}, Duration: 10},
+				{Kind: SegRequest, Read: []core.ResourceID{2}, Write: []core.ResourceID{3}, Duration: 7},
+				{Kind: SegUpgrade, Read: []core.ResourceID{2}, ReadCS: 4, WriteCS: 2, UpgradeProb: 0.5},
+				{Kind: SegIncremental, Write: []core.ResourceID{2, 3},
+					Steps: []IncStep{{Acquire: []core.ResourceID{2}, Hold: 3}, {Acquire: []core.ResourceID{3}, Hold: 3}}},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != 4 || back.ClusterSize != 2 || len(back.Tasks) != 1 {
+		t.Fatalf("structure lost: %+v", back)
+	}
+	bt := back.Tasks[0]
+	ot := orig.Tasks[0]
+	if bt.ID != ot.ID || bt.Name != ot.Name || bt.Period != ot.Period ||
+		bt.Deadline != ot.Deadline || bt.Offset != ot.Offset ||
+		bt.Jitter != ot.Jitter || bt.Priority != ot.Priority {
+		t.Fatalf("task fields lost: %+v", bt)
+	}
+	if len(bt.Segments) != len(ot.Segments) {
+		t.Fatalf("segments lost: %d", len(bt.Segments))
+	}
+	for i := range ot.Segments {
+		if bt.Segments[i].Kind != ot.Segments[i].Kind ||
+			bt.Segments[i].CSLength() != ot.Segments[i].CSLength() {
+			t.Errorf("segment %d mismatch", i)
+		}
+	}
+	// The sharing closure must survive: 0 ~ 1 declared.
+	if !back.Spec.ReadSet(0).Has(1) {
+		t.Error("read-sharing relation lost in round trip")
+	}
+	if lr, lw := back.CSBounds(); lr != 10 || lw != 7 {
+		t.Errorf("CS bounds after round trip: lr=%d lw=%d", lr, lw)
+	}
+}
+
+func TestReadJSONRejectsBad(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"m":2,"cluster_size":2,"resources":1,
+		"tasks":[{"id":0,"cluster":0,"period":10,"deadline":10,
+		"segments":[{"kind":"warp","duration":1}]}]}`)); err == nil {
+		t.Error("unknown segment kind accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"m":2,"cluster_size":3,"resources":1,"tasks":[]}`)); err == nil {
+		t.Error("invalid cluster size accepted")
+	}
+}

@@ -1,0 +1,249 @@
+// Package trace records protocol event streams and machine-checks them
+// against the paper's correctness properties. It operates purely on
+// core.Event values, so any integration of the RSM — the simulator, the
+// runtime locks, or user code — can be validated by attaching a Recorder as
+// the RSM's observer and running Check over the captured stream.
+//
+// Checked properties:
+//
+//	T1 Mutual exclusion: a write-mode lock excludes every other holder of
+//	   the resource; read-mode locks coexist.
+//	T2 Balanced lifecycle: satisfactions/grants only for issued, pending
+//	   requests; completions only for holders; no double transitions.
+//	T3 Writer FIFO: conflicting write requests are satisfied in issuance
+//	   (timestamp) order — the consequence of Rule W1 and Lemma 6.
+//	T4 Corollaries 1–2: once a request is entitled, no conflicting request
+//	   is satisfied before it.
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// Recorder captures an event stream. It implements core.Observer and is
+// safe for concurrent use (runtime-plane RSMs invoke it under their own
+// lock, but defensive locking keeps it safe anywhere).
+type Recorder struct {
+	mu     sync.Mutex
+	events []core.Event
+}
+
+// Observe implements core.Observer.
+func (r *Recorder) Observe(e core.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the captured stream.
+func (r *Recorder) Events() []core.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of captured events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Result of a Check run.
+type Result struct {
+	Events     int
+	Violations []string
+}
+
+// Ok reports whether no property was violated.
+func (r Result) Ok() bool { return len(r.Violations) == 0 }
+
+// reqShadow is the checker's model of one request.
+type reqShadow struct {
+	id        core.ReqID
+	kind      core.Kind
+	read      core.ResourceSet // read-mode lock set
+	write     core.ResourceSet // write-mode lock set
+	entitled  bool
+	satisfied bool
+	complete  bool
+	held      core.ResourceSet // currently granted (incremental-aware)
+}
+
+func (s *reqShadow) conflictsWith(o *reqShadow) bool {
+	all := core.Union(s.read, s.write)
+	oAll := core.Union(o.read, o.write)
+	return s.write.Intersects(oAll) || o.write.Intersects(all)
+}
+
+// Check replays the event stream through a shadow lock model and verifies
+// properties T1–T4, including the lifecycle epilogue (every satisfaction
+// eventually completed). For a stream truncated mid-execution — e.g. a
+// simulation cut at its horizon — use CheckTruncated. It does not need the
+// RSM or the Spec: events carry the mode sets.
+func Check(events []core.Event) Result {
+	return check(events, true)
+}
+
+// CheckTruncated is Check without the end-of-stream lifecycle epilogue, for
+// executions that were cut off with requests legitimately still in flight.
+func CheckTruncated(events []core.Event) Result {
+	return check(events, false)
+}
+
+func check(events []core.Event, epilogue bool) Result {
+	res := Result{Events: len(events)}
+	fail := func(format string, args ...any) {
+		if len(res.Violations) < 50 {
+			res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+	reqs := map[core.ReqID]*reqShadow{}
+	// writeHolder/readHolders per resource, reconstructed from grants.
+	type holders struct {
+		write core.ReqID
+		reads map[core.ReqID]bool
+	}
+	hold := map[core.ResourceID]*holders{}
+	h := func(a core.ResourceID) *holders {
+		if hold[a] == nil {
+			hold[a] = &holders{reads: map[core.ReqID]bool{}}
+		}
+		return hold[a]
+	}
+
+	lock := func(e core.Event, s *reqShadow, set core.ResourceSet) {
+		set.ForEach(func(a core.ResourceID) bool {
+			hh := h(a)
+			writeMode := s.write.Has(a)
+			if writeMode {
+				if hh.write != 0 {
+					fail("t=%d: T1: double write lock on %d (%d and %d)", e.T, a, hh.write, s.id)
+				}
+				if len(hh.reads) > 0 {
+					fail("t=%d: T1: write lock on %d with readers present", e.T, a)
+				}
+				hh.write = s.id
+			} else {
+				if hh.write != 0 {
+					fail("t=%d: T1: read lock on %d while write locked by %d", e.T, a, hh.write)
+				}
+				hh.reads[s.id] = true
+			}
+			s.held.Add(a)
+			return true
+		})
+	}
+
+	var order []core.ReqID // issuance order for T3
+	for _, e := range events {
+		s := reqs[e.Req]
+		switch e.Type {
+		case core.EvIssued:
+			if s != nil {
+				fail("t=%d: T2: request %d issued twice", e.T, e.Req)
+				continue
+			}
+			reqs[e.Req] = &reqShadow{
+				id: e.Req, kind: e.Kind,
+				read: e.Read.Clone(), write: e.Write.Clone(),
+			}
+			order = append(order, e.Req)
+
+		case core.EvEntitled:
+			if s == nil || s.satisfied || s.complete {
+				fail("t=%d: T2: entitlement of %d in invalid state", e.T, e.Req)
+				continue
+			}
+			s.entitled = true
+
+		case core.EvSatisfied:
+			if s == nil {
+				fail("t=%d: T2: satisfaction of unknown request %d", e.T, e.Req)
+				continue
+			}
+			if s.satisfied || s.complete {
+				fail("t=%d: T2: double satisfaction of %d", e.T, e.Req)
+				continue
+			}
+			// T4 (Cors. 1–2): no conflicting ENTITLED request may be
+			// overtaken.
+			for _, o := range reqs {
+				if o.entitled && !o.satisfied && !o.complete && o.id != s.id && s.conflictsWith(o) {
+					fail("t=%d: T4: %d satisfied while conflicting entitled %d waits", e.T, s.id, o.id)
+				}
+			}
+			// T3: conflicting writes satisfy in issuance order.
+			if s.kind == core.KindWrite {
+				for _, o := range reqs {
+					if o.kind == core.KindWrite && o.id < s.id && !o.satisfied && !o.complete && s.conflictsWith(o) {
+						fail("t=%d: T3: write %d satisfied before earlier conflicting write %d", e.T, s.id, o.id)
+					}
+				}
+			}
+			s.satisfied = true
+			// Lock exactly what the event reports granted (handles
+			// incremental partial holders that became satisfied).
+			grant := e.Resources.Clone()
+			grant.SubtractWith(s.held)
+			lock(e, s, grant)
+
+		case core.EvGranted:
+			if s == nil || s.complete {
+				fail("t=%d: T2: grant to invalid request %d", e.T, e.Req)
+				continue
+			}
+			grant := e.Resources.Clone()
+			grant.SubtractWith(s.held)
+			lock(e, s, grant)
+
+		case core.EvCompleted, core.EvReadSegmentDone:
+			if s == nil {
+				fail("t=%d: T2: completion of unknown request %d", e.T, e.Req)
+				continue
+			}
+			if s.complete {
+				fail("t=%d: T2: double completion of %d", e.T, e.Req)
+				continue
+			}
+			s.held.ForEach(func(a core.ResourceID) bool {
+				hh := h(a)
+				if hh.write == s.id {
+					hh.write = 0
+				}
+				delete(hh.reads, s.id)
+				return true
+			})
+			s.held = core.ResourceSet{}
+			s.complete = true
+
+		case core.EvCanceled:
+			if s == nil {
+				fail("t=%d: T2: cancellation of unknown request %d", e.T, e.Req)
+				continue
+			}
+			if !s.held.Empty() {
+				fail("t=%d: T2: canceled request %d still held resources", e.T, e.Req)
+			}
+			s.complete = true
+
+		case core.EvPlaceholdersRemoved:
+			// Bookkeeping only.
+		}
+	}
+	// T2 epilogue: every satisfied request must have completed.
+	if epilogue {
+		for _, s := range reqs {
+			if s.satisfied && !s.complete {
+				fail("end: T2: request %d satisfied but never completed", s.id)
+			}
+		}
+	}
+	_ = order
+	return res
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/simtime"
+	"github.com/rtsync/rwrnlp/internal/taskmodel"
+)
+
+// Fig2System reconstructs the paper's running example (Fig. 2): five tasks
+// on five processors (every pending job scheduled), three resources
+// ℓa=0, ℓb=1, ℓc=2 with {ℓa, ℓb} declared read shared, and one request per
+// task:
+//
+//	R1,1^w  write {ℓa, ℓb}      issued t=1, CS length 4  → CS [1,5)
+//	R2,1^w  write {ℓa, ℓb, ℓc}  issued t=2, CS length 2  → CS [8,10)
+//	R3,1^r  read  {ℓc}          issued t=3, CS length 5  → CS [3,8)
+//	R4,1^r  read  {ℓc}          issued t=4, CS length 2  → CS [4,6)
+//	R5,1^r  read  {ℓa, ℓb}      issued t=7, CS length 2  → CS [10,12)
+//
+// The paper's prose is internally inconsistent about two details, which this
+// reconstruction resolves from the majority of the text (see EXPERIMENTS.md
+// E1/E2): R4,1 reads ℓc (not ℓb, which is write locked until t=5), and
+// N5,1 = {ℓa, ℓb} (the Sec. 3.2 read-set example and the Sec. 3.5 mixing
+// example both say so; the "full example" paragraph's "ℓb and ℓc" and the
+// Fig. 2(b) omission of R5,1 from RQ(ℓa) are the typos).
+func Fig2System() *taskmodel.System {
+	sb := core.NewSpecBuilder(3)
+	if err := sb.DeclareReadGroup(0, 1); err != nil {
+		panic(err)
+	}
+	mk := func(id int, offset simtime.Time, read, write []core.ResourceID, cs simtime.Time) *taskmodel.Task {
+		return &taskmodel.Task{
+			ID: id, Cluster: 0,
+			Period: 1000, Deadline: 1000, Offset: offset,
+			Segments: []taskmodel.Segment{
+				{Kind: taskmodel.SegRequest, Read: read, Write: write, Duration: cs},
+			},
+		}
+	}
+	return &taskmodel.System{
+		Spec:        sb.Build(),
+		M:           5,
+		ClusterSize: 5,
+		Tasks: []*taskmodel.Task{
+			mk(1, 1, nil, []core.ResourceID{0, 1}, 4),
+			mk(2, 2, nil, []core.ResourceID{0, 1, 2}, 2),
+			mk(3, 3, []core.ResourceID{2}, nil, 5),
+			mk(4, 4, []core.ResourceID{2}, nil, 2),
+			mk(5, 7, []core.ResourceID{0, 1}, nil, 2),
+		},
+	}
+}
+
+// Fig3System reconstructs Fig. 3's s-oblivious vs. s-aware illustration:
+// three EDF jobs sharing one resource on two processors. J2 (tightest
+// deadline) holds the lock during [1,4); J1 suspends waiting during [2,4);
+// J3, reaching its request at t=3, waits during [3,5) — s-aware pi-blocked
+// for the whole wait but s-obliviously pi-blocked only during [4,5), when
+// fewer than two higher-priority jobs remain pending.
+func Fig3System() *taskmodel.System {
+	sb := core.NewSpecBuilder(1)
+	return &taskmodel.System{
+		Spec:        sb.Build(),
+		M:           2,
+		ClusterSize: 2,
+		Tasks: []*taskmodel.Task{
+			{ID: 0, Cluster: 0, Period: 1000, Deadline: 10, Offset: 0,
+				Segments: []taskmodel.Segment{
+					{Kind: taskmodel.SegCompute, Duration: 1},
+					{Kind: taskmodel.SegRequest, Write: []core.ResourceID{0}, Duration: 3},
+				}},
+			{ID: 1, Cluster: 0, Period: 1000, Deadline: 15, Offset: 0,
+				Segments: []taskmodel.Segment{
+					{Kind: taskmodel.SegCompute, Duration: 2},
+					{Kind: taskmodel.SegRequest, Write: []core.ResourceID{0}, Duration: 1},
+				}},
+			{ID: 2, Cluster: 0, Period: 1000, Deadline: 20, Offset: 0,
+				Segments: []taskmodel.Segment{
+					{Kind: taskmodel.SegCompute, Duration: 1},
+					{Kind: taskmodel.SegRequest, Write: []core.ResourceID{0}, Duration: 1},
+				}},
+		},
+	}
+}

@@ -1,0 +1,341 @@
+// Package workload generates random sporadic task systems in the style of
+// the schedulability studies published by the paper's research group
+// (Brandenburg & Anderson, RTAS'08/EMSOFT'11; Brandenburg's dissertation
+// ch. 7): task utilizations drawn from named distributions, log-uniform
+// periods, and resource-access patterns controlled by an access probability,
+// a read ratio, and a nesting (request-size) distribution.
+//
+// All generation is deterministic given the seed; experiments are
+// reproducible byte for byte.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/simtime"
+	"github.com/rtsync/rwrnlp/internal/taskmodel"
+)
+
+// UtilDist names a per-task utilization distribution (Brandenburg's
+// nomenclature).
+type UtilDist int
+
+const (
+	// UtilUniformLight: uniform over [0.001, 0.1].
+	UtilUniformLight UtilDist = iota
+	// UtilUniformMedium: uniform over [0.1, 0.4].
+	UtilUniformMedium
+	// UtilUniformHeavy: uniform over [0.5, 0.9].
+	UtilUniformHeavy
+	// UtilBimodal: 8/9 light (uniform [0.001,0.5]), 1/9 heavy (uniform
+	// [0.5,0.9]).
+	UtilBimodal
+)
+
+func (u UtilDist) String() string {
+	switch u {
+	case UtilUniformLight:
+		return "uniform-light"
+	case UtilUniformMedium:
+		return "uniform-medium"
+	case UtilUniformHeavy:
+		return "uniform-heavy"
+	case UtilBimodal:
+		return "bimodal"
+	default:
+		return fmt.Sprintf("UtilDist(%d)", int(u))
+	}
+}
+
+func (u UtilDist) draw(rng *rand.Rand) float64 {
+	switch u {
+	case UtilUniformLight:
+		return 0.001 + rng.Float64()*0.099
+	case UtilUniformMedium:
+		return 0.1 + rng.Float64()*0.3
+	case UtilUniformHeavy:
+		return 0.5 + rng.Float64()*0.4
+	default: // bimodal
+		if rng.Intn(9) == 0 {
+			return 0.5 + rng.Float64()*0.4
+		}
+		return 0.001 + rng.Float64()*0.499
+	}
+}
+
+// Params controls task-system generation.
+type Params struct {
+	M           int // processors
+	ClusterSize int // c (must divide M)
+
+	NumTasks  int     // n; if 0, tasks are added until TotalUtil is reached
+	TotalUtil float64 // target Σu_i (used when NumTasks == 0)
+
+	Util UtilDist
+
+	// Periods are drawn log-uniformly from [PeriodMin, PeriodMax]
+	// (defaults 10ms, 100ms in nanoseconds). Implicit deadlines.
+	PeriodMin, PeriodMax simtime.Time
+
+	// Resources & sharing.
+	NumResources int
+	// AccessProb is the probability that a task accesses resources at all.
+	AccessProb float64
+	// ReqPerJob is the maximum number of requests per job (≥1 drawn
+	// uniformly) for resource-using tasks.
+	ReqPerJob int
+	// NestedProb is the probability that a request needs a second (and with
+	// NestedProb², a third) resource — fine-grained nesting.
+	NestedProb float64
+	// ReadRatio is the fraction of requests that are read-only.
+	ReadRatio float64
+	// MixedProb is the probability that a write request also reads an extra
+	// resource (Sec. 3.5 mixing). Zero keeps Assumption 1.
+	MixedProb float64
+	// CSMin/CSMax bound critical-section lengths (uniform).
+	CSMin, CSMax simtime.Time
+	// WriteCSScale scales write critical sections relative to reads
+	// (default 1.0). Reader/writer locking's canonical motivation is long,
+	// frequent reads with short, rare writes; set e.g. 0.25 to model it.
+	WriteCSScale float64
+	// ExecVar is the per-job execution-time variation fraction in [0, 1)
+	// applied to every generated task (see taskmodel.Task.ExecVar).
+	ExecVar float64
+	// BalancedClusters assigns tasks to clusters worst-fit-decreasing by
+	// utilization instead of randomly — the sensible choice for partitioned
+	// and clustered configurations (random assignment overloads clusters
+	// long before the analysis-level capacity is reached).
+	BalancedClusters bool
+	// UpgradeProb: probability that a read request is issued as an
+	// upgradeable request instead (Sec. 3.6).
+	UpgradeProb float64
+	// IncrementalProb: probability that a multi-resource request is issued
+	// incrementally (Sec. 3.7).
+	IncrementalProb float64
+}
+
+// Defaults fills zero fields with the study defaults.
+func (p Params) Defaults() Params {
+	if p.M == 0 {
+		p.M = 4
+	}
+	if p.ClusterSize == 0 {
+		p.ClusterSize = p.M
+	}
+	if p.PeriodMin == 0 {
+		p.PeriodMin = 10_000_000 // 10ms
+	}
+	if p.PeriodMax == 0 {
+		p.PeriodMax = 100_000_000 // 100ms
+	}
+	if p.NumResources == 0 {
+		p.NumResources = 8
+	}
+	if p.AccessProb == 0 {
+		p.AccessProb = 0.8
+	}
+	if p.ReqPerJob == 0 {
+		p.ReqPerJob = 2
+	}
+	if p.CSMin == 0 {
+		p.CSMin = 10_000 // 10µs
+	}
+	if p.CSMax == 0 {
+		p.CSMax = 100_000 // 100µs
+	}
+	if p.WriteCSScale == 0 {
+		p.WriteCSScale = 1.0
+	}
+	return p
+}
+
+// Generate builds a random task system. The returned system's Spec declares
+// every generated request shape, as the protocol requires (a-priori
+// knowledge of potential requests, Sec. 3.7).
+func Generate(rng *rand.Rand, p Params) *taskmodel.System {
+	p = p.Defaults()
+	sys := &taskmodel.System{M: p.M, ClusterSize: p.ClusterSize}
+	sb := core.NewSpecBuilder(p.NumResources)
+
+	addTask := func(i int) {
+		u := p.Util.draw(rng)
+		period := logUniform(rng, p.PeriodMin, p.PeriodMax)
+		wcet := simtime.Time(float64(period) * u)
+		if wcet < 1 {
+			wcet = 1
+		}
+		t := &taskmodel.Task{
+			ID:       i,
+			Name:     fmt.Sprintf("T%d", i),
+			Cluster:  rng.Intn(p.M / p.ClusterSize),
+			Period:   period,
+			Deadline: period,
+			Offset:   simtime.Time(rng.Int63n(int64(period))),
+			Jitter:   period / 10,
+			ExecVar:  p.ExecVar,
+			Priority: i,
+		}
+		var segs []taskmodel.Segment
+		budget := wcet
+		if rng.Float64() < p.AccessProb && p.NumResources > 0 {
+			nreq := rng.Intn(p.ReqPerJob) + 1
+			for k := 0; k < nreq && budget > 0; k++ {
+				seg := genRequest(rng, p, sb)
+				cs := seg.CSLength()
+				if cs > budget {
+					break
+				}
+				budget -= cs
+				// Interleave compute.
+				if budget > 0 {
+					pre := simtime.Time(rng.Int63n(int64(budget) + 1))
+					if pre > 0 {
+						segs = append(segs, taskmodel.Segment{Kind: taskmodel.SegCompute, Duration: pre})
+						budget -= pre
+					}
+				}
+				segs = append(segs, seg)
+			}
+		}
+		if budget > 0 {
+			segs = append(segs, taskmodel.Segment{Kind: taskmodel.SegCompute, Duration: budget})
+		}
+		t.Segments = segs
+		sys.Tasks = append(sys.Tasks, t)
+	}
+
+	if p.NumTasks > 0 {
+		for i := 0; i < p.NumTasks; i++ {
+			addTask(i)
+		}
+	} else {
+		i := 0
+		for sys.Utilization() < p.TotalUtil && i < 10_000 {
+			addTask(i)
+			i++
+		}
+	}
+	if p.BalancedClusters && p.ClusterSize < p.M {
+		assignBalanced(sys, p)
+	}
+	sys.Spec = sb.Build()
+	return sys
+}
+
+// assignBalanced re-assigns tasks to clusters worst-fit-decreasing by
+// utilization: heaviest task first, each into the currently least-loaded
+// cluster.
+func assignBalanced(sys *taskmodel.System, p Params) {
+	nclust := p.M / p.ClusterSize
+	order := make([]*taskmodel.Task, len(sys.Tasks))
+	copy(order, sys.Tasks)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].Utilization() > order[j-1].Utilization(); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	load := make([]float64, nclust)
+	for _, t := range order {
+		best := 0
+		for c := 1; c < nclust; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		t.Cluster = best
+		load[best] += t.Utilization()
+	}
+}
+
+// genRequest draws one request segment and declares its shape in the spec.
+func genRequest(rng *rand.Rand, p Params, sb *core.SpecBuilder) taskmodel.Segment {
+	q := p.NumResources
+	n := 1
+	if rng.Float64() < p.NestedProb {
+		n++
+		if rng.Float64() < p.NestedProb {
+			n++
+		}
+	}
+	if n > q {
+		n = q
+	}
+	res := pickDistinct(rng, q, n)
+	cs := p.CSMin
+	if p.CSMax > p.CSMin {
+		cs += simtime.Time(rng.Int63n(int64(p.CSMax - p.CSMin + 1)))
+	}
+
+	wcs := simtime.Time(float64(cs) * p.WriteCSScale)
+	if wcs < 1 {
+		wcs = 1
+	}
+	isRead := rng.Float64() < p.ReadRatio
+	switch {
+	case isRead && rng.Float64() < p.UpgradeProb:
+		must(sb.DeclareRequest(res, nil))
+		must(sb.DeclareRequest(nil, res)) // the write half
+		return taskmodel.Segment{
+			Kind:        taskmodel.SegUpgrade,
+			Read:        res,
+			ReadCS:      cs,
+			WriteCS:     wcs / 2,
+			UpgradeProb: 0.5,
+		}
+	case isRead:
+		must(sb.DeclareRequest(res, nil))
+		return taskmodel.Segment{Kind: taskmodel.SegRequest, Read: res, Duration: cs}
+	default:
+		var read []core.ResourceID
+		write := res
+		if p.MixedProb > 0 && rng.Float64() < p.MixedProb && len(res) > 1 {
+			read = res[:1]
+			write = res[1:]
+		}
+		must(sb.DeclareRequest(read, write))
+		if len(write) > 1 && rng.Float64() < p.IncrementalProb {
+			// Split acquisition into two steps.
+			k := len(write) / 2
+			if k == 0 {
+				k = 1
+			}
+			first := append(append([]core.ResourceID{}, read...), write[:k]...)
+			return taskmodel.Segment{
+				Kind:  taskmodel.SegIncremental,
+				Read:  read,
+				Write: write,
+				Steps: []taskmodel.IncStep{
+					{Acquire: first, Hold: wcs / 2},
+					{Acquire: write[k:], Hold: wcs - wcs/2},
+				},
+			}
+		}
+		return taskmodel.Segment{Kind: taskmodel.SegRequest, Read: read, Write: write, Duration: wcs}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func pickDistinct(rng *rand.Rand, q, n int) []core.ResourceID {
+	perm := rng.Perm(q)
+	out := make([]core.ResourceID, n)
+	for i := 0; i < n; i++ {
+		out[i] = core.ResourceID(perm[i])
+	}
+	return out
+}
+
+func logUniform(rng *rand.Rand, lo, hi simtime.Time) simtime.Time {
+	if hi <= lo {
+		return lo
+	}
+	l, h := math.Log(float64(lo)), math.Log(float64(hi))
+	return simtime.Time(math.Exp(l + rng.Float64()*(h-l)))
+}

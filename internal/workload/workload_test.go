@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rtsync/rwrnlp/internal/taskmodel"
+)
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	p := Params{
+		M: 4, NumTasks: 10, Util: UtilUniformMedium,
+		NumResources: 6, AccessProb: 0.9, NestedProb: 0.5,
+		ReadRatio: 0.5, MixedProb: 0.3, UpgradeProb: 0.3, IncrementalProb: 0.3,
+	}
+	sys1 := Generate(rand.New(rand.NewSource(42)), p)
+	if err := sys1.Validate(); err != nil {
+		t.Fatalf("generated system invalid: %v", err)
+	}
+	if len(sys1.Tasks) != 10 {
+		t.Fatalf("tasks = %d", len(sys1.Tasks))
+	}
+	sys2 := Generate(rand.New(rand.NewSource(42)), p)
+	if len(sys2.Tasks) != len(sys1.Tasks) {
+		t.Fatal("nondeterministic task count")
+	}
+	for i := range sys1.Tasks {
+		a, b := sys1.Tasks[i], sys2.Tasks[i]
+		if a.Period != b.Period || a.WCET() != b.WCET() || len(a.Segments) != len(b.Segments) {
+			t.Fatalf("task %d differs across same-seed generations", i)
+		}
+	}
+}
+
+func TestGenerateByUtilization(t *testing.T) {
+	p := Params{M: 8, TotalUtil: 3.0, Util: UtilUniformLight, NumResources: 4}
+	sys := Generate(rand.New(rand.NewSource(1)), p)
+	if u := sys.Utilization(); u < 3.0 || u > 3.2 {
+		t.Errorf("utilization %f, want ≈3.0", u)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []UtilDist{UtilUniformLight, UtilUniformMedium, UtilUniformHeavy, UtilBimodal} {
+		for i := 0; i < 200; i++ {
+			u := d.draw(rng)
+			if u <= 0 || u > 0.9 {
+				t.Fatalf("%v drew %f", d, u)
+			}
+		}
+		if d.String() == "" {
+			t.Error("empty dist name")
+		}
+	}
+}
+
+func TestPeriodsWithinRange(t *testing.T) {
+	p := Params{M: 2, NumTasks: 50, Util: UtilUniformLight, NumResources: 2}
+	sys := Generate(rand.New(rand.NewSource(3)), p)
+	pp := p.Defaults()
+	for _, tk := range sys.Tasks {
+		if tk.Period < pp.PeriodMin || tk.Period > pp.PeriodMax {
+			t.Errorf("period %d outside [%d, %d]", tk.Period, pp.PeriodMin, pp.PeriodMax)
+		}
+		if tk.Deadline != tk.Period {
+			t.Error("deadlines not implicit")
+		}
+	}
+}
+
+func TestCSLengthsWithinRange(t *testing.T) {
+	p := Params{
+		M: 4, NumTasks: 40, Util: UtilUniformMedium, NumResources: 4,
+		AccessProb: 1, CSMin: 100, CSMax: 200, NestedProb: 0.5, ReadRatio: 0.5,
+	}
+	sys := Generate(rand.New(rand.NewSource(9)), p)
+	nreq := 0
+	for _, tk := range sys.Tasks {
+		for _, seg := range tk.Segments {
+			if seg.Kind == taskmodel.SegRequest {
+				nreq++
+				if seg.Duration < 100 || seg.Duration > 200 {
+					t.Errorf("CS length %d outside [100, 200]", seg.Duration)
+				}
+			}
+		}
+	}
+	if nreq == 0 {
+		t.Fatal("no requests generated with AccessProb=1")
+	}
+}
+
+func TestBalancedClusters(t *testing.T) {
+	p := Params{
+		M: 8, ClusterSize: 2, NumTasks: 40, Util: UtilUniformMedium,
+		NumResources: 4, BalancedClusters: true,
+	}
+	sys := Generate(rand.New(rand.NewSource(5)), p)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	load := make([]float64, sys.Clusters())
+	for _, tk := range sys.Tasks {
+		load[tk.Cluster] += tk.Utilization()
+	}
+	min, max := load[0], load[0]
+	for _, l := range load {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// WFD keeps the spread within one heaviest-task utilization (0.4).
+	if max-min > 0.4 {
+		t.Errorf("cluster load spread %.3f too wide: %v", max-min, load)
+	}
+
+	// Random assignment (control) is typically worse; just ensure the flag
+	// changes assignments at all.
+	sys2 := Generate(rand.New(rand.NewSource(5)), Params{
+		M: 8, ClusterSize: 2, NumTasks: 40, Util: UtilUniformMedium,
+		NumResources: 4,
+	})
+	same := true
+	for i := range sys.Tasks {
+		if sys.Tasks[i].Cluster != sys2.Tasks[i].Cluster {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("balanced assignment identical to random")
+	}
+}

@@ -1,0 +1,690 @@
+package rwrnlp
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestProtocol(t testing.TB, q int, opt Options, readGroups ...[]ResourceID) *Protocol {
+	t.Helper()
+	b := NewSpecBuilder(q)
+	for _, g := range readGroups {
+		if err := b.DeclareRequest(g, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(b.Build(), opt)
+}
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	p := newTestProtocol(t, 3, Options{}, []ResourceID{0, 1})
+	tok, err := p.Read(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok2, err := p.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(tok); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(tok2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Acquire(nil, nil); err == nil {
+		t.Error("empty acquire accepted")
+	}
+}
+
+// Writers on the same resources are mutually exclusive; readers share.
+// Exercises the full protocol under the race detector.
+func TestConcurrentMutualExclusion(t *testing.T) {
+	for _, opt := range []Options{{}, {Placeholders: true}, {Spin: true}, {Placeholders: true, Spin: true}} {
+		opt := opt
+		p := newTestProtocol(t, 4, opt, []ResourceID{0, 1}, []ResourceID{2, 3})
+		data := make([]int64, 4)
+		var wg sync.WaitGroup
+		var inWrite [4]atomic.Int32
+
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				res := []ResourceID{ResourceID(g % 4), ResourceID((g + 1) % 4)}
+				for i := 0; i < 400; i++ {
+					if i%4 == 0 {
+						tok, err := p.Write(res...)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						for _, r := range res {
+							if inWrite[r].Add(1) != 1 {
+								t.Errorf("write overlap on %d", r)
+							}
+							data[r]++
+						}
+						for _, r := range res {
+							inWrite[r].Add(-1)
+						}
+						if err := p.Release(tok); err != nil {
+							t.Error(err)
+							return
+						}
+					} else {
+						tok, err := p.Read(res[0])
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if inWrite[res[0]].Load() != 0 {
+							t.Errorf("reader overlapped writer on %d", res[0])
+						}
+						_ = data[res[0]]
+						if err := p.Release(tok); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+// Two readers hold overlapping resources concurrently.
+func TestReaderSharing(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{}, []ResourceID{0, 1})
+	tok1, _ := p.Read(0, 1)
+	done := make(chan struct{})
+	go func() {
+		tok2, err := p.Read(0)
+		if err != nil {
+			t.Error(err)
+		}
+		p.Release(tok2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second reader blocked")
+	}
+	p.Release(tok1)
+}
+
+// A waiting writer blocks later readers (phase-fairness) and proceeds after
+// current readers drain.
+func TestPhaseFairness(t *testing.T) {
+	p := newTestProtocol(t, 1, Options{})
+	r1, _ := p.Read(0)
+
+	wIn := make(chan struct{})
+	go func() {
+		w, err := p.Write(0)
+		if err != nil {
+			t.Error(err)
+		}
+		close(wIn)
+		time.Sleep(50 * time.Millisecond)
+		p.Release(w)
+	}()
+	time.Sleep(50 * time.Millisecond) // writer is now entitled
+
+	lateR := make(chan struct{})
+	go func() {
+		r, err := p.Read(0)
+		if err != nil {
+			t.Error(err)
+		}
+		close(lateR)
+		p.Release(r)
+	}()
+
+	select {
+	case <-lateR:
+		t.Fatal("late reader jumped an entitled writer")
+	case <-time.After(100 * time.Millisecond):
+	}
+	p.Release(r1) // writer enters
+	<-wIn
+	select {
+	case <-lateR: // after the write phase, the reader goes
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader starved")
+	}
+}
+
+// Deadlock freedom: goroutines acquiring multi-resource sets in opposite
+// orders (the classic deadlock scenario for two-phase locking) always make
+// progress because acquisition is atomic.
+func TestNoDeadlockOppositeOrders(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				var tok Token
+				var err error
+				if g%2 == 0 {
+					tok, err = p.Write(0, 1)
+				} else {
+					tok, err = p.Write(1, 0)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Release(tok); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: opposite-order writers did not finish")
+	}
+}
+
+func TestUpgradeableFlow(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{}, []ResourceID{0, 1})
+
+	// Uncontended: read phase, no upgrade needed.
+	u, err := p.AcquireUpgradeable(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Reading() {
+		t.Fatal("expected read phase")
+	}
+	if err := u.ReleaseRead(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.ReleaseRead(); err == nil {
+		t.Error("double ReleaseRead accepted")
+	}
+
+	// Upgrade path.
+	u2, err := p.AcquireUpgradeable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.Upgrade(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After everything, a plain write goes through (queues are clean).
+	tok, err := p.Write(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(tok)
+}
+
+// An upgrade must wait for concurrent readers of its resources, then win.
+func TestUpgradeWaitsForReaders(t *testing.T) {
+	p := newTestProtocol(t, 1, Options{})
+	r, _ := p.Read(0)
+	u, err := p.AcquireUpgradeable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Reading() {
+		t.Fatal("upgradeable read half should share with the reader")
+	}
+	upDone := make(chan struct{})
+	go func() {
+		if err := u.Upgrade(); err != nil {
+			t.Error(err)
+		}
+		close(upDone)
+	}()
+	select {
+	case <-upDone:
+		t.Fatal("upgrade completed while a reader held the resource")
+	case <-time.After(100 * time.Millisecond):
+	}
+	p.Release(r)
+	select {
+	case <-upDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("upgrade never completed")
+	}
+	u.Release()
+}
+
+func TestIncrementalFlow(t *testing.T) {
+	p := newTestProtocol(t, 3, Options{}, []ResourceID{0, 1, 2})
+
+	// Uncontended: Rule W1 satisfies the request immediately, so the WHOLE
+	// potential set is held at once.
+	easy, err := p.AcquireIncremental([]ResourceID{0}, []ResourceID{1, 2}, nil, []ResourceID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !easy.Holds(0, 1, 2) {
+		t.Fatal("immediately satisfied incremental request must hold its full set")
+	}
+	if err := easy.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Contended: a reader on 2 forces genuine incremental grants.
+	blocker, _ := p.Read(2)
+	inc, err := p.AcquireIncremental(
+		[]ResourceID{0}, []ResourceID{1, 2}, // potential: read 0, write 1,2
+		[]ResourceID{0}, []ResourceID{1}, // initially: read 0, write 1
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Holds(0, 1) {
+		t.Fatal("initial subset not held")
+	}
+	if inc.Holds(2) {
+		t.Fatal("read-locked resource granted for writing")
+	}
+	if err := p.Release(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Acquire(2); err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Holds(0, 1, 2) {
+		t.Fatal("full set not held after Acquire")
+	}
+	if err := inc.Acquire(99); err == nil {
+		t.Error("out-of-set acquire accepted")
+	}
+	if err := inc.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Incremental requests under contention: a reader holds a resource the
+// incremental writer wants later; the grant arrives when the reader leaves.
+func TestIncrementalContended(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{})
+	r, _ := p.Read(1)
+
+	inc, err := p.AcquireIncremental(nil, []ResourceID{0, 1}, nil, []ResourceID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Holds(0) || inc.Holds(1) {
+		t.Fatalf("holds: 0=%v 1=%v", inc.Holds(0), inc.Holds(1))
+	}
+	acq := make(chan struct{})
+	go func() {
+		if err := inc.Acquire(1); err != nil {
+			t.Error(err)
+		}
+		close(acq)
+	}()
+	select {
+	case <-acq:
+		t.Fatal("acquired a read-locked resource for writing")
+	case <-time.After(100 * time.Millisecond):
+	}
+	p.Release(r)
+	select {
+	case <-acq:
+	case <-time.After(2 * time.Second):
+		t.Fatal("incremental grant never arrived")
+	}
+	inc.Release()
+}
+
+// Stress: all request forms mixed across goroutines under the race
+// detector, in all option combinations.
+func TestStressAllForms(t *testing.T) {
+	p := newTestProtocol(t, 4, Options{Placeholders: true}, []ResourceID{0, 1}, []ResourceID{2, 3})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r0 := ResourceID(g % 4)
+			r1 := ResourceID((g + 2) % 4)
+			for i := 0; i < 200; i++ {
+				switch i % 5 {
+				case 0:
+					tok, err := p.Write(r0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					p.Release(tok)
+				case 1:
+					tok, err := p.Read(r0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					p.Release(tok)
+				case 2:
+					tok, err := p.Acquire([]ResourceID{r0}, []ResourceID{r1}) // mixed
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					p.Release(tok)
+				case 3:
+					u, err := p.AcquireUpgradeable(r0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if u.Reading() {
+						if i%2 == 0 {
+							if err := u.Upgrade(); err != nil {
+								t.Error(err)
+								return
+							}
+							u.Release()
+						} else if err := u.ReleaseRead(); err != nil {
+							t.Error(err)
+							return
+						}
+					} else {
+						u.Release()
+					}
+				case 4:
+					inc, err := p.AcquireIncremental(nil, []ResourceID{r0, r1}, nil, []ResourceID{r0})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := inc.Acquire(r1); err != nil {
+						t.Error(err)
+						return
+					}
+					inc.Release()
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress test hung")
+	}
+	st := p.Stats()
+	if st.Completed == 0 {
+		t.Error("no completions recorded")
+	}
+}
+
+func TestAcquireContextTimeout(t *testing.T) {
+	p := newTestProtocol(t, 1, Options{})
+	hold, _ := p.Write(0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := p.AcquireContext(ctx, nil, []ResourceID{0})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The canceled request left no debris: release and re-acquire works,
+	// and readers that queued behind it are unblocked.
+	if err := p.Release(hold); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := p.AcquireContext(context.Background(), nil, []ResourceID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(tok)
+}
+
+func TestAcquireContextImmediate(t *testing.T) {
+	p := newTestProtocol(t, 1, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-canceled context: immediate satisfaction still wins
+	tok, err := p.AcquireContext(ctx, []ResourceID{0}, nil)
+	if err != nil {
+		t.Fatalf("uncontended acquisition failed under canceled ctx: %v", err)
+	}
+	p.Release(tok)
+}
+
+func TestAcquireContextCancelUnblocksOthers(t *testing.T) {
+	p := newTestProtocol(t, 1, Options{})
+	r1, _ := p.Read(0)
+
+	// A writer queues (entitled), then gets canceled; a reader queued
+	// behind the entitled writer must be satisfied after the cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	wErr := make(chan error, 1)
+	go func() {
+		_, err := p.AcquireContext(ctx, nil, []ResourceID{0})
+		wErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // writer is entitled now
+
+	rDone := make(chan struct{})
+	go func() {
+		tok, err := p.Read(0)
+		if err != nil {
+			t.Error(err)
+		}
+		close(rDone)
+		p.Release(tok)
+	}()
+	select {
+	case <-rDone:
+		t.Fatal("reader jumped the entitled writer")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	cancel()
+	if err := <-wErr; err != context.Canceled {
+		t.Fatalf("writer err = %v", err)
+	}
+	select {
+	case <-rDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader still blocked after writer cancellation")
+	}
+	p.Release(r1)
+}
+
+func TestAcquireContextStress(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{Placeholders: true})
+	var wg sync.WaitGroup
+	var acquired, timedOut atomic.Int64
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%3)*time.Millisecond)
+				tok, err := p.AcquireContext(ctx, nil, []ResourceID{ResourceID(g % 2), ResourceID((g + 1) % 2)})
+				if err == nil {
+					acquired.Add(1)
+					p.Release(tok)
+				} else {
+					timedOut.Add(1)
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if acquired.Load() == 0 {
+		t.Error("nothing acquired under context pressure")
+	}
+	// The protocol must be fully drained and reusable.
+	tok, err := p.Write(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(tok)
+}
+
+// SelfCheck mode audits every invocation; a healthy run never panics.
+func TestSelfCheckMode(t *testing.T) {
+	p := newTestProtocol(t, 3, Options{SelfCheck: true, Placeholders: true}, []ResourceID{0, 1})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if i%3 == 0 {
+					tok, err := p.Write(ResourceID(g % 3))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					p.Release(tok)
+				} else {
+					tok, err := p.Read(0, 1)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					p.Release(tok)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSnapshot(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{})
+	tok, _ := p.Write(0)
+	snap := p.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot covers %d resources", len(snap))
+	}
+	if snap[0].WriteHolder == 0 {
+		t.Error("write holder missing from snapshot")
+	}
+	if snap[1].WriteHolder != 0 || len(snap[1].ReadHolders) != 0 {
+		t.Error("unheld resource shows holders")
+	}
+	p.Release(tok)
+	snap = p.Snapshot()
+	if snap[0].WriteHolder != 0 {
+		t.Error("holder not cleared after release")
+	}
+}
+
+// Grand unification soak (skipped in -short): every request form under
+// concurrent load, with per-invocation invariant self-checks AND post-hoc
+// trace checking via the tracer hook, in all option combinations.
+func TestRuntimeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, opt := range []Options{
+		{SelfCheck: true},
+		{Placeholders: true, SelfCheck: true},
+		{Placeholders: true, Spin: true, SelfCheck: true},
+	} {
+		opt := opt
+		b := NewSpecBuilder(6)
+		if err := b.DeclareRequest([]ResourceID{0, 1, 2}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.DeclareRequest([]ResourceID{3, 4}, []ResourceID{5}); err != nil {
+			t.Fatal(err)
+		}
+		p := New(b.Build(), opt)
+
+		var wg sync.WaitGroup
+		for g := 0; g < 10; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r0 := ResourceID(g % 6)
+				r1 := ResourceID((g + 3) % 6)
+				for i := 0; i < 300; i++ {
+					switch i % 6 {
+					case 0:
+						tok, err := p.Write(r0, r1)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						p.Release(tok)
+					case 1:
+						tok, err := p.Read(0, 1, 2)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						p.Release(tok)
+					case 2:
+						tok, err := p.Acquire([]ResourceID{3, 4}, []ResourceID{5})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						p.Release(tok)
+					case 3:
+						u, err := p.AcquireUpgradeable(r0)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if u.Reading() {
+							if i%2 == 0 {
+								if err := u.Upgrade(); err != nil {
+									t.Error(err)
+									return
+								}
+								u.Release()
+							} else {
+								u.ReleaseRead()
+							}
+						} else {
+							u.Release()
+						}
+					case 4:
+						inc, err := p.AcquireIncremental(nil, []ResourceID{r0, r1}, nil, []ResourceID{r0})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if err := inc.Acquire(r1); err != nil {
+							t.Error(err)
+							return
+						}
+						inc.Release()
+					case 5:
+						ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%2)*time.Millisecond)
+						tok, err := p.AcquireContext(ctx, nil, []ResourceID{r0})
+						if err == nil {
+							p.Release(tok)
+						}
+						cancel()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,122 @@
+package rwrnlp
+
+import (
+	"errors"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// ErrNotReading is returned by Upgrade/ReleaseRead when the upgradeable
+// request is not in its optimistic read phase.
+var ErrNotReading = errors.New("rwrnlp: upgradeable request is not in its read phase")
+
+// Upgradeable is an in-flight upgradeable request (Sec. 3.6): the caller
+// optimistically reads under read locks and may then atomically queue-jump
+// to write access without re-contending from the back of the line — the
+// write half kept its original timestamp the whole time.
+//
+// Lifecycle:
+//
+//	u, _ := p.AcquireUpgradeable(rs...)
+//	if u.Reading() {
+//	    // read the data
+//	    if needWrite {
+//	        u.Upgrade()        // blocks; data may have changed — re-read!
+//	        // write the data
+//	        u.Release()
+//	    } else {
+//	        u.ReleaseRead()    // done, write half canceled
+//	    }
+//	} else {
+//	    // the write half won the race: full write access, no read segment
+//	    // write the data
+//	    u.Release()
+//	}
+type Upgradeable struct {
+	p       *Protocol
+	h       core.UpgradeHandle
+	reading bool
+}
+
+// AcquireUpgradeable blocks until the upgradeable request holds either its
+// read locks (the common case — check Reading) or, if the write half won the
+// race, its write locks.
+func (p *Protocol) AcquireUpgradeable(resources ...ResourceID) (*Upgradeable, error) {
+	p.mu.Lock()
+	h, err := p.rsm.IssueUpgradeable(p.tick(), resources, nil)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	u := &Upgradeable{p: p, h: h}
+	for {
+		switch p.rsm.UpgradePhase(h) {
+		case core.UpgradeReading:
+			u.reading = true
+			p.mu.Unlock()
+			return u, nil
+		case core.UpgradeWriting:
+			p.mu.Unlock()
+			return u, nil
+		}
+		// Neither half satisfied yet: wait for the read half (the write
+		// half's satisfaction cancels it, which also signals the waiter).
+		w := newWaiter()
+		p.waiters[h.ReadID] = w
+		p.mu.Unlock()
+		w.wait(p.opt.Spin)
+		p.mu.Lock()
+	}
+}
+
+// Reading reports whether the request is in its optimistic read phase.
+func (u *Upgradeable) Reading() bool { return u.reading }
+
+// Upgrade ends the read segment and blocks until write access is granted.
+// The resources may have been modified by other writers in between; the
+// caller must re-validate anything it read (Sec. 3.6). After Upgrade
+// returns, finish with Release.
+func (u *Upgradeable) Upgrade() error {
+	p := u.p
+	p.mu.Lock()
+	if !u.reading {
+		p.mu.Unlock()
+		return ErrNotReading
+	}
+	u.reading = false
+	if err := p.rsm.FinishRead(p.tick(), u.h, true); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	if p.rsm.UpgradePhase(u.h) == core.UpgradeWriting {
+		p.mu.Unlock()
+		return nil
+	}
+	w := newWaiter()
+	p.waiters[u.h.WriteID] = w
+	p.mu.Unlock()
+	w.wait(p.opt.Spin)
+	return nil
+}
+
+// ReleaseRead ends the read segment without upgrading: the write half is
+// canceled and the request is complete.
+func (u *Upgradeable) ReleaseRead() error {
+	p := u.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !u.reading {
+		return ErrNotReading
+	}
+	u.reading = false
+	return p.rsm.FinishRead(p.tick(), u.h, false)
+}
+
+// Release ends the write segment (after Upgrade, or when the write half won
+// the race at acquisition).
+func (u *Upgradeable) Release() error {
+	p := u.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rsm.Complete(p.tick(), u.h.WriteID)
+}
