@@ -2,9 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz experiments schedstudy examples fmt vet clean
+.PHONY: all build test test-short race cover bench fuzz experiments schedstudy examples fmt vet ci clean
 
 all: build vet test
+
+# What .github/workflows/ci.yml runs: full build/vet/test plus the race
+# detector on the concurrency-bearing packages.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/core ./internal/trace ./internal/obs .
 
 build:
 	$(GO) build ./...

@@ -467,6 +467,52 @@ func BenchmarkSTM(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// Observability overhead (PR 1 acceptance): the same uncontended read
+// round trip with metrics off and on. The no-observer path must stay within
+// noise of the seed; the observed path prices the full obs pipeline
+// (ProtocolObserver + wall-clock histograms).
+
+func benchAcquireReadLoop(b *testing.B, p *rwrnlp.Protocol) {
+	b.Helper()
+	var shared [4]int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rwrnlp.ResourceID(i % 4)
+		tok, err := p.Read(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = shared[r]
+		if err := p.Release(tok); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAcquireNoObserver: metrics disabled — the acquisition path's only
+// observability cost is a nil check.
+func BenchmarkAcquireNoObserver(b *testing.B) {
+	benchAcquireReadLoop(b, newBenchProtocol(b))
+}
+
+// BenchmarkAcquireObserved: Options.Metrics on — event-derived counters and
+// histograms plus wall-clock instrumentation.
+func BenchmarkAcquireObserved(b *testing.B) {
+	spec := rwrnlp.NewSpecBuilder(4)
+	if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := spec.DeclareRequest([]rwrnlp.ResourceID{2, 3}, nil); err != nil {
+		b.Fatal(err)
+	}
+	p := rwrnlp.New(spec.Build(), rwrnlp.Options{Placeholders: true, Metrics: true})
+	benchAcquireReadLoop(b, p)
+	if p.Metrics().Snapshot().Counters["protocol_issued"] == 0 {
+		b.Fatal("metrics not recorded")
+	}
+}
+
 // BenchmarkRuntimeScaling sweeps goroutine parallelism on the read-heavy
 // R/W RNLP workload (E15's scaling axis).
 func BenchmarkRuntimeScaling(b *testing.B) {

@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 
 	"github.com/rtsync/rwrnlp/internal/analysis"
 	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/obs"
 	"github.com/rtsync/rwrnlp/internal/sched"
 	"github.com/rtsync/rwrnlp/internal/sim"
 	"github.com/rtsync/rwrnlp/internal/simtime"
@@ -29,12 +31,29 @@ import (
 )
 
 var (
-	seeds   = flag.Int("seeds", 20, "random workloads per configuration")
-	horizon = flag.Int64("horizon", 500_000_000, "simulation horizon (ns)")
+	seeds    = flag.Int("seeds", 20, "random workloads per configuration")
+	horizon  = flag.Int64("horizon", 500_000_000, "simulation horizon (ns)")
+	metricsF = flag.Bool("metrics", false, "aggregate protocol metrics across all runs and print the snapshot")
+	traceOut = flag.String("trace-out", "", "write the Fig. 2 running example as Perfetto trace-event JSON (fig2 only)")
+	httpAddr = flag.String("http", "", "serve the aggregated metrics debug endpoint after the experiments")
+)
+
+// Suite-wide observability state: one metrics registry shared by every run
+// (when -metrics is set) and the aggregated verdict of the per-run Theorem
+// 1/2 bound monitors that run() attaches unconditionally.
+var (
+	reg         *obs.Metrics
+	boundRuns   int
+	boundChecks int64
+	boundSkips  int64
+	boundViols  []string
 )
 
 func main() {
 	flag.Parse()
+	if *metricsF {
+		reg = obs.NewMetrics()
+	}
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
@@ -50,6 +69,7 @@ func main() {
 		for _, name := range []string{"fig2", "fig3", "thm1", "thm2", "piblock", "compare", "ablation", "control", "refined", "clusters", "overheads"} {
 			cmds[name]()
 		}
+		finish()
 		return
 	}
 	f, ok := cmds[cmd]
@@ -58,9 +78,55 @@ func main() {
 		os.Exit(2)
 	}
 	f()
+	finish()
 }
 
+// finish prints the suite-wide observability summaries and exits non-zero if
+// any run violated its analytical bound.
+func finish() {
+	if reg != nil {
+		fmt.Println("## Aggregated metrics (all runs, simulated ns)")
+		fmt.Println()
+		fmt.Print(reg.Snapshot().String())
+		fmt.Println()
+	}
+	if boundRuns > 0 {
+		fmt.Printf("## Bound monitor: %d RW-RNLP runs, %d satisfactions checked against Thm 1/2 (%d incremental skipped), %d violations\n",
+			boundRuns, boundChecks, boundSkips, len(boundViols))
+		for _, v := range boundViols {
+			fmt.Println("  VIOLATION", v)
+		}
+		fmt.Println()
+	}
+	if *httpAddr != "" {
+		fmt.Printf("serving debug endpoint on http://%s (/metrics, /healthz); Ctrl-C to stop\n", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, obs.DebugMux(reg, nil)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if len(boundViols) > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes one configuration with the suite's observers attached: the
+// shared metrics registry (if -metrics) and — for RW-RNLP under a progress
+// mechanism that establishes P1/P2 — an analytic Theorem 1/2 bound monitor
+// using the system's overhead-inflated L^r/L^w. The E17 negative control
+// (inheritance, bounds intentionally broken) bypasses run and calls sim.New
+// directly.
 func run(cfg sim.Config) *sim.Result {
+	var bm *obs.BoundMonitor
+	if cfg.Protocol == sim.ProtoRWRNLP && cfg.Progress != sim.Inheritance {
+		bm = obs.NewBoundMonitor(cfg.System.M)
+		ib := analysis.BoundsOf(cfg.System).Inflate(cfg.Overheads.Invocation, cfg.Overheads.CtxSwitch)
+		bm.SetAnalytic(int64(ib.Lr), int64(ib.Lw))
+		cfg.Observers = append(cfg.Observers, bm)
+	}
+	if reg != nil {
+		cfg.Observers = append(cfg.Observers, obs.NewProtocolObserver(reg))
+	}
 	s, err := sim.New(cfg)
 	if err != nil {
 		panic(err)
@@ -68,6 +134,15 @@ func run(cfg sim.Config) *sim.Result {
 	res := s.Run()
 	if len(res.Violations) > 0 {
 		panic(fmt.Sprintf("invariant violations: %v", res.Violations[0]))
+	}
+	if bm != nil {
+		rep := bm.Report()
+		boundRuns++
+		boundChecks += rep.Checked
+		boundSkips += rep.SkippedIncremental
+		for _, v := range rep.Violations {
+			boundViols = append(boundViols, fmt.Sprintf("m=%d seed=%d: %s", cfg.System.M, cfg.Seed, v))
+		}
 	}
 	return res
 }
@@ -135,11 +210,31 @@ func fig2() {
 	fmt.Println()
 
 	// Full schedule through the simulator.
+	var tb *obs.TraceBuilder
+	var observers []core.Observer
+	if *traceOut != "" {
+		tb = obs.NewTraceBuilder()
+		tb.TimeDiv = 1 // the running example is in logical ticks
+		observers = append(observers, tb)
+	}
 	res := run(sim.Config{
 		System: workload.Fig2System(), Policy: sched.EDF, Progress: sim.SpinNP,
 		Protocol: sim.ProtoRWRNLP, Horizon: 12, JobsPerTask: 1,
 		CheckInvariants: true, RecordRequests: true, RecordSchedule: true,
+		Observers: observers,
 	})
+	if tb != nil {
+		tb.AddSchedule(res.Schedule)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := tb.WriteTo(f); err != nil {
+			panic(err)
+		}
+		f.Close()
+		fmt.Printf("wrote Fig. 2 trace to %s (open in ui.perfetto.dev)\n\n", *traceOut)
+	}
 	fmt.Println("Simulated schedule (issue → satisfied → complete):")
 	fmt.Println()
 	fmt.Println("| request | issued | acquisition delay | CS    | satisfied | completes |")

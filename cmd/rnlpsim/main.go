@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 
 	"github.com/rtsync/rwrnlp/internal/analysis"
 	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/obs"
 	"github.com/rtsync/rwrnlp/internal/sched"
 	"github.com/rtsync/rwrnlp/internal/sim"
 	"github.com/rtsync/rwrnlp/internal/simtime"
@@ -49,6 +51,9 @@ func main() {
 		report   = flag.Bool("analysis", false, "print the per-task blocking breakdown")
 		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart of the schedule")
 		verbose  = flag.Bool("v", false, "print the per-request log")
+		metricsF = flag.Bool("metrics", false, "collect protocol metrics and print the snapshot")
+		traceOut = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON file (load in ui.perfetto.dev)")
+		httpAddr = flag.String("http", "", "serve the metrics/bounds debug endpoint on this address after the run")
 	)
 	flag.Parse()
 
@@ -119,13 +124,37 @@ func main() {
 	}
 	b := analysis.BoundsOf(sys)
 
+	// Observability sinks: metrics, the online Theorem 1/2 bound monitor
+	// (analytic envelope, overhead-inflated; only where the paper claims the
+	// bounds — RW-RNLP under a P1/P2 progress mechanism), and the Perfetto
+	// trace builder.
+	var observers []core.Observer
+	var reg *obs.Metrics
+	if *metricsF {
+		reg = obs.NewMetrics()
+		observers = append(observers, obs.NewProtocolObserver(reg))
+	}
+	var bm *obs.BoundMonitor
+	if proto == sim.ProtoRWRNLP && prog != sim.Inheritance {
+		bm = obs.NewBoundMonitor(sys.M)
+		ib := b.Inflate(simtime.Time(*ovInv), simtime.Time(*ovCtx))
+		bm.SetAnalytic(int64(ib.Lr), int64(ib.Lw))
+		observers = append(observers, bm)
+	}
+	var tb *obs.TraceBuilder
+	if *traceOut != "" {
+		tb = obs.NewTraceBuilder()
+		observers = append(observers, tb)
+	}
+
 	s, err := sim.New(sim.Config{
 		System: sys, Policy: policy, Progress: prog, Protocol: proto,
 		RSM:       core.Options{Placeholders: *placeh},
 		Overheads: sim.Overheads{Invocation: simtime.Time(*ovInv), CtxSwitch: simtime.Time(*ovCtx)},
 		Horizon:   simtime.Time(*horizon), Seed: *seed,
 		CheckInvariants: true, RecordRequests: true,
-		RecordSchedule: *gantt,
+		RecordSchedule: *gantt || tb != nil,
+		Observers:      observers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -196,5 +225,44 @@ func main() {
 	if *gantt {
 		fmt.Println("\nschedule:")
 		fmt.Print(sim.RenderGantt(res, 100))
+	}
+
+	if reg != nil {
+		fmt.Println("\nmetrics snapshot (simulated ns):")
+		fmt.Print(reg.Snapshot().String())
+	}
+	boundsOK := true
+	if bm != nil {
+		rep := bm.Report()
+		fmt.Println()
+		fmt.Print(rep.String())
+		boundsOK = rep.Ok()
+	}
+	if tb != nil {
+		tb.AddSchedule(res.Schedule)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, err := tb.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nwrote trace to %s (open in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+		if d := tb.DroppedRequests(); d > 0 {
+			fmt.Printf("note: %d requests beyond the per-request track cap were rendered without lifecycle tracks\n", d)
+		}
+	}
+	if *httpAddr != "" {
+		fmt.Printf("\nserving debug endpoint on http://%s (/metrics, /bounds, /healthz); Ctrl-C to stop\n", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, obs.DebugMux(reg, bm)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !boundsOK {
+		os.Exit(1)
 	}
 }

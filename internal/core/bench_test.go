@@ -140,6 +140,43 @@ func benchName(q int) string {
 	return "q=512"
 }
 
+// Observer overhead at the RSM layer: the same uncontended read round trip
+// with no observer (emit's nil check only) and with a live observer fan-out.
+
+func benchAcquireCycle(b *testing.B, m *RSM) {
+	b.Helper()
+	t := Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t++
+		id, err := m.Issue(t, []ResourceID{0}, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t++
+		if err := m.Complete(t, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAcquireNoObserver(b *testing.B) {
+	benchAcquireCycle(b, NewRSM(benchSpec(8), Options{}))
+}
+
+func BenchmarkAcquireObserved(b *testing.B) {
+	m := NewRSM(benchSpec(8), Options{})
+	var n int64
+	m.SetObserver(MultiObserver(
+		ObserverFunc(func(Event) { n++ }),
+		ObserverFunc(func(Event) { n++ }),
+	))
+	benchAcquireCycle(b, m)
+	if n == 0 {
+		b.Fatal("observer saw no events")
+	}
+}
+
 // Upgrade pair round trip (read phase only — the common case).
 func BenchmarkRSMUpgradeReadOnly(b *testing.B) {
 	m := NewRSM(benchSpec(8), Options{})

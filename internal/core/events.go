@@ -68,7 +68,15 @@ type Event struct {
 	// reconstruct lock modes without access to the RSM.
 	Read  ResourceSet
 	Write ResourceSet
-	Tag   any // the request's caller-supplied tag
+	// Pair is the other half of an upgradeable pair (Sec. 3.6), or 0 for
+	// plain requests. Consumers need it to attribute the write half's waits
+	// correctly: its bound applies per wait, restarting at EvReadSegmentDone.
+	Pair ReqID
+	// Incremental marks a Sec. 3.7 incremental request, whose
+	// issue-to-satisfaction span includes hold phases between grants and is
+	// therefore not an acquisition delay (use the cumulative ask delays).
+	Incremental bool
+	Tag         any // the request's caller-supplied tag
 }
 
 func (e Event) String() string {
@@ -86,3 +94,37 @@ type ObserverFunc func(Event)
 
 // Observe implements Observer.
 func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// MultiObserver composes observers into one fan-out observer that delivers
+// every event to each of them in argument order. Nil arguments are dropped,
+// nested multi-observers are flattened, and degenerate compositions collapse:
+// zero live observers yield nil (so the RSM's nil check stays the only cost
+// of disabled observation) and a single live observer is returned unchanged.
+func MultiObserver(observers ...Observer) Observer {
+	var list multiObserver
+	for _, o := range observers {
+		switch v := o.(type) {
+		case nil:
+			// dropped
+		case multiObserver:
+			list = append(list, v...)
+		default:
+			list = append(list, o)
+		}
+	}
+	switch len(list) {
+	case 0:
+		return nil
+	case 1:
+		return list[0]
+	}
+	return list
+}
+
+type multiObserver []Observer
+
+func (mo multiObserver) Observe(e Event) {
+	for _, o := range mo {
+		o.Observe(e)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMultiObserverCollapse(t *testing.T) {
+	if got := MultiObserver(); got != nil {
+		t.Errorf("MultiObserver() = %v, want nil", got)
+	}
+	if got := MultiObserver(nil, nil); got != nil {
+		t.Errorf("MultiObserver(nil, nil) = %v, want nil", got)
+	}
+	single := ObserverFunc(func(Event) {})
+	got := MultiObserver(nil, single, nil)
+	if reflect.ValueOf(got).Pointer() != reflect.ValueOf(single).Pointer() {
+		t.Errorf("single live observer should be returned unchanged, got %T", got)
+	}
+}
+
+func TestMultiObserverFanOutOrder(t *testing.T) {
+	var order []int
+	mk := func(i int) Observer {
+		return ObserverFunc(func(Event) { order = append(order, i) })
+	}
+	mo := MultiObserver(mk(1), nil, mk(2), mk(3))
+	mo.Observe(Event{})
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(order, want) {
+		t.Errorf("delivery order = %v, want %v", order, want)
+	}
+}
+
+func TestMultiObserverFlattens(t *testing.T) {
+	var n int
+	count := ObserverFunc(func(Event) { n++ })
+	inner := MultiObserver(count, count)
+	outer := MultiObserver(inner, count)
+	flat, ok := outer.(multiObserver)
+	if !ok {
+		t.Fatalf("composition of multiObserver = %T, want multiObserver", outer)
+	}
+	if len(flat) != 3 {
+		t.Errorf("nested multi-observer not flattened: len=%d, want 3", len(flat))
+	}
+	outer.Observe(Event{})
+	if n != 3 {
+		t.Errorf("fan-out delivered %d times, want 3", n)
+	}
+}
+
+// TestMultiObserverRSM attaches two recorders through MultiObserver and
+// checks both see the identical event stream from a live RSM.
+func TestMultiObserverRSM(t *testing.T) {
+	var a, b []Event
+	m := NewRSM(NewSpecBuilder(2).Build(), Options{})
+	m.SetObserver(MultiObserver(
+		ObserverFunc(func(e Event) { a = append(a, e) }),
+		ObserverFunc(func(e Event) { b = append(b, e) }),
+	))
+	id1, err := m.Issue(1, nil, []ResourceID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := m.Issue(2, []ResourceID{0, 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Complete(3, id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Complete(4, id2); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("no events delivered")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("observers diverged:\n a=%v\n b=%v", a, b)
+	}
+}

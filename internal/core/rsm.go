@@ -134,13 +134,18 @@ func (m *RSM) emit(t Time, typ EventType, r *request, rs ResourceSet) {
 	if m.obs == nil {
 		return
 	}
-	m.obs.Observe(Event{
+	e := Event{
 		T: t, Type: typ, Req: r.id, Kind: r.kind,
-		Resources: rs,
-		Read:      r.needRead.Clone(),
-		Write:     r.writeLockSet(),
-		Tag:       r.tag,
-	})
+		Resources:   rs,
+		Read:        r.needRead.Clone(),
+		Write:       r.writeLockSet(),
+		Incremental: r.incremental,
+		Tag:         r.tag,
+	}
+	if r.groupPeer != nil {
+		e.Pair = r.groupPeer.id
+	}
+	m.obs.Observe(e)
 }
 
 func (m *RSM) checkTime(t Time) error {

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// BoundMonitor checks every observed acquisition delay against the paper's
+// analytical envelopes — Theorem 1 (read: ≤ L^r_max + L^w_max) and Theorem 2
+// (write: ≤ (m−1)(L^r_max + L^w_max)) — turning each run into an empirical
+// falsification attempt.
+//
+// Two modes:
+//
+//   - Analytic: SetAnalytic supplies a-priori L^r_max/L^w_max (typically
+//     analysis.BoundsOf(sys), inflated for charged overheads). Every
+//     satisfaction is checked online against the fixed envelope.
+//
+//   - Observed-envelope (default): L^r_max/L^w_max are the maxima of the
+//     critical-section lengths seen so far. Because the envelope only grows,
+//     a delay within the *current* envelope can never exceed the final one,
+//     so the monitor stores only candidate violations (delay above the
+//     envelope at satisfaction time) and Report re-filters them against the
+//     final envelope. This makes the monitor sound with zero prior knowledge
+//     of the workload.
+//
+// Incremental requests (Sec. 3.7) are excluded: their issue-to-satisfaction
+// span includes hold phases between grants, and Theorems 1–2 bound each
+// *ask*, which the event stream does not delimit; they are tallied in
+// SkippedIncremental. The write half of an upgradeable pair (Sec. 3.6) is
+// checked per wait: its clock restarts when the read segment finishes,
+// because the optimistic read segment is not blocking.
+//
+// The monitor implements core.Observer and must see full request lifecycles.
+type BoundMonitor struct {
+	mu sync.Mutex
+
+	m        int // processor count for Theorem 2's (m−1) factor
+	analytic bool
+	lr, lw   int64 // analytic envelope (valid if analytic)
+
+	obsLr, obsLw int64 // observed per-kind max CS length
+
+	pending map[core.ReqID]*pendingReq
+
+	checked    int64
+	skippedInc int64
+	candidates []BoundViolation
+}
+
+// BoundViolation is one request whose measured acquisition delay exceeded
+// its analytical bound.
+type BoundViolation struct {
+	Req   core.ReqID
+	Kind  core.Kind
+	T     core.Time // satisfaction time
+	Delay int64
+	Bound int64 // envelope at check time (analytic) or final (observed mode)
+}
+
+func (v BoundViolation) String() string {
+	return fmt.Sprintf("req=%d (%s) satisfied t=%d: delay %d > bound %d",
+		v.Req, v.Kind, v.T, v.Delay, v.Bound)
+}
+
+// NewBoundMonitor creates a monitor in observed-envelope mode for an
+// m-processor system.
+func NewBoundMonitor(m int) *BoundMonitor {
+	return &BoundMonitor{m: m, pending: map[core.ReqID]*pendingReq{}}
+}
+
+// SetAnalytic switches to analytic mode with the given L^r_max/L^w_max
+// (inflate for charged overheads before calling — see analysis.Bounds).
+// Call before any events are observed.
+func (b *BoundMonitor) SetAnalytic(lr, lw int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.analytic, b.lr, b.lw = true, lr, lw
+}
+
+func (b *BoundMonitor) readBound(lr, lw int64) int64 { return lr + lw }
+
+func (b *BoundMonitor) writeBound(lr, lw int64) int64 {
+	return int64(b.m-1) * (lr + lw)
+}
+
+// Observe implements core.Observer.
+func (b *BoundMonitor) Observe(e core.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch e.Type {
+	case core.EvIssued:
+		b.pending[e.Req] = &pendingReq{
+			kind:        e.Kind,
+			incremental: e.Incremental,
+			waitStart:   e.T,
+			satisfyT:    -1,
+		}
+
+	case core.EvSatisfied:
+		p := b.pending[e.Req]
+		if p == nil {
+			return
+		}
+		p.satisfied = true
+		p.satisfyT = e.T
+		if p.incremental {
+			b.skippedInc++
+			return
+		}
+		b.checked++
+		delay := int64(e.T - p.waitStart)
+		lr, lw := b.lr, b.lw
+		if !b.analytic {
+			lr, lw = b.obsLr, b.obsLw
+		}
+		bound := b.readBound(lr, lw)
+		if p.kind == core.KindWrite {
+			bound = b.writeBound(lr, lw)
+		}
+		if delay > bound {
+			b.candidates = append(b.candidates, BoundViolation{
+				Req: e.Req, Kind: p.kind, T: e.T, Delay: delay, Bound: bound,
+			})
+		}
+
+	case core.EvCompleted, core.EvReadSegmentDone:
+		p := b.pending[e.Req]
+		if p != nil && p.satisfied && !p.incremental {
+			cs := int64(e.T - p.satisfyT)
+			if p.kind == core.KindRead {
+				if cs > b.obsLr {
+					b.obsLr = cs
+				}
+			} else if cs > b.obsLw {
+				b.obsLw = cs
+			}
+		}
+		delete(b.pending, e.Req)
+		if e.Type == core.EvReadSegmentDone {
+			if peer := b.pending[e.Pair]; peer != nil && !peer.satisfied {
+				peer.waitStart = e.T
+			}
+		}
+
+	case core.EvCanceled:
+		delete(b.pending, e.Req)
+	}
+}
+
+// BoundReport is the monitor's verdict over everything observed so far.
+type BoundReport struct {
+	M                  int
+	Analytic           bool
+	Lr, Lw             int64 // envelope used: analytic inputs or observed maxima
+	Checked            int64
+	SkippedIncremental int64
+	Violations         []BoundViolation
+}
+
+// Ok reports whether no violation survived.
+func (r BoundReport) Ok() bool { return len(r.Violations) == 0 }
+
+func (r BoundReport) String() string {
+	mode := "observed-envelope"
+	if r.Analytic {
+		mode = "analytic"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
+		"bound monitor (%s, m=%d): Lr=%d Lw=%d read-bound=%d write-bound=%d; checked=%d skipped-incremental=%d violations=%d\n",
+		mode, r.M, r.Lr, r.Lw, r.Lr+r.Lw, int64(r.M-1)*(r.Lr+r.Lw),
+		r.Checked, r.SkippedIncremental, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&sb, "  VIOLATION %s\n", v)
+	}
+	return sb.String()
+}
+
+// Report finalizes the verdict. In observed-envelope mode the stored
+// candidates are re-filtered against the final observed envelope (sound
+// because the envelope is monotone); in analytic mode they are returned
+// as-is. The monitor may keep observing after Report.
+func (b *BoundMonitor) Report() BoundReport {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := BoundReport{
+		M:                  b.m,
+		Analytic:           b.analytic,
+		Lr:                 b.lr,
+		Lw:                 b.lw,
+		Checked:            b.checked,
+		SkippedIncremental: b.skippedInc,
+	}
+	if !b.analytic {
+		r.Lr, r.Lw = b.obsLr, b.obsLw
+	}
+	for _, v := range b.candidates {
+		bound := b.readBound(r.Lr, r.Lw)
+		if v.Kind == core.KindWrite {
+			bound = b.writeBound(r.Lr, r.Lw)
+		}
+		if v.Delay > bound {
+			v.Bound = bound
+			r.Violations = append(r.Violations, v)
+		}
+	}
+	sort.Slice(r.Violations, func(i, j int) bool {
+		if r.Violations[i].T != r.Violations[j].T {
+			return r.Violations[i].T < r.Violations[j].T
+		}
+		return r.Violations[i].Req < r.Violations[j].Req
+	})
+	return r
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry's snapshot: JSON by default (expvar-style),
+// plain text with ?format=text. A nil registry serves an empty snapshot.
+func Handler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var s Snapshot
+		if m != nil {
+			s = m.Snapshot()
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(s.String()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+	})
+}
+
+// DebugMux builds the debug endpoint for long-running users of the runtime
+// lock:
+//
+//	/metrics        JSON metrics snapshot (?format=text for a plain dump)
+//	/bounds         current bound-monitor report, plain text
+//	/healthz        "ok"
+//
+// Either argument may be nil; the corresponding route serves empty data.
+func DebugMux(m *Metrics, bm *BoundMonitor) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(m))
+	mux.HandleFunc("/bounds", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if bm == nil {
+			_, _ = w.Write([]byte("(no bound monitor attached)\n"))
+			return
+		}
+		_, _ = w.Write([]byte(bm.Report().String()))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}

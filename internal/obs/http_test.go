@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerJSONAndText(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("reqs").Add(7)
+	m.Histogram("delay").Observe(42)
+	h := Handler(m)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &s); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if s.Counters["reqs"] != 7 || s.Hists["delay"].Max != 42 {
+		t.Errorf("snapshot = %+v", s)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics?format=text", nil))
+	if !strings.Contains(rr.Body.String(), "reqs") {
+		t.Errorf("text dump missing counter:\n%s", rr.Body.String())
+	}
+}
+
+func TestHandlerNilMetrics(t *testing.T) {
+	rr := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Errorf("status = %d", rr.Code)
+	}
+	if !json.Valid(rr.Body.Bytes()) {
+		t.Error("nil-metrics response not valid JSON")
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	m := NewMetrics()
+	bm := NewBoundMonitor(4)
+	mux := DebugMux(m, bm)
+
+	for path, want := range map[string]string{
+		"/metrics": "{",
+		"/bounds":  "bound monitor",
+		"/healthz": "ok",
+	} {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != 200 {
+			t.Errorf("%s: status %d", path, rr.Code)
+		}
+		if !strings.Contains(rr.Body.String(), want) {
+			t.Errorf("%s: body %q lacks %q", path, rr.Body.String(), want)
+		}
+	}
+
+	rr := httptest.NewRecorder()
+	DebugMux(nil, nil).ServeHTTP(rr, httptest.NewRequest("GET", "/bounds", nil))
+	if !strings.Contains(rr.Body.String(), "no bound monitor") {
+		t.Errorf("nil bounds body = %q", rr.Body.String())
+	}
+}

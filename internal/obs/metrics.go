@@ -1,0 +1,329 @@
+// Package obs is the repository's observability layer: low-overhead protocol
+// metrics (sharded atomic counters, gauges, and fixed-bucket log2
+// histograms), an event-driven metrics observer for the RSM's protocol event
+// stream, an online Theorem 1/2 bound monitor, a Perfetto/Chrome trace-event
+// exporter, and an HTTP debug endpoint.
+//
+// The metrics primitives are lock-free on the hot path: counters stripe
+// increments across cache-line-padded shards keyed by goroutine stack
+// address, histograms bucket by bit length with one atomic add per
+// observation, and no instrument ever blocks. Registration (name lookup) is
+// mutex-guarded but off the hot path — observers cache instrument pointers.
+//
+// Time units are whatever the producing plane uses: the simulator reports
+// nanoseconds of simulated time, the runtime lock reports wall-clock
+// nanoseconds for its wall_* histograms and logical protocol ticks for the
+// event-derived ones (one tick per protocol invocation, so tick-valued
+// "delays" count invocations overlapping the wait, not seconds).
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numShards stripes counter increments to keep heavily contended counters off
+// a single cache line. Must be a power of two.
+const numShards = 16
+
+// padded keeps each shard on its own cache line (64 bytes on every platform
+// this repo targets).
+type padded struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// shardIndex derives a goroutine-stable stripe index from the address of a
+// stack variable: distinct goroutines run on distinct stacks, so concurrent
+// writers spread across shards, while a single goroutine keeps hitting the
+// same hot line. The uintptr conversion never escapes b.
+func shardIndex() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>9) & (numShards - 1)
+}
+
+// Counter is a monotonically increasing, sharded atomic counter.
+type Counter struct {
+	shards [numShards]padded
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards. It is linearizable only in quiescence; concurrent
+// readers see a value between the counts before and after in-flight adds.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is an instantaneous value (queue depth, in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is one bucket per possible bit length of a non-negative int64
+// (bucket i holds values v with bits.Len64(v) == i; bucket 0 holds v == 0),
+// so Observe never range-checks and the whole histogram is a fixed ~1 KiB.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket log2 histogram of non-negative int64 samples
+// (durations, depths). Recording is one atomic add per observation plus
+// max/min maintenance; quantiles are extracted from the bucket counts at
+// snapshot time with bucket-upper-bound resolution (≤ 2× relative error),
+// with the true max tracked exactly.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	min     atomic.Int64 // stores minSentinel when empty
+}
+
+const minSentinel = int64(^uint64(0) >> 1) // math.MaxInt64
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(minSentinel)
+	return h
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))&(histBuckets-1)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// HistStats is a point-in-time summary of a histogram.
+type HistStats struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	Mean  float64
+	P50   int64
+	P95   int64
+	P99   int64
+	// Buckets lists the non-empty buckets as (upper bound, count) pairs.
+	Buckets []Bucket
+}
+
+// Bucket is one non-empty log2 bucket: Count samples ≤ Le.
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// bucketUpper is the largest value bucket i can hold.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1)<<i - 1
+}
+
+// Stats summarizes the histogram.
+func (h *Histogram) Stats() HistStats {
+	var s HistStats
+	counts := make([]int64, histBuckets)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+		if counts[i] > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketUpper(i), N: counts[i]})
+		}
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	s.Min = h.min.Load()
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	q := func(p float64) int64 {
+		rank := int64(p * float64(s.Count-1))
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if c > 0 && cum > rank {
+				v := bucketUpper(i)
+				if v > s.Max {
+					v = s.Max
+				}
+				if v < s.Min {
+					v = s.Min
+				}
+				return v
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	return s
+}
+
+// Metrics is a named registry of counters, gauges, and histograms.
+// Instrument lookup is get-or-create and safe for concurrent use; hot paths
+// should look up once and cache the returned pointer.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hists[name]
+	if h == nil {
+		h = newHistogram()
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a consistent-enough point-in-time copy of every instrument
+// (individual instruments are read atomically; the set is read under the
+// registration lock).
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters"`
+	Gauges   map[string]int64     `json:"gauges"`
+	Hists    map[string]HistStats `json:"histograms"`
+}
+
+// Snapshot captures all registered instruments.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(m.counters)),
+		Gauges:   make(map[string]int64, len(m.gauges)),
+		Hists:    make(map[string]HistStats, len(m.hists)),
+	}
+	for n, c := range m.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range m.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range m.hists {
+		s.Hists[n] = h.Stats()
+	}
+	return s
+}
+
+// String renders the snapshot as an expvar-style text dump with sorted names.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := func(n int) []string { return make([]string, 0, n) }
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		ns := names(len(s.Counters))
+		for n := range s.Counters {
+			ns = append(ns, n)
+		}
+		sort.Strings(ns)
+		for _, n := range ns {
+			fmt.Fprintf(&b, "  %-32s %d\n", n, s.Counters[n])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		ns := names(len(s.Gauges))
+		for n := range s.Gauges {
+			ns = append(ns, n)
+		}
+		sort.Strings(ns)
+		for _, n := range ns {
+			fmt.Fprintf(&b, "  %-32s %d\n", n, s.Gauges[n])
+		}
+	}
+	if len(s.Hists) > 0 {
+		b.WriteString("histograms:\n")
+		ns := names(len(s.Hists))
+		for n := range s.Hists {
+			ns = append(ns, n)
+		}
+		sort.Strings(ns)
+		for _, n := range ns {
+			h := s.Hists[n]
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d\n",
+				n, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("Counter.Value() = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Errorf("Gauge.Value() = %d, want 3", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := newHistogram()
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Stats()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("count/min/max = %d/%d/%d, want 100/1/100", s.Count, s.Min, s.Max)
+	}
+	if s.Sum != 5050 || s.Mean != 50.5 {
+		t.Errorf("sum/mean = %d/%.1f, want 5050/50.5", s.Sum, s.Mean)
+	}
+	// log2 buckets: quantiles resolve to bucket upper bounds (≤2× error).
+	if s.P50 < 50 || s.P50 > 127 {
+		t.Errorf("P50 = %d, want within [50, 127]", s.P50)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Errorf("P99 = %d, want within [99, 100] (clamped to max)", s.P99)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := newHistogram()
+	h.Observe(0)
+	h.Observe(-7) // clamps to 0
+	s := h.Stats()
+	if s.Count != 2 || s.Min != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Errorf("stats = %+v, want two zero samples", s)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	s := h.Stats()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("empty histogram stats = %+v", s)
+	}
+}
+
+func TestMetricsRegistryAndSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a").Add(3)
+	if m.Counter("a") != m.Counter("a") {
+		t.Error("Counter not get-or-create")
+	}
+	m.Gauge("g").Set(7)
+	m.Histogram("h").Observe(42)
+
+	s := m.Snapshot()
+	if s.Counters["a"] != 3 || s.Gauges["g"] != 7 || s.Hists["h"].Count != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+
+	text := s.String()
+	for _, want := range []string{"a", "g", "h", "max=42"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("snapshot text missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Errorf("snapshot not JSON-marshalable: %v", err)
+	}
+}
+
+func TestEmptySnapshotString(t *testing.T) {
+	if got := NewMetrics().Snapshot().String(); !strings.Contains(got, "no metrics") {
+		t.Errorf("empty snapshot = %q", got)
+	}
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"sync"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// Metric names recorded by ProtocolObserver. Counter units are events;
+// histogram units are the producing plane's time unit (simulated nanoseconds
+// in the simulator, logical protocol ticks in the runtime lock), except
+// queue_depth which counts requests.
+const (
+	MIssued              = "protocol_issued"
+	MEntitled            = "protocol_entitled"
+	MSatisfied           = "protocol_satisfied"
+	MCompleted           = "protocol_completed"
+	MCanceled            = "protocol_canceled"
+	MImmediate           = "protocol_immediate_satisfactions"
+	MIncGrants           = "protocol_incremental_grants"
+	MPlaceholdersRemoved = "protocol_placeholders_removed"
+	MReadSegmentsDone    = "protocol_read_segments_done"
+	MInflight            = "protocol_inflight"
+	MHolders             = "protocol_holders"
+	MAcqDelayRead        = "acq_delay_read"
+	MAcqDelayWrite       = "acq_delay_write"
+	MAcqDelayIncremental = "acq_delay_incremental"
+	MEntitlementWait     = "entitlement_wait"
+	MCSLengthRead        = "cs_length_read"
+	MCSLengthWrite       = "cs_length_write"
+	MQueueDepth          = "queue_depth"
+
+	// Wall-clock histograms recorded by the runtime lock (rwrnlp) directly
+	// on its acquisition path, in nanoseconds — the protocol event stream
+	// there carries only logical ticks.
+	MWallAcqReadNS  = "wall_acquire_read_ns"
+	MWallAcqWriteNS = "wall_acquire_write_ns"
+	MWallBlockNS    = "wall_block_ns"
+	MWallCSNS       = "wall_cs_ns"
+)
+
+// pendingReq is the per-request state ProtocolObserver keeps between issue
+// and completion.
+type pendingReq struct {
+	kind        core.Kind
+	incremental bool
+	// waitStart is where the current wait began: issue time, or — for the
+	// write half of an upgradeable pair — the read segment's finish time
+	// (Sec. 3.6: the write half's acquisition bound applies to each wait
+	// separately, and the optimistic read segment is not blocking).
+	waitStart core.Time
+	entitleT  core.Time
+	satisfyT  core.Time
+	entitled  bool
+	satisfied bool
+}
+
+// ProtocolObserver converts the RSM's protocol event stream into metrics:
+// lifecycle counters, in-flight/holder gauges, and delay/length histograms.
+// It implements core.Observer and must see a request's full lifecycle
+// (attach it before issuing requests).
+//
+// The observer is safe for concurrent use, though both planes deliver events
+// serially (the simulator is single-threaded; the runtime lock observes
+// under its protocol mutex).
+type ProtocolObserver struct {
+	// Instruments are resolved once at construction so the event path never
+	// takes the registry lock.
+	issued, entitledC, satisfiedC, completedC, canceledC *Counter
+	immediate, incGrants, phRemoved, segsDone            *Counter
+	inflight, holders                                    *Gauge
+	acqRead, acqWrite, acqInc, entWait                   *Histogram
+	csRead, csWrite, queueDepth                          *Histogram
+
+	mu      sync.Mutex
+	pending map[core.ReqID]*pendingReq
+}
+
+// NewProtocolObserver creates an observer recording into m.
+func NewProtocolObserver(m *Metrics) *ProtocolObserver {
+	return &ProtocolObserver{
+		issued:     m.Counter(MIssued),
+		entitledC:  m.Counter(MEntitled),
+		satisfiedC: m.Counter(MSatisfied),
+		completedC: m.Counter(MCompleted),
+		canceledC:  m.Counter(MCanceled),
+		immediate:  m.Counter(MImmediate),
+		incGrants:  m.Counter(MIncGrants),
+		phRemoved:  m.Counter(MPlaceholdersRemoved),
+		segsDone:   m.Counter(MReadSegmentsDone),
+		inflight:   m.Gauge(MInflight),
+		holders:    m.Gauge(MHolders),
+		acqRead:    m.Histogram(MAcqDelayRead),
+		acqWrite:   m.Histogram(MAcqDelayWrite),
+		acqInc:     m.Histogram(MAcqDelayIncremental),
+		entWait:    m.Histogram(MEntitlementWait),
+		csRead:     m.Histogram(MCSLengthRead),
+		csWrite:    m.Histogram(MCSLengthWrite),
+		queueDepth: m.Histogram(MQueueDepth),
+		pending:    map[core.ReqID]*pendingReq{},
+	}
+}
+
+// Observe implements core.Observer.
+func (po *ProtocolObserver) Observe(e core.Event) {
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	switch e.Type {
+	case core.EvIssued:
+		po.issued.Inc()
+		po.pending[e.Req] = &pendingReq{
+			kind:        e.Kind,
+			incremental: e.Incremental,
+			waitStart:   e.T,
+			entitleT:    -1,
+			satisfyT:    -1,
+		}
+		po.inflight.Add(1)
+		// Depth of the waiting pool at each arrival, satisfied holders
+		// included: "how crowded was the system when I showed up".
+		po.queueDepth.Observe(int64(len(po.pending)))
+
+	case core.EvEntitled:
+		po.entitledC.Inc()
+		if p := po.pending[e.Req]; p != nil {
+			p.entitled = true
+			p.entitleT = e.T
+		}
+
+	case core.EvSatisfied:
+		po.satisfiedC.Inc()
+		p := po.pending[e.Req]
+		if p == nil {
+			return
+		}
+		p.satisfied = true
+		p.satisfyT = e.T
+		delay := int64(e.T - p.waitStart)
+		if delay == 0 {
+			po.immediate.Inc()
+		}
+		switch {
+		case p.incremental:
+			// Issue-to-full-satisfaction of an incremental request spans
+			// hold phases between grants; it is not an acquisition delay in
+			// the Theorem 1/2 sense, so it gets its own histogram.
+			po.acqInc.Observe(delay)
+		case p.kind == core.KindRead:
+			po.acqRead.Observe(delay)
+		default:
+			po.acqWrite.Observe(delay)
+		}
+		if p.entitled {
+			po.entWait.Observe(int64(e.T - p.entitleT))
+		}
+		po.holders.Add(1)
+
+	case core.EvGranted:
+		po.incGrants.Inc()
+
+	case core.EvCompleted:
+		po.completedC.Inc()
+		po.finishCS(e)
+		po.inflight.Add(-1)
+		delete(po.pending, e.Req)
+
+	case core.EvCanceled:
+		po.canceledC.Inc()
+		po.inflight.Add(-1)
+		delete(po.pending, e.Req)
+
+	case core.EvPlaceholdersRemoved:
+		po.phRemoved.Inc()
+
+	case core.EvReadSegmentDone:
+		// The optimistic read half of an upgradeable pair finished: it is a
+		// completed read critical section, and its write-half peer — if it
+		// now upgrades — starts a fresh wait at this instant (its bound
+		// applies per wait, not from the pair's issue time).
+		po.segsDone.Inc()
+		po.finishCS(e)
+		po.inflight.Add(-1)
+		delete(po.pending, e.Req)
+		if peer := po.pending[e.Pair]; peer != nil && !peer.satisfied {
+			peer.waitStart = e.T
+		}
+	}
+}
+
+// finishCS records the critical-section length for a request that just
+// released its locks (EvCompleted or EvReadSegmentDone).
+func (po *ProtocolObserver) finishCS(e core.Event) {
+	p := po.pending[e.Req]
+	if p == nil || !p.satisfied {
+		return
+	}
+	cs := int64(e.T - p.satisfyT)
+	if p.kind == core.KindRead {
+		po.csRead.Observe(cs)
+	} else {
+		po.csWrite.Observe(cs)
+	}
+	po.holders.Add(-1)
+}

@@ -1,0 +1,399 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/sim"
+)
+
+// TraceBuilder renders protocol event streams (core.Event) and simulator
+// schedules (sim.SchedSlice) as Chrome trace-event JSON, loadable in
+// ui.perfetto.dev or chrome://tracing.
+//
+// Track layout:
+//
+//   - pid 1 "resources": per-resource writer occupancy as complete ("X")
+//     slices — sound nesting because write locks are mutually exclusive —
+//     plus a per-resource reader-count counter ("C") track, since readers
+//     overlap and cannot be drawn as slices.
+//   - pid 2 "requests": one thread per request showing its wait slice
+//     (issue→satisfy) and critical-section slice (satisfy→release), with
+//     flow arrows ("s"/"t"/"f") threading issue→satisfy→release. Instants
+//     mark entitlement, incremental grants, and placeholder removal.
+//   - pid 3 "cpus": one thread per (cluster, CPU) with compute/cs/spin
+//     slices from the recorded schedule.
+//
+// Output is deterministic for a deterministic input stream: events are
+// appended in input order, metadata is sorted, and JSON map keys are
+// marshaled sorted.
+type TraceBuilder struct {
+	// TimeDiv converts input time units to microseconds (the trace-event
+	// "ts" unit). The default 1000 treats inputs as nanoseconds; use 1 to
+	// render logical ticks 1:1 as microseconds.
+	TimeDiv int64
+	// MaxRequestTracks caps the number of per-request threads on the
+	// requests process; requests beyond the cap keep their resource-track
+	// contributions but get no lifecycle track. DroppedRequests reports how
+	// many were capped — the cap is never silent.
+	MaxRequestTracks int
+
+	events  []traceEvent
+	reqMeta map[int64]string // tid → thread name (pid 2)
+	resSeen map[int64]bool   // tid ← resource (pid 1)
+	cpuMeta map[int64]string // tid → thread name (pid 3)
+
+	open    map[core.ReqID]*openReq
+	readers map[core.ResourceID]int
+	tracked map[core.ReqID]bool
+	dropped int
+	maxT    core.Time
+}
+
+// openReq is a request with an unclosed wait or CS slice.
+type openReq struct {
+	kind        core.Kind
+	incremental bool
+	issueT      core.Time
+	satisfyT    core.Time
+	satisfied   bool
+	write       core.ResourceSet
+	read        core.ResourceSet
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   int64          `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	pidResources = 1
+	pidRequests  = 2
+	pidCPUs      = 3
+)
+
+// NewTraceBuilder creates a builder with nanosecond inputs and a 256-request
+// track cap.
+func NewTraceBuilder() *TraceBuilder {
+	return &TraceBuilder{
+		TimeDiv:          1000,
+		MaxRequestTracks: 256,
+		reqMeta:          map[int64]string{},
+		resSeen:          map[int64]bool{},
+		cpuMeta:          map[int64]string{},
+		open:             map[core.ReqID]*openReq{},
+		readers:          map[core.ResourceID]int{},
+		tracked:          map[core.ReqID]bool{},
+	}
+}
+
+// DroppedRequests reports how many requests exceeded MaxRequestTracks and
+// were rendered without a lifecycle track.
+func (tb *TraceBuilder) DroppedRequests() int { return tb.dropped }
+
+func (tb *TraceBuilder) ts(t core.Time) float64 {
+	div := tb.TimeDiv
+	if div <= 0 {
+		div = 1
+	}
+	return float64(t) / float64(div)
+}
+
+func (tb *TraceBuilder) dur(from, to core.Time) *float64 {
+	d := tb.ts(to) - tb.ts(from)
+	return &d
+}
+
+func (tb *TraceBuilder) track(r core.ReqID) bool {
+	if tb.tracked[r] {
+		return true
+	}
+	if len(tb.tracked) >= tb.MaxRequestTracks {
+		return false
+	}
+	tb.tracked[r] = true
+	return true
+}
+
+// flow emits one leg of the issue→satisfy→release flow arrow for request r.
+func (tb *TraceBuilder) flow(t core.Time, r core.ReqID, ph string) {
+	ev := traceEvent{
+		Name: "req-flow", Ph: ph, Ts: tb.ts(t),
+		Pid: pidRequests, Tid: int64(r), Cat: "protocol", ID: int64(r),
+	}
+	if ph != "s" {
+		ev.BP = "e"
+	}
+	tb.events = append(tb.events, ev)
+}
+
+func (tb *TraceBuilder) instant(t core.Time, r core.ReqID, name string, args map[string]any) {
+	tb.events = append(tb.events, traceEvent{
+		Name: name, Ph: "i", Ts: tb.ts(t),
+		Pid: pidRequests, Tid: int64(r), Cat: "protocol", S: "t", Args: args,
+	})
+}
+
+// readerCount emits the per-resource reader-count counter sample.
+func (tb *TraceBuilder) readerCount(t core.Time, res core.ResourceID) {
+	tb.events = append(tb.events, traceEvent{
+		Name: fmt.Sprintf("readers r%d", res), Ph: "C", Ts: tb.ts(t),
+		Pid: pidResources, Tid: 0, Cat: "resource",
+		Args: map[string]any{"count": tb.readers[res]},
+	})
+}
+
+// AddEvents renders a protocol event stream. Events must be in
+// non-decreasing time order (as emitted by the RSM) and may be added in
+// several batches.
+func (tb *TraceBuilder) AddEvents(events []core.Event) {
+	for _, e := range events {
+		tb.addEvent(e)
+	}
+}
+
+// Observe implements core.Observer, so a builder can be attached as a live
+// event sink (it is not safe for concurrent use; both planes deliver events
+// serially).
+func (tb *TraceBuilder) Observe(e core.Event) { tb.addEvent(e) }
+
+func (tb *TraceBuilder) addEvent(e core.Event) {
+	if e.T > tb.maxT {
+		tb.maxT = e.T
+	}
+	switch e.Type {
+	case core.EvIssued:
+		o := &openReq{
+			kind:        e.Kind,
+			incremental: e.Incremental,
+			issueT:      e.T,
+			write:       e.Write,
+			read:        e.Read,
+		}
+		tb.open[e.Req] = o
+		if tb.track(e.Req) {
+			tb.reqMeta[int64(e.Req)] = reqThreadName(e)
+			tb.flow(e.T, e.Req, "s")
+		} else {
+			tb.dropped++
+		}
+
+	case core.EvEntitled:
+		if tb.tracked[e.Req] {
+			tb.instant(e.T, e.Req, "entitled", nil)
+		}
+
+	case core.EvSatisfied:
+		o := tb.open[e.Req]
+		if o == nil {
+			return
+		}
+		if tb.tracked[e.Req] {
+			tb.closeWait(e.Req, o, e.T, "wait")
+			tb.flow(e.T, e.Req, "t")
+		}
+		o.satisfied = true
+		o.satisfyT = e.T
+		o.read.ForEach(func(res core.ResourceID) bool {
+			tb.resSeen[int64(res)] = true
+			tb.readers[res]++
+			tb.readerCount(e.T, res)
+			return true
+		})
+
+	case core.EvGranted:
+		if tb.tracked[e.Req] {
+			tb.instant(e.T, e.Req, "granted", map[string]any{"resources": e.Resources.String()})
+		}
+
+	case core.EvCompleted, core.EvReadSegmentDone:
+		o := tb.open[e.Req]
+		if o == nil {
+			return
+		}
+		delete(tb.open, e.Req)
+		if !o.satisfied {
+			return
+		}
+		name := "cs"
+		if e.Type == core.EvReadSegmentDone {
+			name = "cs (read segment)"
+		}
+		if tb.tracked[e.Req] {
+			tb.events = append(tb.events, traceEvent{
+				Name: name, Ph: "X", Ts: tb.ts(o.satisfyT), Dur: tb.dur(o.satisfyT, e.T),
+				Pid: pidRequests, Tid: int64(e.Req), Cat: "protocol",
+			})
+			tb.flow(e.T, e.Req, "f")
+		}
+		o.write.ForEach(func(res core.ResourceID) bool {
+			tb.resSeen[int64(res)] = true
+			tb.events = append(tb.events, traceEvent{
+				Name: fmt.Sprintf("W req %d", e.Req), Ph: "X",
+				Ts: tb.ts(o.satisfyT), Dur: tb.dur(o.satisfyT, e.T),
+				Pid: pidResources, Tid: int64(res), Cat: "resource",
+			})
+			return true
+		})
+		o.read.ForEach(func(res core.ResourceID) bool {
+			tb.readers[res]--
+			tb.readerCount(e.T, res)
+			return true
+		})
+
+	case core.EvCanceled:
+		o := tb.open[e.Req]
+		delete(tb.open, e.Req)
+		if o != nil && !o.satisfied && tb.tracked[e.Req] {
+			tb.closeWait(e.Req, o, e.T, "wait (canceled)")
+		}
+
+	case core.EvPlaceholdersRemoved:
+		if tb.tracked[e.Req] {
+			tb.instant(e.T, e.Req, "placeholders-removed",
+				map[string]any{"resources": e.Resources.String()})
+		}
+	}
+}
+
+func (tb *TraceBuilder) closeWait(r core.ReqID, o *openReq, t core.Time, name string) {
+	if o.incremental {
+		name += " (incremental)"
+	}
+	tb.events = append(tb.events, traceEvent{
+		Name: name, Ph: "X", Ts: tb.ts(o.issueT), Dur: tb.dur(o.issueT, t),
+		Pid: pidRequests, Tid: int64(r), Cat: "protocol",
+	})
+}
+
+func reqThreadName(e core.Event) string {
+	name := fmt.Sprintf("req %d (%s)", e.Req, e.Kind)
+	if e.Pair != 0 {
+		name += " [upgrade]"
+	}
+	if e.Tag != nil {
+		name += fmt.Sprintf(" %v", e.Tag)
+	}
+	return name
+}
+
+// AddSchedule renders simulator Gantt slices as CPU occupancy tracks.
+func (tb *TraceBuilder) AddSchedule(slices []sim.SchedSlice) {
+	for _, sl := range slices {
+		tid := int64(sl.Cluster)*256 + int64(sl.CPU)
+		tb.cpuMeta[tid] = fmt.Sprintf("c%d/cpu%d", sl.Cluster, sl.CPU)
+		from, to := core.Time(sl.From), core.Time(sl.To)
+		if to > tb.maxT {
+			tb.maxT = to
+		}
+		tb.events = append(tb.events, traceEvent{
+			Name: fmt.Sprintf("T%d/J%d %s", sl.Task, sl.Job, sl.State),
+			Ph:   "X", Ts: tb.ts(from), Dur: tb.dur(from, to),
+			Pid: pidCPUs, Tid: tid, Cat: "sched",
+			Args: map[string]any{"task": sl.Task, "job": sl.Job, "state": sl.State.String()},
+		})
+	}
+}
+
+// WriteTo finalizes the trace — closing still-open wait/CS slices at the
+// latest observed time, marked "(open)" — and writes the JSON document.
+// The builder should not be reused afterwards.
+func (tb *TraceBuilder) WriteTo(w io.Writer) (int64, error) {
+	ids := make([]int64, 0, len(tb.open))
+	for id := range tb.open {
+		ids = append(ids, int64(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := core.ReqID(id)
+		o := tb.open[r]
+		if !tb.tracked[r] {
+			continue
+		}
+		if o.satisfied {
+			tb.events = append(tb.events, traceEvent{
+				Name: "cs (open)", Ph: "X", Ts: tb.ts(o.satisfyT), Dur: tb.dur(o.satisfyT, tb.maxT),
+				Pid: pidRequests, Tid: id, Cat: "protocol",
+			})
+		} else {
+			tb.closeWait(r, o, tb.maxT, "wait (open)")
+		}
+	}
+
+	all := tb.metadata()
+	all = append(all, tb.events...)
+	doc := struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}{"ns", all}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	buf = append(buf, '\n')
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// metadata emits process/thread naming events, sorted for determinism.
+func (tb *TraceBuilder) metadata() []traceEvent {
+	var md []traceEvent
+	proc := func(pid int, name string) {
+		md = append(md, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	thread := func(pid int, tid int64, name string) {
+		md = append(md, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	if len(tb.resSeen) > 0 || len(tb.reqMeta) > 0 {
+		proc(pidResources, "resources")
+	}
+	resIDs := make([]int64, 0, len(tb.resSeen))
+	for id := range tb.resSeen {
+		resIDs = append(resIDs, id)
+	}
+	sort.Slice(resIDs, func(i, j int) bool { return resIDs[i] < resIDs[j] })
+	for _, id := range resIDs {
+		thread(pidResources, id, fmt.Sprintf("resource %d (writers)", id))
+	}
+	if len(tb.reqMeta) > 0 {
+		proc(pidRequests, "requests")
+	}
+	reqIDs := make([]int64, 0, len(tb.reqMeta))
+	for id := range tb.reqMeta {
+		reqIDs = append(reqIDs, id)
+	}
+	sort.Slice(reqIDs, func(i, j int) bool { return reqIDs[i] < reqIDs[j] })
+	for _, id := range reqIDs {
+		thread(pidRequests, id, tb.reqMeta[id])
+	}
+	if len(tb.cpuMeta) > 0 {
+		proc(pidCPUs, "cpus")
+	}
+	cpuIDs := make([]int64, 0, len(tb.cpuMeta))
+	for id := range tb.cpuMeta {
+		cpuIDs = append(cpuIDs, id)
+	}
+	sort.Slice(cpuIDs, func(i, j int) bool { return cpuIDs[i] < cpuIDs[j] })
+	for _, id := range cpuIDs {
+		thread(pidCPUs, id, tb.cpuMeta[id])
+	}
+	return md
+}

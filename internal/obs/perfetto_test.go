@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/sched"
+	"github.com/rtsync/rwrnlp/internal/sim"
+	"github.com/rtsync/rwrnlp/internal/trace"
+	"github.com/rtsync/rwrnlp/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fig2Trace renders the Fig. 2(a) running example — events and schedule —
+// with tick-resolution timestamps.
+func fig2Trace(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	tb := NewTraceBuilder()
+	tb.TimeDiv = 1 // the running example is in logical ticks
+	rec := &trace.Recorder{}
+	s, err := sim.New(sim.Config{
+		System: workload.Fig2System(), Policy: sched.EDF, Progress: sim.SpinNP,
+		Protocol: sim.ProtoRWRNLP, Horizon: 12, JobsPerTask: 1,
+		CheckInvariants: true, RecordSchedule: true,
+		Trace:     rec,
+		Observers: []core.Observer{tb},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if rec.Len() == 0 {
+		t.Fatal("recorder saw no events")
+	}
+	tb.AddSchedule(res.Schedule)
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestPerfettoFig2Golden locks the exporter's output for the paper's running
+// example: stable byte-for-byte rendering and valid JSON with the expected
+// track structure. Regenerate with go test ./internal/obs -run Golden -update.
+func TestPerfettoFig2Golden(t *testing.T) {
+	buf := fig2Trace(t)
+	golden := filepath.Join("testdata", "fig2.json")
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exporter output differs from %s (run with -update after intentional changes)\n got %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+
+	if !json.Valid(want) {
+		t.Fatal("golden file is not valid JSON")
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(want, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	byPh := map[string]int{}
+	byPid := map[int]int{}
+	for _, e := range doc.TraceEvents {
+		byPh[e.Ph]++
+		byPid[e.Pid]++
+	}
+	// Fig. 2 has 5 requests (2 writers, 3 readers), 3 resources, 5 CPUs:
+	// expect metadata, wait/CS slices, flows, counters, and sched slices.
+	for _, ph := range []string{"M", "X", "s", "t", "f", "C"} {
+		if byPh[ph] == 0 {
+			t.Errorf("no %q-phase events in Fig. 2 trace", ph)
+		}
+	}
+	for _, pid := range []int{pidResources, pidRequests, pidCPUs} {
+		if byPid[pid] == 0 {
+			t.Errorf("no events for pid %d", pid)
+		}
+	}
+}
+
+func TestPerfettoDeterministic(t *testing.T) {
+	a, b := fig2Trace(t), fig2Trace(t)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of the same run differ")
+	}
+}
+
+// TestPerfettoRequestTrackCap: requests beyond MaxRequestTracks lose their
+// lifecycle tracks but are counted, never silently dropped.
+func TestPerfettoRequestTrackCap(t *testing.T) {
+	tb := NewTraceBuilder()
+	tb.TimeDiv = 1
+	tb.MaxRequestTracks = 2
+	for i := 1; i <= 5; i++ {
+		id := core.ReqID(i)
+		tb.Observe(ev(core.Time(i), core.EvIssued, id, core.KindWrite))
+		tb.Observe(ev(core.Time(i+10), core.EvSatisfied, id, core.KindWrite))
+		tb.Observe(ev(core.Time(i+20), core.EvCompleted, id, core.KindWrite))
+	}
+	if got := tb.DroppedRequests(); got != 3 {
+		t.Errorf("DroppedRequests = %d, want 3", got)
+	}
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("capped trace is not valid JSON")
+	}
+}
+
+// TestPerfettoOpenSlices: unfinished requests are closed at the trace end
+// and marked open rather than vanishing.
+func TestPerfettoOpenSlices(t *testing.T) {
+	tb := NewTraceBuilder()
+	tb.TimeDiv = 1
+	tb.Observe(ev(0, core.EvIssued, 1, core.KindWrite))
+	tb.Observe(ev(0, core.EvSatisfied, 1, core.KindWrite))
+	tb.Observe(ev(2, core.EvIssued, 2, core.KindRead)) // still waiting
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"cs (open)", "wait (open)"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("trace lacks %q:\n%s", want, s)
+		}
+	}
+}

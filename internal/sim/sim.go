@@ -97,6 +97,11 @@ type Config struct {
 	// Trace receives every protocol event of the run (e.g. a
 	// trace.Recorder, for post-hoc checking with trace.Check).
 	Trace core.Observer
+
+	// Observers receive every protocol event alongside Trace — attach
+	// metrics (obs.ProtocolObserver), bound monitors, or exporters here.
+	// All sinks are composed with core.MultiObserver.
+	Observers []core.Observer
 }
 
 // Simulator executes one configuration. Create with New, run with Run.
@@ -148,15 +153,14 @@ func New(cfg Config) (*Simulator, error) {
 		opts = core.Options{} // baselines have no placeholder variants
 	}
 	s.rsm = core.NewRSM(s.pm.rsmSpec(cfg.System), opts)
-	s.rsm.SetObserver(core.ObserverFunc(func(e core.Event) {
+	sinks := []core.Observer{core.ObserverFunc(func(e core.Event) {
 		switch e.Type {
 		case core.EvSatisfied, core.EvGranted, core.EvCanceled:
 			s.notif = append(s.notif, e)
 		}
-		if cfg.Trace != nil {
-			cfg.Trace.Observe(e)
-		}
-	}))
+	}), cfg.Trace}
+	sinks = append(sinks, cfg.Observers...)
+	s.rsm.SetObserver(core.MultiObserver(sinks...))
 	for i := 0; i < cfg.System.Clusters(); i++ {
 		s.clusters = append(s.clusters, &cluster{id: i, c: cfg.System.ClusterSize})
 	}

@@ -35,11 +35,14 @@ package rwrnlp
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/obs"
 )
 
 // ResourceID identifies a shared resource (dense, zero-based).
@@ -74,6 +77,14 @@ type Options struct {
 	// exclusion, Prop. E10, queue order, Lemma 6, …) after every
 	// invocation and panics on a violation. Costly; for bring-up and tests.
 	SelfCheck bool
+
+	// Metrics enables the observability layer (internal/obs): protocol
+	// event counters and tick-valued histograms via an attached
+	// obs.ProtocolObserver, plus wall-clock acquisition/blocking/CS
+	// histograms recorded directly on the acquisition path. Retrieve with
+	// Protocol.Metrics; serve with Protocol.DebugHandler. When disabled the
+	// only cost on the acquisition path is a nil check.
+	Metrics bool
 }
 
 // Protocol is a ready-to-use R/W RNLP instance. All methods are safe for
@@ -86,17 +97,43 @@ type Protocol struct {
 	clock   core.Time
 	waiters map[core.ReqID]*waiter
 	tracer  core.Observer
+
+	// Observability (nil unless Options.Metrics): metricsObs survives
+	// SetTracer; the wall* histograms are resolved once so the acquisition
+	// path never touches the registry.
+	metrics    *obs.Metrics
+	metricsObs core.Observer
+	wallAcqR   *obs.Histogram
+	wallAcqW   *obs.Histogram
+	wallBlock  *obs.Histogram
+	wallCS     *obs.Histogram
 }
+
+// Metrics re-exports the obs registry type for the public API.
+type Metrics = obs.Metrics
+
+// MetricsSnapshot re-exports the obs snapshot type for the public API.
+type MetricsSnapshot = obs.Snapshot
 
 // SetTracer installs a secondary observer receiving every protocol event —
 // feed it a trace.Recorder to machine-check an execution against the
-// paper's properties. Must be called before any acquisition. (The argument
-// type lives in an internal package; this hook is for in-module tooling,
-// tests, and the examples.)
+// paper's properties. Must be called before any acquisition; it replaces
+// any observers previously set with SetTracer or AddObserver (the metrics
+// observer enabled by Options.Metrics is unaffected). (The argument type
+// lives in an internal package; this hook is for in-module tooling, tests,
+// and the examples.)
 func (p *Protocol) SetTracer(obs core.Observer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.tracer = obs
+}
+
+// AddObserver attaches an additional observer alongside any existing ones
+// (fan-out via core.MultiObserver). Must be called before any acquisition.
+func (p *Protocol) AddObserver(o core.Observer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = core.MultiObserver(p.tracer, o)
 }
 
 // waiter is the parked state of one unsatisfied request.
@@ -134,9 +171,28 @@ func New(spec *Spec, opt Options) *Protocol {
 		rsm:     core.NewRSM(spec, core.Options{Placeholders: opt.Placeholders}),
 		waiters: make(map[core.ReqID]*waiter),
 	}
+	if opt.Metrics {
+		p.metrics = obs.NewMetrics()
+		p.metricsObs = obs.NewProtocolObserver(p.metrics)
+		p.wallAcqR = p.metrics.Histogram(obs.MWallAcqReadNS)
+		p.wallAcqW = p.metrics.Histogram(obs.MWallAcqWriteNS)
+		p.wallBlock = p.metrics.Histogram(obs.MWallBlockNS)
+		p.wallCS = p.metrics.Histogram(obs.MWallCSNS)
+	}
 	p.rsm.SetObserver(core.ObserverFunc(p.observe))
 	return p
 }
+
+// Metrics returns the protocol's metrics registry, or nil when
+// Options.Metrics is disabled. Event-derived histograms are in logical
+// protocol ticks (one tick per invocation); the wall_* histograms are
+// wall-clock nanoseconds.
+func (p *Protocol) Metrics() *Metrics { return p.metrics }
+
+// DebugHandler serves the metrics snapshot over HTTP (JSON; ?format=text
+// for a plain dump) — mount it on a debug mux in long-running services. It
+// serves an empty snapshot when metrics are disabled.
+func (p *Protocol) DebugHandler() http.Handler { return obs.Handler(p.metrics) }
 
 // observe runs under p.mu (the RSM is only invoked with the mutex held).
 func (p *Protocol) observe(e core.Event) {
@@ -147,9 +203,40 @@ func (p *Protocol) observe(e core.Event) {
 			w.signal()
 		}
 	}
+	if p.metricsObs != nil {
+		p.metricsObs.Observe(e)
+	}
 	if p.tracer != nil {
 		p.tracer.Observe(e)
 	}
+}
+
+// nowNS reads the wall clock only when metrics are enabled, keeping the
+// disabled acquisition path free of time syscalls.
+func (p *Protocol) nowNS() int64 {
+	if p.metrics == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// finishAcquire records wall-clock acquisition metrics and mints the token.
+// start/blockStart are nowNS readings (0 when metrics are disabled or the
+// request never blocked).
+func (p *Protocol) finishAcquire(id core.ReqID, start, blockStart int64, isWrite bool) Token {
+	if p.metrics == nil {
+		return Token{id: id}
+	}
+	now := time.Now().UnixNano()
+	if isWrite {
+		p.wallAcqW.Observe(now - start)
+	} else {
+		p.wallAcqR.Observe(now - start)
+	}
+	if blockStart != 0 {
+		p.wallBlock.Observe(now - blockStart)
+	}
+	return Token{id: id, acqNS: now}
 }
 
 func (p *Protocol) tick() core.Time {
@@ -171,6 +258,9 @@ func (p *Protocol) selfCheck() {
 // Token identifies a held acquisition, to be passed to Release.
 type Token struct {
 	id core.ReqID
+	// acqNS is the wall-clock satisfaction time (0 when metrics are
+	// disabled), letting Release attribute the critical-section length.
+	acqNS int64
 }
 
 // Acquire blocks until read access to every resource in read and write
@@ -179,6 +269,7 @@ type Token struct {
 // deadlock risk — that is the point of the protocol. An empty request is an
 // error.
 func (p *Protocol) Acquire(read, write []ResourceID) (Token, error) {
+	start := p.nowNS()
 	p.mu.Lock()
 	id, err := p.rsm.Issue(p.tick(), read, write, nil)
 	p.selfCheck()
@@ -189,13 +280,14 @@ func (p *Protocol) Acquire(read, write []ResourceID) (Token, error) {
 	st, _ := p.rsm.State(id)
 	if st == core.StateSatisfied {
 		p.mu.Unlock()
-		return Token{id: id}, nil
+		return p.finishAcquire(id, start, 0, len(write) > 0), nil
 	}
 	w := newWaiter()
 	p.waiters[id] = w
 	p.mu.Unlock()
+	blockStart := p.nowNS()
 	w.wait(p.opt.Spin)
-	return Token{id: id}, nil
+	return p.finishAcquire(id, start, blockStart, len(write) > 0), nil
 }
 
 // Read is shorthand for Acquire(resources, nil).
@@ -211,6 +303,9 @@ func (p *Protocol) Write(resources ...ResourceID) (Token, error) {
 // Release ends the critical section of a token, unlocking all its resources
 // and satisfying whichever requests become eligible.
 func (p *Protocol) Release(t Token) error {
+	if t.acqNS != 0 && p.wallCS != nil {
+		p.wallCS.Observe(time.Now().UnixNano() - t.acqNS)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	err := p.rsm.Complete(p.tick(), t.id)
@@ -234,6 +329,7 @@ func (p *Protocol) String() string {
 // If satisfaction races with cancellation, the acquisition wins and the
 // caller owns the token (check the error, not the context).
 func (p *Protocol) AcquireContext(ctx context.Context, read, write []ResourceID) (Token, error) {
+	start := p.nowNS()
 	p.mu.Lock()
 	id, err := p.rsm.Issue(p.tick(), read, write, nil)
 	if err != nil {
@@ -243,27 +339,28 @@ func (p *Protocol) AcquireContext(ctx context.Context, read, write []ResourceID)
 	st, _ := p.rsm.State(id)
 	if st == core.StateSatisfied {
 		p.mu.Unlock()
-		return Token{id: id}, nil
+		return p.finishAcquire(id, start, 0, len(write) > 0), nil
 	}
 	w := newWaiter()
 	p.waiters[id] = w
 	p.mu.Unlock()
 
+	blockStart := p.nowNS()
 	select {
 	case <-w.ch:
-		return Token{id: id}, nil
+		return p.finishAcquire(id, start, blockStart, len(write) > 0), nil
 	case <-ctx.Done():
 	}
 	// Withdraw — unless satisfaction won the race.
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if w.done.Load() {
-		return Token{id: id}, nil
+		return p.finishAcquire(id, start, blockStart, len(write) > 0), nil
 	}
 	st, err = p.rsm.State(id)
 	if err == nil && st == core.StateSatisfied {
 		delete(p.waiters, id)
-		return Token{id: id}, nil
+		return p.finishAcquire(id, start, blockStart, len(write) > 0), nil
 	}
 	delete(p.waiters, id)
 	if cerr := p.rsm.CancelRequest(p.tick(), id); cerr != nil {
