@@ -2,17 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz experiments schedstudy examples fmt vet ci clean
+.PHONY: all build test test-short race cover bench bench-json fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet ci clean
 
 all: build vet test
 
-# What .github/workflows/ci.yml runs: full build/vet/test plus the race
-# detector on the concurrency-bearing packages.
+# What .github/workflows/ci.yml runs: full build/vet/test, the race detector
+# across the whole module, a fuzz smoke pass on the RSM invocation fuzzer,
+# and a bounded-depth model-checking gate (every mc preset, both placeholder
+# modes; non-zero exit on any violation).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/trace ./internal/obs .
+	$(GO) test -race -short ./...
+	$(GO) test -fuzz=FuzzRSMInvocations -fuzztime=15s ./internal/core
+	$(GO) run ./cmd/mccheck -stats -depth 14 ci
 
 build:
 	$(GO) build ./...
@@ -32,8 +36,20 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable performance snapshot: benchmark name → ns/op, B/op,
+# allocs/op, written to BENCH_<date>.json for cross-commit comparison.
+bench-json:
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json
+
 fuzz:
 	$(GO) test -fuzz=FuzzRSMInvocations -fuzztime 60s ./internal/core
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRSMInvocations -fuzztime=15s ./internal/core
+
+# Exhaustive model check of every preset scope (unbounded depth).
+mccheck:
+	$(GO) run ./cmd/mccheck -stats ci
 
 # Regenerate every recorded experiment artifact.
 experiments:

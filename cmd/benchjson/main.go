@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` text output (on stdin) into a
+// machine-readable JSON snapshot: benchmark name → ns/op, B/op, allocs/op.
+// Lines that are not benchmark results are ignored, so the full test output
+// can be piped through unfiltered. Used by `make bench-json` to record
+// BENCH_<date>.json performance snapshots.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results := []Result{} // non-nil so empty input marshals as [], not null
+	pkg := ""
+	scan := bufio.NewScanner(os.Stdin)
+	scan.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for scan.Scan() {
+		line := scan.Text()
+		// `go test` prints a "pkg: <import path>" header per package;
+		// qualify benchmark names with it so same-named benchmarks in
+		// different packages stay distinct.
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			if pkg != "" {
+				r.Name = pkg + "." + r.Name
+			}
+			results = append(results, r)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks written to %s\n", len(results), *out)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkLock/m=8-16    1000000    1234 ns/op    456 B/op    7 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err == nil {
+				seen = true
+			}
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return r, seen
+}

@@ -1,0 +1,236 @@
+// Command mccheck runs the systematic model checker (internal/mc) over
+// bounded R/W RNLP scenarios: every interleaving of a scope is explored,
+// with invariant, differential-oracle, deadlock, and Theorem 1/2 envelope
+// checks at each step, and violations are shrunk to minimal replayable
+// counterexamples.
+//
+// Usage:
+//
+//	mccheck [flags] <preset>|ci          exhaustive exploration
+//	mccheck [flags] -templates DSL -q N  exhaustive exploration, custom scope
+//	mccheck [flags] -walk <preset>       seeded randomized stress walk
+//	mccheck [flags] -replay FILE         re-execute a saved counterexample
+//
+// The special scope "ci" runs every preset in both placeholder modes — the
+// bounded-depth configuration the CI pipeline gates on.
+//
+// Exit status: 0 clean, 1 violation found (or replay reproduced), 2 usage
+// or internal error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rtsync/rwrnlp/internal/mc"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("mccheck", flag.ExitOnError)
+	var (
+		templates  = fs.String("templates", "", "scenario DSL (e.g. 'r:0+1 w:1+2 u:0+2 i:0|2/2/0'); overrides the preset argument")
+		q          = fs.Int("q", 0, "number of resources for -templates")
+		placehold  = fs.Bool("placeholders", false, "use the Sec. 3.4 placeholder variant")
+		cancels    = fs.Bool("cancels", false, "enable CancelRequest actions")
+		chaos      = fs.Bool("chaos-skip-wq-head-check", false, "inject the write-overtaking fault (detector demo)")
+		depth      = fs.Int("depth", 0, "maximum schedule depth, 0 = unbounded")
+		maxStates  = fs.Int("max-states", 0, "abort after this many distinct states, 0 = unlimited")
+		noMemo     = fs.Bool("no-memo", false, "disable canonical-state memoization")
+		noSleep    = fs.Bool("no-sleep", false, "disable sleep-set pruning")
+		noBounds   = fs.Bool("no-bounds", false, "disable the Theorem 1/2 envelope check")
+		exhBounds  = fs.Bool("exhaustive-bounds", false, "check bounds over all timing histories (expensive)")
+		m          = fs.Int("m", 0, "processor count for Theorem 2, 0 = one per template")
+		walk       = fs.Bool("walk", false, "randomized stress-walk mode instead of exhaustive DFS")
+		episodes   = fs.Int("episodes", 200, "walk episodes")
+		steps      = fs.Int("steps", 0, "walk max steps per episode, 0 = run to terminal")
+		seed       = fs.Int64("seed", 1, "walk RNG seed (deterministic per seed)")
+		stats      = fs.Bool("stats", false, "print exploration statistics")
+		noMinimize = fs.Bool("no-minimize", false, "report the raw counterexample without shrinking")
+		replayPath = fs.String("replay", "", "replay a saved counterexample script instead of exploring")
+		traceOut   = fs.String("trace-out", "", "write a Perfetto trace of the violation replay to this file")
+		scriptOut  = fs.String("o", "", "write the violation's replay script to this file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mccheck [flags] <preset>|ci\n\npresets:")
+		for _, p := range mc.Presets() {
+			fmt.Fprintf(fs.Output(), " %s", p.Name)
+		}
+		fmt.Fprintf(fs.Output(), "\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	opt := mc.Options{
+		Memo:             !*noMemo,
+		SleepSets:        !*noSleep,
+		CheckBounds:      !*noBounds,
+		ExhaustiveBounds: *exhBounds,
+		MaxDepth:         *depth,
+		MaxStates:        *maxStates,
+		M:                *m,
+	}
+
+	if *replayPath != "" {
+		return replay(*replayPath, *traceOut)
+	}
+
+	var scenarios []*mc.Scenario
+	switch {
+	case *templates != "":
+		tpl, err := mc.ParseTemplates(*templates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mccheck:", err)
+			return 2
+		}
+		if *q <= 0 {
+			fmt.Fprintln(os.Stderr, "mccheck: -templates requires -q")
+			return 2
+		}
+		scenarios = []*mc.Scenario{{
+			Name:                 "custom",
+			Q:                    *q,
+			Templates:            tpl,
+			Placeholders:         *placehold,
+			Cancels:              *cancels,
+			ChaosSkipWQHeadCheck: *chaos,
+		}}
+	case fs.NArg() == 1 && fs.Arg(0) == "ci":
+		// The CI gate: every preset, both placeholder modes.
+		for _, base := range mc.Presets() {
+			for _, ph := range []bool{false, true} {
+				sc := *base
+				sc.Placeholders = ph
+				sc.ChaosSkipWQHeadCheck = *chaos
+				scCopy := sc
+				scenarios = append(scenarios, &scCopy)
+			}
+		}
+	case fs.NArg() == 1:
+		sc := mc.Preset(fs.Arg(0))
+		if sc == nil {
+			fmt.Fprintf(os.Stderr, "mccheck: unknown preset %q\n", fs.Arg(0))
+			fs.Usage()
+			return 2
+		}
+		sc.Placeholders = *placehold
+		sc.ChaosSkipWQHeadCheck = sc.ChaosSkipWQHeadCheck || *chaos
+		if *cancels {
+			sc.Cancels = true
+		}
+		scenarios = []*mc.Scenario{sc}
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	for _, sc := range scenarios {
+		var res mc.Result
+		var err error
+		mode := "explore"
+		if *walk {
+			mode = fmt.Sprintf("walk seed=%d episodes=%d", *seed, *episodes)
+			res, err = mc.Walk(sc, opt, *seed, *episodes, *steps)
+		} else {
+			res, err = mc.Explore(sc, opt)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mccheck:", err)
+			return 2
+		}
+		label := sc.Name
+		if sc.Placeholders {
+			label += "+placeholders"
+		}
+		if res.Violation != nil {
+			v := res.Violation
+			fmt.Printf("%s: VIOLATION (%s)\n", label, mode)
+			if !*noMinimize {
+				min := mc.Minimize(v)
+				fmt.Printf("minimized: %d steps (from %d)\n", len(min.Path), len(v.Path))
+				v = min
+			}
+			fmt.Println(v)
+			if err := emitArtifacts(v, *scriptOut, *traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "mccheck:", err)
+				return 2
+			}
+			return 1
+		}
+		if *stats || len(scenarios) > 1 {
+			fmt.Printf("%s: ok (%s) %s\n", label, mode, res.Stats)
+		} else {
+			fmt.Printf("%s: ok (%s)\n", label, mode)
+		}
+	}
+	return 0
+}
+
+// emitArtifacts writes the replay script and the Perfetto trace of the
+// violation, as requested.
+func emitArtifacts(v *mc.Violation, scriptOut, traceOut string) error {
+	if scriptOut != "" {
+		if err := os.WriteFile(scriptOut, []byte(v.Script()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("replay script written to %s\n", scriptOut)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := mc.Replay(v.Scenario, v.Path, f); err != nil {
+			return err
+		}
+		fmt.Printf("perfetto trace written to %s (load in ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
+}
+
+// replay re-executes a saved counterexample script.
+func replay(path, traceOut string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mccheck:", err)
+		return 2
+	}
+	sc, schedule, err := mc.ParseReplay(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mccheck:", err)
+		return 2
+	}
+	var trace *os.File
+	if traceOut != "" {
+		if trace, err = os.Create(traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mccheck:", err)
+			return 2
+		}
+		defer trace.Close()
+	}
+	var v *mc.Violation
+	if trace != nil {
+		v, err = mc.Replay(sc, schedule, trace)
+	} else {
+		v, err = mc.Replay(sc, schedule, nil)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mccheck:", err)
+		return 2
+	}
+	if traceOut != "" {
+		fmt.Printf("perfetto trace written to %s (load in ui.perfetto.dev)\n", traceOut)
+	}
+	if v != nil {
+		fmt.Printf("reproduced at step %d:\n%s", v.Step, v)
+		return 1
+	}
+	fmt.Println("schedule ran clean (violation not reproduced)")
+	return 0
+}

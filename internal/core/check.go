@@ -24,11 +24,21 @@ import "fmt"
 //	    a relevant read queue).
 //	I9  Waiting requests hold nothing; entitled non-incremental requests
 //	    hold nothing.
+//
+// maxInvariantReports caps the number of individually formatted violations;
+// the count beyond the cap is still reported in a final "… and N more" entry
+// so consumers (in particular the model checker's minimizer) can distinguish
+// a truncated report from a stable one.
+const maxInvariantReports = 20
+
 func (m *RSM) CheckInvariants() []string {
 	var v []string
+	truncated := 0
 	fail := func(format string, args ...any) {
-		if len(v) < 20 {
+		if len(v) < maxInvariantReports {
 			v = append(v, fmt.Sprintf(format, args...))
+		} else {
+			truncated++
 		}
 	}
 
@@ -108,6 +118,9 @@ func (m *RSM) CheckInvariants() []string {
 		if !exempt {
 			fail("I7/Lemma 6: earliest write %d is waiting", earliestWrite.id)
 		}
+	}
+	if truncated > 0 {
+		v = append(v, fmt.Sprintf("… and %d more violations (report truncated at %d)", truncated, maxInvariantReports))
 	}
 	return v
 }

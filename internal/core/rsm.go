@@ -40,6 +40,15 @@ type Options struct {
 	// request, retrievable via History. Experiments use it to compute
 	// acquisition-delay statistics without an Observer.
 	RecordHistory bool
+
+	// ChaosSkipWQHeadCheck is a TEST-ONLY fault-injection switch used by the
+	// systematic model checker (internal/mc) to validate that its detectors
+	// actually fire: it removes freshPass's write-queue head check,
+	// re-introducing the satisfaction-overtakes-earlier-write bug ruled out
+	// by Finding 1 (see freshPass). A later-timestamped write can then be
+	// satisfied past an earlier conflicting one, falsifying Lemma 6 and the
+	// mutex-RNLP satisfaction order. Never enable outside tests.
+	ChaosSkipWQHeadCheck bool
 }
 
 // Exported errors returned by RSM methods on API misuse.
@@ -404,7 +413,7 @@ func (m *RSM) freshPass(t Time) bool {
 			continue
 		}
 		r.fresh = false
-		if r.kind == KindWrite && !m.headEverywhere(r) {
+		if r.kind == KindWrite && !m.opt.ChaosSkipWQHeadCheck && !m.headEverywhere(r) {
 			continue
 		}
 		if !m.conflictsActive(r) {

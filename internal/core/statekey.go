@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file contains the introspection hooks the systematic model checker
+// (internal/mc) drives the RSM through: a canonical state encoding for
+// memoized state-space exploration, and enabled-invocation predicates that
+// mirror the legality checks of Complete and CancelRequest without
+// performing them.
+
+// StateKey renders a canonical, behavior-complete encoding of the RSM's
+// dynamic state. Two RSMs over the same Spec and Options whose StateKeys are
+// equal react identically to any identical future invocation sequence: the
+// key captures every queue (write queues in timestamp order, read queues and
+// holder lists canonically sorted), every incomplete request's lifecycle
+// state, lock-relevant sets, freshness flag, and the relative timestamp
+// order of incomplete requests (which the stabilization passes iterate in).
+// Absolute Time values are deliberately excluded — the RSM's decisions
+// depend only on timestamp ORDER (Rule G1), so states reached through
+// different interleavings of the same actions can compare equal.
+//
+// alias maps request IDs to caller-chosen canonical names, letting an
+// explorer identify requests by their scenario role rather than their
+// issuance-order ID (which varies across interleavings). A nil alias uses
+// raw IDs.
+func (m *RSM) StateKey(alias func(ReqID) int32) string {
+	name := func(id ReqID) int32 {
+		if alias == nil {
+			return int32(id)
+		}
+		return alias(id)
+	}
+	var b strings.Builder
+
+	// Incomplete requests, in timestamp order (the order every stabilization
+	// pass visits them in — it is part of the behavior).
+	for _, r := range m.incomplete {
+		fmt.Fprintf(&b, "R%d:k%d,s%d,f%t,i%t,u%d", name(r.id), r.kind, r.state,
+			r.fresh, r.incremental, r.upgradeRole)
+		b.WriteString(";nr=")
+		b.WriteString(r.needRead.String())
+		b.WriteString(";nw=")
+		b.WriteString(r.needWrite.String())
+		b.WriteString(";xw=")
+		b.WriteString(r.extraWrite.String())
+		b.WriteString(";ph=")
+		b.WriteString(r.placeholders.String())
+		b.WriteString(";g=")
+		b.WriteString(r.granted.String())
+		b.WriteString(";w=")
+		b.WriteString(r.want.String())
+		b.WriteByte('|')
+	}
+
+	sortedNames := func(reqs []*request) []int32 {
+		ns := make([]int32, len(reqs))
+		for i, r := range reqs {
+			ns[i] = name(r.id)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		return ns
+	}
+	for a := range m.res {
+		rs := &m.res[a]
+		if len(rs.rq) == 0 && len(rs.wq) == 0 && len(rs.readHolders) == 0 && rs.writeHolder == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "L%d:", a)
+		// Read-queue order is issuance order but never consulted by any rule
+		// (only membership and per-entry state are), so sort for canonicity.
+		fmt.Fprintf(&b, "rq=%v;", sortedNames(rs.rq))
+		// Write-queue order IS behavior (Rule W1): keep it.
+		b.WriteString("wq=[")
+		for _, e := range rs.wq {
+			fmt.Fprintf(&b, "%d", name(e.r.id))
+			if e.placeholder {
+				b.WriteByte('p')
+			}
+			b.WriteByte(' ')
+		}
+		b.WriteString("];")
+		fmt.Fprintf(&b, "rh=%v;", sortedNames(rs.readHolders))
+		if rs.writeHolder != nil {
+			fmt.Fprintf(&b, "wh=%d", name(rs.writeHolder.id))
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// CanComplete reports whether Complete(id) would be accepted right now:
+// the request is satisfied, or it is an entitled incremental request
+// (which may finish early, Sec. 3.7).
+func (m *RSM) CanComplete(id ReqID) bool {
+	r := m.reqs[id]
+	if r == nil {
+		return false
+	}
+	return r.state == StateSatisfied || (r.state == StateEntitled && r.incremental)
+}
+
+// CanCancel reports whether CancelRequest(id) would be accepted right now:
+// a plain (non-upgradeable) request that is waiting or entitled and holds
+// nothing.
+func (m *RSM) CanCancel(id ReqID) bool {
+	r := m.reqs[id]
+	if r == nil {
+		return false
+	}
+	return r.group == 0 &&
+		(r.state == StateWaiting || r.state == StateEntitled) &&
+		r.granted.Empty()
+}

@@ -1,0 +1,301 @@
+package mc
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseTemplatesRoundTrip(t *testing.T) {
+	dsl := "r:0+1 w:1+2 m:0|1+2 u:0+2 i:0|2/2/0"
+	tpl, err := ParseTemplates(dsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpl) != 5 {
+		t.Fatalf("got %d templates, want 5", len(tpl))
+	}
+	sigs := make([]string, len(tpl))
+	for i, tp := range tpl {
+		sigs[i] = tp.Signature()
+	}
+	if got := strings.Join(sigs, " "); got != dsl {
+		t.Fatalf("round trip:\n got %s\nwant %s", got, dsl)
+	}
+	if _, err := ParseTemplates("x:0"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ParseTemplates("i:0|1"); err == nil {
+		t.Error("incremental without asks accepted")
+	}
+}
+
+func TestOracleSelection(t *testing.T) {
+	cases := []struct {
+		preset string
+		want   []string
+	}{
+		{"writeonly3", []string{"mutex-rnlp"}},
+		{"single4", []string{"phase-fair"}},
+		{"mixed4x3", nil},
+		{"cancel3", nil},
+	}
+	for _, c := range cases {
+		var names []string
+		for _, o := range activeOracles(Preset(c.preset)) {
+			names = append(names, o.name())
+		}
+		if strings.Join(names, ",") != strings.Join(c.want, ",") {
+			t.Errorf("%s: oracles %v, want %v", c.preset, names, c.want)
+		}
+	}
+}
+
+// Every preset scope must be clean — invariants, oracles, deadlock freedom,
+// and terminal bounds — in both placeholder modes. This is the checker's
+// core claim: "no violation for ANY interleaving of these scopes".
+func TestExplorePresetsClean(t *testing.T) {
+	for _, base := range Presets() {
+		if base.Name == "nested5x4" && testing.Short() {
+			continue // the largest scope; exercised by make ci
+		}
+		for _, ph := range []bool{false, true} {
+			sc := *base
+			sc.Placeholders = ph
+			name := sc.Name
+			if ph {
+				name += "+placeholders"
+			}
+			t.Run(name, func(t *testing.T) {
+				res, err := Explore(&sc, DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Violation != nil {
+					t.Fatalf("violation:\n%s", res.Violation)
+				}
+				if res.Stats.Terminals == 0 || res.Stats.States == 0 {
+					t.Fatalf("implausible stats: %s", res.Stats)
+				}
+				t.Logf("%s: %s", name, res.Stats)
+			})
+		}
+	}
+}
+
+// The flagship documented scope (ISSUE acceptance criterion): 4 requests —
+// reader, writer, upgradeable pair, incremental — over 3 resources,
+// exhaustively.
+func TestExploreMixed4x3Exhaustive(t *testing.T) {
+	res, err := Explore(Preset("mixed4x3"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation:\n%s", res.Violation)
+	}
+	t.Logf("mixed4x3 exhausted: %s", res.Stats)
+}
+
+// Memoization and sleep sets must not change the verdict, only the effort.
+func TestPruningPreservesVerdict(t *testing.T) {
+	sc := Preset("writeonly3")
+	full, err := Explore(sc, Options{CheckBounds: true}) // no pruning at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Explore(sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (full.Violation == nil) != (pruned.Violation == nil) {
+		t.Fatalf("verdicts differ: full=%v pruned=%v", full.Violation, pruned.Violation)
+	}
+	if pruned.Stats.States >= full.Stats.States {
+		t.Errorf("pruning did not reduce states: full=%d pruned=%d",
+			full.Stats.States, pruned.Stats.States)
+	}
+	t.Logf("full: %s", full.Stats)
+	t.Logf("pruned: %s", pruned.Stats)
+}
+
+// Statically independent templates (disjoint footprints) must trigger
+// sleep-set pruning.
+func TestSleepSetPruning(t *testing.T) {
+	sc := &Scenario{Name: "disjoint2", Q: 2, Templates: mustTemplates("w:0 w:1")}
+	res, err := Explore(sc, Options{SleepSets: true, CheckBounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation:\n%s", res.Violation)
+	}
+	if res.Stats.SleepPruned == 0 {
+		t.Errorf("no sleep-set pruning on disjoint templates: %s", res.Stats)
+	}
+}
+
+// Identical templates must trigger the symmetry reduction.
+func TestSymmetryPruning(t *testing.T) {
+	sc := &Scenario{Name: "twins", Q: 1, Templates: mustTemplates("w:0 w:0")}
+	res, err := Explore(sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation:\n%s", res.Violation)
+	}
+	if res.Stats.SymmetryPruned == 0 {
+		t.Errorf("no symmetry pruning on identical templates: %s", res.Stats)
+	}
+}
+
+// The acceptance-criterion injection: ChaosSkipWQHeadCheck reintroduces
+// write overtaking, which the mutex-RNLP differential oracle must catch; the
+// counterexample must minimize to no more than the injected schedule (the
+// three issues) and replay to a Perfetto trace.
+func TestInjectedViolationCaughtMinimizedReplayed(t *testing.T) {
+	sc := &Scenario{
+		Name:                 "inject-overtake",
+		Q:                    2,
+		Templates:            mustTemplates("w:0 w:0+1 w:1"),
+		ChaosSkipWQHeadCheck: true,
+	}
+	res, err := Explore(sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Violation
+	if v == nil {
+		t.Fatal("injected overtaking bug not caught")
+	}
+	if v.Kind != VOracle {
+		t.Fatalf("caught as %s, want oracle-divergence:\n%s", v.Kind, v)
+	}
+
+	min := Minimize(v)
+	if len(min.Path) > len(v.Path) {
+		t.Fatalf("minimization grew the schedule: %d > %d", len(min.Path), len(v.Path))
+	}
+	// The injected bug needs exactly: issue the holder, issue the blocked
+	// waiter, issue the overtaker.
+	if len(min.Path) > 3 {
+		t.Fatalf("minimal counterexample has %d steps, want ≤ 3:\n%s", len(min.Path), min)
+	}
+
+	var trace bytes.Buffer
+	rv, err := Replay(min.Scenario, min.Path, &trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv == nil || rv.Kind != VOracle {
+		t.Fatalf("replay did not reproduce the divergence: %v", rv)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("replay trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("replay trace has no events")
+	}
+}
+
+// Replay scripts must round-trip: Script → ParseReplay → identical scenario
+// and schedule.
+func TestReplayScriptRoundTrip(t *testing.T) {
+	sc := &Scenario{
+		Name:                 "inject-overtake",
+		Q:                    2,
+		Templates:            mustTemplates("w:0 w:0+1 w:1"),
+		ChaosSkipWQHeadCheck: true,
+	}
+	v := &Violation{
+		Kind: VOracle, Step: 3,
+		Path: []Action{{Tmpl: 0, Kind: ActIssue}, {Tmpl: 1, Kind: ActIssue}, {Tmpl: 2, Kind: ActIssue}},
+	}
+	v.Scenario = sc
+	script := v.Script()
+	sc2, path2, err := ParseReplay(strings.NewReader(script))
+	if err != nil {
+		t.Fatalf("parsing own script: %v\n%s", err, script)
+	}
+	if sc2.Q != sc.Q || sc2.Name != sc.Name ||
+		sc2.ChaosSkipWQHeadCheck != sc.ChaosSkipWQHeadCheck ||
+		sc2.TemplatesDSL() != sc.TemplatesDSL() {
+		t.Fatalf("scenario did not round trip:\n%s", script)
+	}
+	if len(path2) != len(v.Path) {
+		t.Fatalf("schedule did not round trip: %v vs %v", path2, v.Path)
+	}
+	for i := range path2 {
+		if path2[i] != v.Path[i] {
+			t.Fatalf("action %d: %s vs %s", i, path2[i], v.Path[i])
+		}
+	}
+
+	// All action forms must survive String → parseAction.
+	forms := []Action{
+		{Tmpl: 1, Kind: ActIssue},
+		{Tmpl: 2, Kind: ActComplete},
+		{Tmpl: 0, Kind: ActCancel},
+		{Tmpl: 3, Kind: ActFinishReadNo},
+		{Tmpl: 3, Kind: ActFinishReadYes},
+		{Tmpl: 4, Kind: ActAcquire, Ask: 2},
+	}
+	for _, a := range forms {
+		back, err := parseAction(a.String())
+		if err != nil {
+			t.Errorf("%s: %v", a, err)
+		} else if back != a {
+			t.Errorf("%s parsed back as %s", a, back)
+		}
+	}
+}
+
+// Walk must be deterministic for a fixed seed and clean on the presets.
+func TestWalkSeededDeterministic(t *testing.T) {
+	sc := Preset("mixed4x3")
+	r1, err := Walk(sc, DefaultOptions(), 42, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Violation != nil {
+		t.Fatalf("violation:\n%s", r1.Violation)
+	}
+	r2, err := Walk(sc, DefaultOptions(), 42, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatalf("same seed, different stats:\n%s\n%s", r1.Stats, r2.Stats)
+	}
+	r3, err := Walk(sc, DefaultOptions(), 43, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats == r3.Stats {
+		t.Error("different seeds produced identical stats (suspicious)")
+	}
+}
+
+// A depth limit must truncate honestly: cutoffs are counted and terminals
+// may be missed, but no spurious violation is reported.
+func TestMaxDepthCutoff(t *testing.T) {
+	sc := Preset("writeonly3")
+	res, err := Explore(sc, Options{Memo: true, CheckBounds: true, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation:\n%s", res.Violation)
+	}
+	if res.Stats.DepthCutoffs == 0 {
+		t.Errorf("depth 3 on a 6-step scope produced no cutoffs: %s", res.Stats)
+	}
+	if res.Stats.Terminals != 0 {
+		t.Errorf("depth 3 cannot reach a terminal of a 6-step scope: %s", res.Stats)
+	}
+}

@@ -1,0 +1,108 @@
+package mc
+
+// Counterexample shrinking. A violation found by the explorer already ends
+// at its detection step, but usually still contains actions irrelevant to
+// the failure (templates that never interact with the buggy ones, redundant
+// interleaving choices). Minimize greedily shrinks the schedule while
+// preserving the violation KIND — the reproduced failure must stay the same
+// class of bug, not merely some failure:
+//
+//  1. remove every action of one template at a time (coarse, delta-debugging
+//     style: most of the reduction comes from discarding bystander
+//     templates), then
+//  2. remove single actions, scanning from the end (fine).
+//
+// Both passes repeat until a fixed point. Every candidate schedule is
+// validated by actually replaying it — an illegal schedule (e.g. completing
+// a request whose issue was removed) simply fails to reproduce and is
+// rejected, so the minimizer needs no dependency analysis.
+
+// Minimize returns the smallest violation reachable from v by greedy
+// schedule reduction. The result reproduces deterministically via Replay
+// and is never longer than v's schedule.
+func Minimize(v *Violation) *Violation {
+	if v == nil || v.Scenario == nil {
+		return v
+	}
+	best := v
+	for {
+		improved := false
+
+		// Coarse pass: drop whole templates.
+		seenTmpl := map[int]bool{}
+		for _, a := range best.Path {
+			seenTmpl[a.Tmpl] = true
+		}
+		for tmpl := range seenTmpl {
+			cand := make([]Action, 0, len(best.Path))
+			for _, a := range best.Path {
+				if a.Tmpl != tmpl {
+					cand = append(cand, a)
+				}
+			}
+			if len(cand) == len(best.Path) {
+				continue
+			}
+			if rv := reproduce(best.Scenario, cand, best.Kind); rv != nil {
+				best = rv
+				improved = true
+			}
+		}
+
+		// Fine pass: drop single actions, from the end (later actions are
+		// more likely to be removable without invalidating the prefix).
+		for i := len(best.Path) - 1; i >= 0; i-- {
+			cand := make([]Action, 0, len(best.Path)-1)
+			cand = append(cand, best.Path[:i]...)
+			cand = append(cand, best.Path[i+1:]...)
+			if rv := reproduce(best.Scenario, cand, best.Kind); rv != nil {
+				best = rv
+				improved = true
+			}
+		}
+
+		if !improved {
+			return best
+		}
+	}
+}
+
+// reproduce replays a candidate schedule and returns the violation if it
+// fails with the wanted kind (truncated at the detection step), nil
+// otherwise. Candidate schedules may be illegal — an apply error just means
+// "does not reproduce".
+func reproduce(sc *Scenario, path []Action, want VKind) *Violation {
+	r, err := newRunner(sc)
+	if err != nil {
+		return nil
+	}
+	for i, a := range path {
+		if err := r.apply(a); err != nil {
+			return nil
+		}
+		if v := r.checkStep(); v != nil {
+			if v.Kind != want {
+				return nil
+			}
+			v.attach(sc, path[:i+1])
+			return v
+		}
+	}
+	switch want {
+	case VDeadlock:
+		if enab, sym := r.enabled(); len(enab) == 0 && sym == 0 && !r.terminal() {
+			v := &Violation{Kind: VDeadlock, Step: len(path),
+				Details: []string{"no action enabled but templates remain unfinished"}}
+			v.attach(sc, path)
+			return v
+		}
+	case VBound:
+		if r.terminal() {
+			if v := checkBounds(r, len(sc.Templates)); v != nil {
+				v.attach(sc, path)
+				return v
+			}
+		}
+	}
+	return nil
+}

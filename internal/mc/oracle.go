@@ -1,0 +1,332 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Differential oracles: independent reimplementations of the two protocols
+// the R/W RNLP must degenerate to in restricted scopes. They deliberately
+// share no code with core.RSM — each is a from-scratch transcription of the
+// prior-art protocol's satisfaction rule — so an implementation bug in the
+// RSM's queue machinery cannot cancel out of the comparison.
+//
+//   - Write-only scenarios: the RSM must produce exactly the mutex RNLP's
+//     satisfaction order (Ward & Anderson, ECRTS 2012 — reference [19]):
+//     per-resource timestamp-FIFO write queues, a request satisfied when it
+//     heads every queue it occupies and no needed resource is held.
+//
+//   - Single-resource scenarios: the RSM must produce exactly phase-fair
+//     reader/writer admission (Brandenburg & Anderson's PF-T — reference
+//     [7], realized in internal/locks/phasefair): writers FIFO; the head
+//     writer publishes presence as soon as its predecessor finishes,
+//     blocking later readers; readers that arrived earlier drain first; a
+//     completing writer releases ALL readers blocked on its phase.
+//
+// An oracle consumes the same action sequence as the RSM and produces its
+// own satisfaction log; the runner compares the two after every step.
+
+// oracle is a reference model driven alongside the RSM.
+type oracle interface {
+	name() string
+	// apply observes one action at the given step (1-based logical time).
+	apply(step int, a Action, sc *Scenario)
+	// satisfactions returns the model's satisfaction log so far. The caller
+	// owns the slice.
+	satisfactions() []satEv
+	// key canonically encodes the oracle's internal state for memoization.
+	key() string
+}
+
+// activeOracles returns the oracles applicable to the scenario. Oracles
+// require plain templates (upgradeable pairs and incremental requests have
+// no counterpart in the reference protocols).
+func activeOracles(sc *Scenario) []oracle {
+	plain := true
+	for _, tp := range sc.Templates {
+		if !tp.plain() {
+			plain = false
+			break
+		}
+	}
+	if !plain {
+		return nil
+	}
+	var os []oracle
+	writeOnly := true
+	for _, tp := range sc.Templates {
+		if len(tp.Read) > 0 {
+			writeOnly = false
+			break
+		}
+	}
+	if writeOnly {
+		os = append(os, newMutexOracle(sc))
+	}
+	if sc.Q == 1 {
+		os = append(os, newPhaseFairOracle())
+	}
+	return os
+}
+
+// ---------------------------------------------------------------------------
+// Mutex RNLP oracle (write-only scenarios)
+
+// mutexOracle models the mutex-only RNLP: every request is exclusive, every
+// resource has one timestamp-ordered FIFO queue, and a request is satisfied
+// at the first instant it heads all of its queues and none of its resources
+// is held. With no read sharing declared, the R/W RNLP's expansion is the
+// identity, so needed sets are queue sets.
+type mutexOracle struct {
+	queues  [][]int // queues[resource] = template indices, arrival order
+	holder  []int   // holder[resource] = template index or -1
+	arrival []int   // arrival[tmpl] = arrival rank (timestamp), -1 unissued
+	nextArr int
+	log     []satEv
+}
+
+func newMutexOracle(sc *Scenario) *mutexOracle {
+	o := &mutexOracle{
+		queues:  make([][]int, sc.Q),
+		holder:  make([]int, sc.Q),
+		arrival: make([]int, len(sc.Templates)),
+	}
+	for i := range o.holder {
+		o.holder[i] = -1
+	}
+	for i := range o.arrival {
+		o.arrival[i] = -1
+	}
+	return o
+}
+
+func (o *mutexOracle) name() string { return "mutex-rnlp" }
+
+func (o *mutexOracle) apply(step int, a Action, sc *Scenario) {
+	tp := &sc.Templates[a.Tmpl]
+	switch a.Kind {
+	case ActIssue:
+		o.arrival[a.Tmpl] = o.nextArr
+		o.nextArr++
+		for _, res := range tp.Write {
+			o.queues[res] = append(o.queues[res], a.Tmpl)
+		}
+	case ActComplete:
+		for res := range o.holder {
+			if o.holder[res] == a.Tmpl {
+				o.holder[res] = -1
+			}
+		}
+	case ActCancel:
+		for res := range o.queues {
+			o.queues[res] = removeTmpl(o.queues[res], a.Tmpl)
+		}
+	}
+	o.satisfyLoop(step, sc)
+}
+
+// satisfyLoop applies the satisfaction rule to a fixed point, visiting
+// candidates in timestamp order (the mutex RNLP satisfies in that order
+// within one instant, as does the RSM's stabilization).
+func (o *mutexOracle) satisfyLoop(step int, sc *Scenario) {
+	for {
+		progressed := false
+		cands := make([]int, 0, len(o.arrival))
+		for tmpl, arr := range o.arrival {
+			if arr >= 0 && o.queued(tmpl) {
+				cands = append(cands, tmpl)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return o.arrival[cands[i]] < o.arrival[cands[j]] })
+		for _, tmpl := range cands {
+			if !o.headEverywhere(tmpl, sc) || o.anyHeld(tmpl, sc) {
+				continue
+			}
+			for _, res := range sc.Templates[tmpl].Write {
+				o.queues[res] = removeTmpl(o.queues[res], tmpl)
+				o.holder[res] = tmpl
+			}
+			o.log = append(o.log, satEv{step: step, tmpl: tmpl})
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// queued reports whether tmpl still waits in some queue.
+func (o *mutexOracle) queued(tmpl int) bool {
+	for _, q := range o.queues {
+		for _, t := range q {
+			if t == tmpl {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (o *mutexOracle) headEverywhere(tmpl int, sc *Scenario) bool {
+	for _, res := range sc.Templates[tmpl].Write {
+		q := o.queues[res]
+		if len(q) == 0 || q[0] != tmpl {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *mutexOracle) anyHeld(tmpl int, sc *Scenario) bool {
+	for _, res := range sc.Templates[tmpl].Write {
+		if o.holder[res] != -1 {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *mutexOracle) satisfactions() []satEv {
+	return append([]satEv(nil), o.log...)
+}
+
+func (o *mutexOracle) key() string {
+	var b strings.Builder
+	for res, q := range o.queues {
+		if len(q) > 0 || o.holder[res] != -1 {
+			fmt.Fprintf(&b, "q%d=%v,h%d;", res, q, o.holder[res])
+		}
+	}
+	// Arrival ranks of live (queued or holding) templates relative order.
+	fmt.Fprintf(&b, "arr=%v", o.arrival)
+	return b.String()
+}
+
+func removeTmpl(q []int, tmpl int) []int {
+	out := q[:0]
+	for _, t := range q {
+		if t != tmpl {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Phase-fair oracle (single-resource scenarios)
+
+// phaseFairOracle transcribes the PF-T ticket lock's admission discipline at
+// the logical level (see internal/locks/phasefair for the runtime-plane
+// realization):
+//
+//   - A reader is admitted immediately unless a writer holds the resource or
+//     a head writer has published presence (is "entitled"); otherwise it
+//     blocks on the current writer phase.
+//   - Writers queue FIFO. The queue head publishes presence as soon as no
+//     other writer holds or is present — even while readers hold — and
+//     acquires once in-flight readers drain.
+//   - A completing writer first releases every reader blocked on its phase
+//     (they arrived before the next writer's presence), then the next writer
+//     becomes present.
+type phaseFairOracle struct {
+	readHolders    map[int]bool
+	writer         int   // holding writer template, -1 = none
+	entitledWriter int   // present (head, draining readers) writer, -1 = none
+	wq             []int // waiting writers beyond the present one, FIFO
+	blockedReaders []int // readers blocked on the current writer phase
+	log            []satEv
+}
+
+func newPhaseFairOracle() *phaseFairOracle {
+	return &phaseFairOracle{
+		readHolders:    map[int]bool{},
+		writer:         -1,
+		entitledWriter: -1,
+	}
+}
+
+func (o *phaseFairOracle) name() string { return "phase-fair" }
+
+func (o *phaseFairOracle) apply(step int, a Action, sc *Scenario) {
+	tp := &sc.Templates[a.Tmpl]
+	isRead := len(tp.Write) == 0
+	switch a.Kind {
+	case ActIssue:
+		if isRead {
+			if o.writer == -1 && o.entitledWriter == -1 {
+				o.readHolders[a.Tmpl] = true
+				o.log = append(o.log, satEv{step: step, tmpl: a.Tmpl})
+			} else {
+				o.blockedReaders = append(o.blockedReaders, a.Tmpl)
+			}
+		} else {
+			o.wq = append(o.wq, a.Tmpl)
+			o.promote(step)
+		}
+	case ActComplete:
+		if isRead {
+			delete(o.readHolders, a.Tmpl)
+			o.promote(step)
+		} else {
+			o.writer = -1
+			// Phase-fairness: every reader blocked on the finished phase is
+			// admitted before the next writer phase begins.
+			blocked := o.blockedReaders
+			o.blockedReaders = nil
+			for _, rt := range blocked {
+				o.readHolders[rt] = true
+				o.log = append(o.log, satEv{step: step, tmpl: rt})
+			}
+			o.promote(step)
+		}
+	case ActCancel:
+		if isRead {
+			o.blockedReaders = removeTmpl(o.blockedReaders, a.Tmpl)
+		} else {
+			o.wq = removeTmpl(o.wq, a.Tmpl)
+			if o.entitledWriter == a.Tmpl {
+				o.entitledWriter = -1
+				o.promote(step)
+				// If no writer took over, the readers blocked on the
+				// canceled presence are admitted (the RSM's stabilization
+				// re-runs the R1 satisfaction test after a cancellation).
+				if o.writer == -1 && o.entitledWriter == -1 {
+					blocked := o.blockedReaders
+					o.blockedReaders = nil
+					for _, rt := range blocked {
+						o.readHolders[rt] = true
+						o.log = append(o.log, satEv{step: step, tmpl: rt})
+					}
+				}
+			}
+		}
+	}
+}
+
+// promote advances the writer pipeline: the queue head publishes presence
+// when no writer holds or is present, and acquires once no readers hold.
+func (o *phaseFairOracle) promote(step int) {
+	if o.writer == -1 && o.entitledWriter == -1 && len(o.wq) > 0 {
+		o.entitledWriter = o.wq[0]
+		o.wq = o.wq[1:]
+	}
+	if o.writer == -1 && o.entitledWriter != -1 && len(o.readHolders) == 0 {
+		o.writer = o.entitledWriter
+		o.entitledWriter = -1
+		o.log = append(o.log, satEv{step: step, tmpl: o.writer})
+	}
+}
+
+func (o *phaseFairOracle) satisfactions() []satEv {
+	return append([]satEv(nil), o.log...)
+}
+
+func (o *phaseFairOracle) key() string {
+	rh := make([]int, 0, len(o.readHolders))
+	for t := range o.readHolders {
+		rh = append(rh, t)
+	}
+	sort.Ints(rh)
+	return fmt.Sprintf("rh=%v,w=%d,e=%d,wq=%v,br=%v", rh, o.writer, o.entitledWriter, o.wq, o.blockedReaders)
+}

@@ -1,0 +1,176 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential unit tests OUTSIDE the checker: fixed, hand-analyzed
+// schedules (no DFS involved) asserting that the RSM's satisfaction order
+// equals the prior-art protocols' disciplines — the mutex RNLP's
+// timestamp-FIFO order on write-only workloads (locks/mutexrnlp's
+// semantics) and phase-fair admission on single-resource workloads
+// (locks/phasefair's semantics). Both are seeded from the paper's Fig. 2
+// running example; the expected logs are hand-computed literals, so these
+// tests catch a bug even if the oracle models and the RSM drifted together.
+
+// applySchedule runs a fixed schedule, asserting every per-step check
+// (invariants + oracle comparison) stays clean, and returns the RSM's
+// canonical satisfaction log.
+func applySchedule(t *testing.T, sc *Scenario, schedule []Action) []satEv {
+	t.Helper()
+	r, err := newRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range schedule {
+		if err := r.apply(a); err != nil {
+			t.Fatalf("step %d (%s): %v", i+1, a, err)
+		}
+		if v := r.checkStep(); v != nil {
+			v.attach(sc, schedule[:i+1])
+			t.Fatalf("step %d (%s):\n%s", i+1, a, v)
+		}
+	}
+	log := r.rsmSatLog()
+	canonicalizeSatLog(log)
+	return log
+}
+
+func assertLog(t *testing.T, got, want []satEv) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("satisfaction log:\n got %v\nwant %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("satisfaction log differs at %d:\n got %v\nwant %v", i, got, want)
+		}
+	}
+}
+
+// The Fig. 2 example with every request issued as a write — exactly how
+// locks/mutexrnlp degenerates the engine — must reproduce the mutex RNLP's
+// timestamp-FIFO satisfaction order:
+//
+//	R1 w{a,b}, R2 w{a,b,c}, R3 w{c}, R4 w{c}, R5 w{a,b}  (a,b,c = 0,1,2)
+//
+// R1 is satisfied on issue; R1's completion satisfies R2 (head of every
+// queue); R2's completion satisfies R3 (next in WQ(c)) and R5 (queues a,b
+// now empty) in the same instant; R3's completion satisfies R4.
+func TestDifferentialMutexWriteOnlyFig2(t *testing.T) {
+	sc := &Scenario{
+		Name:      "fig2-writeonly",
+		Q:         3,
+		Templates: mustTemplates("w:0+1 w:0+1+2 w:2 w:2 w:0+1"),
+	}
+	if len(activeOracles(sc)) != 1 {
+		t.Fatal("mutex oracle not active on a write-only scenario")
+	}
+	schedule := []Action{
+		{Tmpl: 0, Kind: ActIssue},    // t=1: R1 satisfied immediately
+		{Tmpl: 1, Kind: ActIssue},    // t=2: R2 waits behind R1
+		{Tmpl: 2, Kind: ActIssue},    // t=3: R3 waits behind R2 in WQ(c)
+		{Tmpl: 3, Kind: ActIssue},    // t=4: R4 waits behind R3
+		{Tmpl: 0, Kind: ActComplete}, // t=5: R2 satisfied
+		{Tmpl: 4, Kind: ActIssue},    // t=6: R5 waits behind R2 on a,b
+		{Tmpl: 1, Kind: ActComplete}, // t=7: R3 and R5 satisfied
+		{Tmpl: 2, Kind: ActComplete}, // t=8: R4 satisfied
+		{Tmpl: 4, Kind: ActComplete}, // t=9
+		{Tmpl: 3, Kind: ActComplete}, // t=10
+	}
+	got := applySchedule(t, sc, schedule)
+	assertLog(t, got, []satEv{
+		{step: 1, tmpl: 0},
+		{step: 5, tmpl: 1},
+		{step: 7, tmpl: 2},
+		{step: 7, tmpl: 4},
+		{step: 8, tmpl: 3},
+	})
+}
+
+// Single-resource R/W traffic (the ℓc contention of Fig. 2, extended) must
+// reproduce phase-fair admission — locks/phasefair's discipline:
+//
+//   - readers blocked on a write phase are ALL admitted when it ends,
+//     before any queued writer;
+//   - a reader arriving while the next writer is present (entitled,
+//     draining earlier readers) waits for that writer's phase;
+//   - the writer acquires once the earlier readers drain.
+func TestDifferentialPhaseFairSingleResourceFig2(t *testing.T) {
+	sc := &Scenario{
+		Name:      "fig2-singleresource",
+		Q:         1,
+		Templates: mustTemplates("w:0 r:0 r:0 w:0 r:0"),
+	}
+	if len(activeOracles(sc)) != 1 {
+		t.Fatal("phase-fair oracle not active on a single-resource scenario")
+	}
+	schedule := []Action{
+		{Tmpl: 0, Kind: ActIssue},    // t=1: W1 satisfied immediately
+		{Tmpl: 1, Kind: ActIssue},    // t=2: Ra blocked on W1's phase
+		{Tmpl: 2, Kind: ActIssue},    // t=3: Rb blocked on W1's phase
+		{Tmpl: 3, Kind: ActIssue},    // t=4: W2 queues behind W1
+		{Tmpl: 0, Kind: ActComplete}, // t=5: read phase {Ra,Rb} admitted before W2
+		{Tmpl: 4, Kind: ActIssue},    // t=6: Rc blocked — W2 is present (entitled)
+		{Tmpl: 1, Kind: ActComplete}, // t=7: Ra done
+		{Tmpl: 2, Kind: ActComplete}, // t=8: Rb done → readers drained → W2 acquires
+		{Tmpl: 3, Kind: ActComplete}, // t=9: W2 done → Rc admitted
+		{Tmpl: 4, Kind: ActComplete}, // t=10
+	}
+	got := applySchedule(t, sc, schedule)
+	assertLog(t, got, []satEv{
+		{step: 1, tmpl: 0},
+		{step: 5, tmpl: 1},
+		{step: 5, tmpl: 2},
+		{step: 8, tmpl: 3},
+		{step: 9, tmpl: 4},
+	})
+}
+
+// Randomized differential sweep: many seeded episodes over random write-only
+// and single-resource scopes, applying random legal actions and letting the
+// per-step oracle comparison run. No exploration machinery — just the
+// harness — so a divergence points directly at a semantic mismatch.
+func TestDifferentialRandomizedEpisodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dsls := []struct {
+		name string
+		q    int
+		dsl  string
+	}{
+		{"writeonly", 3, "w:0 w:0+1 w:1+2 w:0+2 w:2"},
+		{"singleres", 1, "w:0 r:0 r:0 w:0 r:0 w:0"},
+	}
+	for _, d := range dsls {
+		sc := &Scenario{Name: d.name, Q: d.q, Templates: mustTemplates(d.dsl)}
+		if len(activeOracles(sc)) == 0 {
+			t.Fatalf("%s: no oracle active", d.name)
+		}
+		for ep := 0; ep < 50; ep++ {
+			r, err := newRunner(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var path []Action
+			for {
+				enab, _ := r.enabled()
+				if len(enab) == 0 {
+					if !r.terminal() {
+						t.Fatalf("%s ep %d: stuck after %v", d.name, ep, path)
+					}
+					break
+				}
+				a := enab[rng.Intn(len(enab))]
+				if err := r.apply(a); err != nil {
+					t.Fatalf("%s ep %d: %s: %v", d.name, ep, a, err)
+				}
+				path = append(path, a)
+				if v := r.checkStep(); v != nil {
+					v.attach(sc, path)
+					t.Fatalf("%s ep %d:\n%s", d.name, ep, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package mc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/rtsync/rwrnlp/internal/obs"
+)
+
+// VKind classifies a violation.
+type VKind uint8
+
+const (
+	// VInvariant: core.CheckInvariants reported a broken structural
+	// invariant (I1–I9).
+	VInvariant VKind = iota
+	// VOracle: a differential oracle's satisfaction log diverged from the
+	// RSM's.
+	VOracle
+	// VDeadlock: a non-terminal state with no enabled action.
+	VDeadlock
+	// VBound: a Theorem 1/2 acquisition-delay envelope was exceeded.
+	VBound
+)
+
+func (k VKind) String() string {
+	switch k {
+	case VInvariant:
+		return "invariant"
+	case VOracle:
+		return "oracle-divergence"
+	case VDeadlock:
+		return "deadlock"
+	case VBound:
+		return "bound"
+	default:
+		return fmt.Sprintf("vkind(%d)", uint8(k))
+	}
+}
+
+// Violation is a checked property failing on a concrete schedule. Path is
+// the full schedule up to (and including) the detecting step, sufficient to
+// reproduce the failure deterministically via Replay.
+type Violation struct {
+	Kind     VKind
+	Step     int      // 1-based logical step at which the violation surfaced
+	Details  []string // property-specific diagnostics
+	Path     []Action
+	Scenario *Scenario
+}
+
+// attach records the scenario and a private copy of the schedule.
+func (v *Violation) attach(sc *Scenario, path []Action) {
+	v.Scenario = sc
+	v.Path = append([]Action(nil), path...)
+}
+
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s violation at step %d (schedule length %d)\n", v.Kind, v.Step, len(v.Path))
+	for _, d := range v.Details {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	b.WriteString(v.Script())
+	return b.String()
+}
+
+// Script renders the violation as a deterministic replay script:
+//
+//	mccheck-replay v1
+//	scenario <name>
+//	q <n>
+//	placeholders|cancels|chaos-skip-wq-head-check   (flags, if set)
+//	tmpl <dsl>                                      (one per template)
+//	-- schedule
+//	<step>. <action>
+//
+// The script is self-contained: ParseReplay rebuilds the scenario and the
+// schedule, and Replay re-executes it against a fresh RSM.
+func (v *Violation) Script() string {
+	var b strings.Builder
+	b.WriteString("mccheck-replay v1\n")
+	sc := v.Scenario
+	name := sc.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	fmt.Fprintf(&b, "scenario %s\n", name)
+	fmt.Fprintf(&b, "q %d\n", sc.Q)
+	if sc.Placeholders {
+		b.WriteString("placeholders\n")
+	}
+	if sc.Cancels {
+		b.WriteString("cancels\n")
+	}
+	if sc.ChaosSkipWQHeadCheck {
+		b.WriteString("chaos-skip-wq-head-check\n")
+	}
+	for _, tp := range sc.Templates {
+		fmt.Fprintf(&b, "tmpl %s\n", tp.Signature())
+	}
+	b.WriteString("-- schedule\n")
+	for i, a := range v.Path {
+		fmt.Fprintf(&b, "%d. %s\n", i+1, a)
+	}
+	return b.String()
+}
+
+// ParseReplay parses a replay script produced by Violation.Script.
+func ParseReplay(r io.Reader) (*Scenario, []Action, error) {
+	sc := &Scenario{}
+	var path []Action
+	inSchedule := false
+	scan := bufio.NewScanner(r)
+	first := true
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if first {
+			if line != "mccheck-replay v1" {
+				return nil, nil, fmt.Errorf("mc: line %d: not a replay script (want 'mccheck-replay v1' header)", lineNo)
+			}
+			first = false
+			continue
+		}
+		if line == "-- schedule" {
+			inSchedule = true
+			continue
+		}
+		if inSchedule {
+			// "<step>. <action>" — the step number is cosmetic.
+			if _, rest, ok := strings.Cut(line, ". "); ok {
+				line = rest
+			}
+			a, err := parseAction(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("mc: line %d: %w", lineNo, err)
+			}
+			path = append(path, a)
+			continue
+		}
+		key, rest, _ := strings.Cut(line, " ")
+		switch key {
+		case "scenario":
+			sc.Name = rest
+		case "q":
+			if _, err := fmt.Sscanf(rest, "%d", &sc.Q); err != nil {
+				return nil, nil, fmt.Errorf("mc: line %d: bad q %q", lineNo, rest)
+			}
+		case "placeholders":
+			sc.Placeholders = true
+		case "cancels":
+			sc.Cancels = true
+		case "chaos-skip-wq-head-check":
+			sc.ChaosSkipWQHeadCheck = true
+		case "tmpl":
+			tpl, err := ParseTemplates(rest)
+			if err != nil {
+				return nil, nil, fmt.Errorf("mc: line %d: %w", lineNo, err)
+			}
+			sc.Templates = append(sc.Templates, tpl...)
+		default:
+			return nil, nil, fmt.Errorf("mc: line %d: unknown directive %q", lineNo, key)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return nil, nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return sc, path, nil
+}
+
+// Replay deterministically re-executes a schedule against a fresh RSM,
+// running the full per-step checks, and returns the violation it reproduces
+// (nil if the schedule is clean — e.g. after the underlying bug is fixed).
+// When traceOut is non-nil a Perfetto/Chrome trace of the replay is written
+// to it, one logical step per time unit, so the violating interleaving can
+// be read on a timeline.
+func Replay(sc *Scenario, path []Action, traceOut io.Writer) (*Violation, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	var tb *obs.TraceBuilder
+	var v *Violation
+	var r *runner
+	var err error
+	if traceOut != nil {
+		tb = obs.NewTraceBuilder()
+		tb.TimeDiv = 1 // logical steps render 1:1 as microseconds
+		r, err = newRunner(sc, tb)
+	} else {
+		r, err = newRunner(sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range path {
+		if err := r.apply(a); err != nil {
+			return nil, fmt.Errorf("mc: replay step %d (%s): %w", i+1, a, err)
+		}
+		if v = r.checkStep(); v != nil {
+			v.attach(sc, path[:i+1])
+			break
+		}
+	}
+	if v == nil {
+		// The schedule ran clean step-wise; check end-of-path properties.
+		if enab, sym := r.enabled(); len(enab) == 0 && sym == 0 && !r.terminal() {
+			v = &Violation{Kind: VDeadlock, Step: len(path),
+				Details: []string{"no action enabled but templates remain unfinished"}}
+			v.attach(sc, path)
+		} else if r.terminal() {
+			if bv := checkBounds(r, len(sc.Templates)); bv != nil {
+				v = bv
+				v.attach(sc, path)
+			}
+		}
+	}
+	if tb != nil {
+		if _, werr := tb.WriteTo(traceOut); werr != nil {
+			return v, fmt.Errorf("mc: writing trace: %w", werr)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,521 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// ActionKind is one protocol invocation choice of the explorer.
+type ActionKind uint8
+
+const (
+	// ActIssue issues the template's request (or upgradeable pair).
+	ActIssue ActionKind = iota
+	// ActComplete completes the template's critical section.
+	ActComplete
+	// ActCancel withdraws a plain waiting/entitled request (CancelRequest).
+	ActCancel
+	// ActFinishReadNo ends an upgrade pair's optimistic read segment without
+	// upgrading (the write half is canceled).
+	ActFinishReadNo
+	// ActFinishReadYes ends the read segment and upgrades: read locks are
+	// released and the write half proceeds.
+	ActFinishReadYes
+	// ActAcquire issues incremental ask Action.Ask (Sec. 3.7).
+	ActAcquire
+)
+
+// Action is one step of a schedule: apply Kind to template Tmpl.
+type Action struct {
+	Tmpl int
+	Kind ActionKind
+	Ask  int // ask index, ActAcquire only
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case ActIssue:
+		return fmt.Sprintf("issue %d", a.Tmpl)
+	case ActComplete:
+		return fmt.Sprintf("complete %d", a.Tmpl)
+	case ActCancel:
+		return fmt.Sprintf("cancel %d", a.Tmpl)
+	case ActFinishReadNo:
+		return fmt.Sprintf("finish-read %d no-upgrade", a.Tmpl)
+	case ActFinishReadYes:
+		return fmt.Sprintf("finish-read %d upgrade", a.Tmpl)
+	case ActAcquire:
+		return fmt.Sprintf("acquire %d %d", a.Tmpl, a.Ask)
+	default:
+		return fmt.Sprintf("action(%d) %d", a.Kind, a.Tmpl)
+	}
+}
+
+// parseAction parses the String form back.
+func parseAction(s string) (Action, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return Action{}, fmt.Errorf("mc: bad action %q", s)
+	}
+	var tmpl int
+	if _, err := fmt.Sscanf(fields[1], "%d", &tmpl); err != nil {
+		return Action{}, fmt.Errorf("mc: bad action template in %q", s)
+	}
+	a := Action{Tmpl: tmpl}
+	switch fields[0] {
+	case "issue":
+		a.Kind = ActIssue
+	case "complete":
+		a.Kind = ActComplete
+	case "cancel":
+		a.Kind = ActCancel
+	case "finish-read":
+		if len(fields) < 3 {
+			return Action{}, fmt.Errorf("mc: finish-read needs upgrade|no-upgrade in %q", s)
+		}
+		switch fields[2] {
+		case "upgrade":
+			a.Kind = ActFinishReadYes
+		case "no-upgrade":
+			a.Kind = ActFinishReadNo
+		default:
+			return Action{}, fmt.Errorf("mc: bad finish-read mode in %q", s)
+		}
+	case "acquire":
+		a.Kind = ActAcquire
+		if len(fields) < 3 {
+			return Action{}, fmt.Errorf("mc: acquire needs an ask index in %q", s)
+		}
+		if _, err := fmt.Sscanf(fields[2], "%d", &a.Ask); err != nil {
+			return Action{}, fmt.Errorf("mc: bad ask index in %q", s)
+		}
+	default:
+		return Action{}, fmt.Errorf("mc: unknown action %q", fields[0])
+	}
+	return a, nil
+}
+
+// tmplRun is the per-template lifecycle progress within one run.
+type tmplRun struct {
+	issued   bool
+	done     bool
+	canceled bool
+
+	id core.ReqID         // plain / incremental request
+	uh core.UpgradeHandle // upgradeable pair
+
+	finishedRead bool // upgrade: FinishRead called
+	upgraded     bool // upgrade: FinishRead(…, true)
+	nextAsk      int  // incremental: next Asks index to fire (starts at 1)
+}
+
+// aliasBase computes the canonical request name for template i: plain and
+// incremental requests use 3i, the halves of an upgradeable pair 3i+1 and
+// 3i+2. Canonical names are stable across interleavings, unlike ReqIDs.
+func aliasBase(tmpl int) int32 { return int32(3 * tmpl) }
+
+// runner executes one schedule prefix against a fresh RSM, maintaining the
+// alias map, the template progress, the protocol event log, and the active
+// differential oracles.
+type runner struct {
+	sc   *Scenario
+	spec *core.Spec
+	rsm  *core.RSM
+
+	tr    []tmplRun
+	alias map[core.ReqID]int32
+	step  int // number of applied actions; doubles as the logical clock
+
+	events []core.Event // full protocol event log (for bounds + traces)
+
+	oracles    []oracle
+	divergence *Violation
+}
+
+// satEv is one satisfaction observation: template tmpl satisfied at step.
+type satEv struct {
+	step int
+	tmpl int
+}
+
+func satLogString(log []satEv) string {
+	var b strings.Builder
+	for _, s := range log {
+		fmt.Fprintf(&b, "(t=%d req=%d) ", s.step, s.tmpl)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// canonicalizeSatLog sorts same-step entries by template: within one
+// invocation several requests may be satisfied (e.g. a read phase starting),
+// and their relative in-step order is not semantically meaningful.
+func canonicalizeSatLog(log []satEv) {
+	sort.SliceStable(log, func(i, j int) bool {
+		if log[i].step != log[j].step {
+			return log[i].step < log[j].step
+		}
+		return log[i].tmpl < log[j].tmpl
+	})
+}
+
+// newRunner builds a fresh runner for the scenario. extra observers (may be
+// nil) additionally receive every protocol event — the replayer attaches the
+// Perfetto trace builder this way.
+func newRunner(sc *Scenario, extra ...core.Observer) (*runner, error) {
+	spec, err := sc.Spec()
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		sc:    sc,
+		spec:  spec,
+		rsm:   core.NewRSM(spec, sc.Options()),
+		tr:    make([]tmplRun, len(sc.Templates)),
+		alias: make(map[core.ReqID]int32),
+	}
+	collect := core.ObserverFunc(func(e core.Event) {
+		r.events = append(r.events, e)
+	})
+	obs := append([]core.Observer{collect}, extra...)
+	r.rsm.SetObserver(core.MultiObserver(obs...))
+	r.oracles = activeOracles(sc)
+	return r, nil
+}
+
+// terminal reports whether every template has run to completion (or been
+// canceled).
+func (r *runner) terminal() bool {
+	for i := range r.tr {
+		if !r.tr[i].done {
+			return false
+		}
+	}
+	return true
+}
+
+// enabled enumerates every action legal in the current state, in canonical
+// (template, kind) order. The identical-template symmetry reduction is
+// applied here: among unissued templates with equal signatures only the
+// lowest-indexed may issue (any run violating with a different order maps to
+// a violating canonical-order run by renaming the interchangeable
+// templates). symmetryPruned counts the suppressed issues.
+func (r *runner) enabled() (acts []Action, symmetryPruned int) {
+	issuedSig := map[string]int{} // signature → lowest unissued template index
+	for i := range r.sc.Templates {
+		if r.tr[i].issued {
+			continue
+		}
+		sig := r.sc.Templates[i].Signature()
+		if _, seen := issuedSig[sig]; !seen {
+			issuedSig[sig] = i
+		}
+	}
+	for i := range r.sc.Templates {
+		tp := &r.sc.Templates[i]
+		run := &r.tr[i]
+		if run.done {
+			continue
+		}
+		if !run.issued {
+			if issuedSig[tp.Signature()] == i {
+				acts = append(acts, Action{Tmpl: i, Kind: ActIssue})
+			} else {
+				symmetryPruned++
+			}
+			continue
+		}
+		switch {
+		case tp.Upgradeable:
+			switch r.rsm.UpgradePhase(run.uh) {
+			case core.UpgradeReading:
+				if !run.finishedRead {
+					acts = append(acts,
+						Action{Tmpl: i, Kind: ActFinishReadNo},
+						Action{Tmpl: i, Kind: ActFinishReadYes})
+				}
+			case core.UpgradeWriting:
+				acts = append(acts, Action{Tmpl: i, Kind: ActComplete})
+			}
+		case tp.Incremental:
+			st, err := r.rsm.State(run.id)
+			if err != nil {
+				continue
+			}
+			if st == core.StateSatisfied {
+				// Satisfied means the full potential set is held; remaining
+				// asks would be no-ops, so completion is the only step.
+				acts = append(acts, Action{Tmpl: i, Kind: ActComplete})
+				continue
+			}
+			// The next ask fires once every earlier ask has been granted
+			// (merging asks is legal but only multiplies equivalent states).
+			prevGranted := false
+			if st == core.StateEntitled || st == core.StateWaiting {
+				asked := askedSoFar(tp, run.nextAsk)
+				ok, err := r.rsm.Granted(run.id, asked)
+				prevGranted = err == nil && ok
+			}
+			if run.nextAsk < len(tp.Asks) && prevGranted {
+				acts = append(acts, Action{Tmpl: i, Kind: ActAcquire, Ask: run.nextAsk})
+			}
+			// An entitled incremental request may finish early once all its
+			// declared asks are granted (Sec. 3.7 early completion).
+			if run.nextAsk == len(tp.Asks) && prevGranted && r.rsm.CanComplete(run.id) {
+				acts = append(acts, Action{Tmpl: i, Kind: ActComplete})
+			}
+			if r.sc.Cancels && r.rsm.CanCancel(run.id) {
+				acts = append(acts, Action{Tmpl: i, Kind: ActCancel})
+			}
+		default: // plain
+			if r.rsm.CanComplete(run.id) {
+				acts = append(acts, Action{Tmpl: i, Kind: ActComplete})
+			}
+			if r.sc.Cancels && r.rsm.CanCancel(run.id) {
+				acts = append(acts, Action{Tmpl: i, Kind: ActCancel})
+			}
+		}
+	}
+	return acts, symmetryPruned
+}
+
+// askedSoFar returns the union of Asks[0:n] as a slice.
+func askedSoFar(tp *Template, n int) []core.ResourceID {
+	s := core.ResourceSet{}
+	for i := 0; i < n && i < len(tp.Asks); i++ {
+		s.UnionWith(core.NewResourceSet(tp.Asks[i]...))
+	}
+	return s.IDs()
+}
+
+// apply executes one action at the next logical instant. It returns an error
+// if the action is not legal in the current state (the minimizer probes
+// candidate schedules this way; the explorer only applies enabled actions).
+func (r *runner) apply(a Action) error {
+	if a.Tmpl < 0 || a.Tmpl >= len(r.sc.Templates) {
+		return fmt.Errorf("mc: action %s: no such template", a)
+	}
+	tp := &r.sc.Templates[a.Tmpl]
+	run := &r.tr[a.Tmpl]
+	r.step++
+	t := core.Time(r.step)
+
+	switch a.Kind {
+	case ActIssue:
+		if run.issued {
+			return fmt.Errorf("mc: %s: already issued", a)
+		}
+		switch {
+		case tp.Upgradeable:
+			h, err := r.rsm.IssueUpgradeable(t, tp.Read, a.Tmpl)
+			if err != nil {
+				return err
+			}
+			run.uh = h
+			r.alias[h.ReadID] = aliasBase(a.Tmpl) + 1
+			r.alias[h.WriteID] = aliasBase(a.Tmpl) + 2
+		case tp.Incremental:
+			id, err := r.rsm.IssueIncremental(t, tp.Read, tp.Write, tp.Asks[0], nil, a.Tmpl)
+			if err != nil {
+				return err
+			}
+			run.id = id
+			run.nextAsk = 1
+			r.alias[id] = aliasBase(a.Tmpl)
+		default:
+			id, err := r.rsm.Issue(t, tp.Read, tp.Write, a.Tmpl)
+			if err != nil {
+				return err
+			}
+			run.id = id
+			r.alias[id] = aliasBase(a.Tmpl)
+		}
+		run.issued = true
+
+	case ActComplete:
+		if !run.issued || run.done {
+			return fmt.Errorf("mc: %s: not active", a)
+		}
+		id := run.id
+		if tp.Upgradeable {
+			if r.rsm.UpgradePhase(run.uh) != core.UpgradeWriting {
+				return fmt.Errorf("mc: %s: write half not satisfied", a)
+			}
+			id = run.uh.WriteID
+		}
+		if err := r.rsm.Complete(t, id); err != nil {
+			return err
+		}
+		run.done = true
+
+	case ActCancel:
+		if !run.issued || run.done || tp.Upgradeable {
+			return fmt.Errorf("mc: %s: not cancelable", a)
+		}
+		if err := r.rsm.CancelRequest(t, run.id); err != nil {
+			return err
+		}
+		run.done = true
+		run.canceled = true
+
+	case ActFinishReadNo, ActFinishReadYes:
+		if !tp.Upgradeable || !run.issued || run.finishedRead {
+			return fmt.Errorf("mc: %s: no active read segment", a)
+		}
+		upgrade := a.Kind == ActFinishReadYes
+		if err := r.rsm.FinishRead(t, run.uh, upgrade); err != nil {
+			return err
+		}
+		run.finishedRead = true
+		run.upgraded = upgrade
+		if !upgrade {
+			run.done = true
+		}
+
+	case ActAcquire:
+		if !tp.Incremental || !run.issued || run.done {
+			return fmt.Errorf("mc: %s: not an active incremental request", a)
+		}
+		if a.Ask != run.nextAsk || a.Ask >= len(tp.Asks) {
+			return fmt.Errorf("mc: %s: ask out of order (next is %d of %d)", a, run.nextAsk, len(tp.Asks))
+		}
+		if _, err := r.rsm.Acquire(t, run.id, tp.Asks[a.Ask]); err != nil {
+			return err
+		}
+		run.nextAsk++
+
+	default:
+		return fmt.Errorf("mc: unknown action kind %d", a.Kind)
+	}
+
+	// An upgrade pair may resolve as a side effect of other requests'
+	// transitions (the write half winning the race cancels the read half and
+	// later completes), so refresh done-ness for upgrade templates.
+	for i := range r.sc.Templates {
+		if r.sc.Templates[i].Upgradeable && r.tr[i].issued && !r.tr[i].done {
+			if r.rsm.UpgradePhase(r.tr[i].uh) == core.UpgradeDone {
+				r.tr[i].done = true
+			}
+		}
+	}
+
+	// Drive the oracles through the same invocation and compare.
+	if r.divergence == nil && len(r.oracles) > 0 {
+		for _, o := range r.oracles {
+			o.apply(r.step, a, r.sc)
+		}
+		r.compareOracles()
+	}
+	return nil
+}
+
+// rsmSatLog derives the RSM's satisfaction log from the event stream. The
+// alias lookup must happen here, not in the observer: satisfactions emitted
+// during an Issue invocation precede the alias registration (the ReqID is
+// only known once Issue returns).
+func (r *runner) rsmSatLog() []satEv {
+	var log []satEv
+	for _, e := range r.events {
+		if e.Type != core.EvSatisfied {
+			continue
+		}
+		if al, ok := r.alias[e.Req]; ok {
+			log = append(log, satEv{step: int(e.T), tmpl: int(al) / 3})
+		}
+	}
+	return log
+}
+
+// compareOracles checks the RSM satisfaction log against each oracle's.
+func (r *runner) compareOracles() {
+	got := r.rsmSatLog()
+	canonicalizeSatLog(got)
+	for _, o := range r.oracles {
+		want := o.satisfactions()
+		canonicalizeSatLog(want)
+		if len(got) == len(want) {
+			equal := true
+			for i := range got {
+				if got[i] != want[i] {
+					equal = false
+					break
+				}
+			}
+			if equal {
+				continue
+			}
+		}
+		r.divergence = &Violation{
+			Kind: VOracle,
+			Step: r.step,
+			Details: []string{
+				fmt.Sprintf("differential oracle %q diverged at step %d", o.name(), r.step),
+				"rsm:    " + satLogString(got),
+				"oracle: " + satLogString(want),
+			},
+		}
+		return
+	}
+}
+
+// checkStep runs the per-state checks: structural invariants and oracle
+// divergence. The explorer adds deadlock and terminal bound checks.
+func (r *runner) checkStep() *Violation {
+	if bad := r.rsm.CheckInvariants(); len(bad) > 0 {
+		return &Violation{Kind: VInvariant, Step: r.step, Details: bad}
+	}
+	if r.divergence != nil {
+		return r.divergence
+	}
+	return nil
+}
+
+// progressKey encodes per-template lifecycle progress that the RSM state
+// alone cannot distinguish (unissued vs. completed templates, upgrade
+// branch taken, next ask index).
+func (r *runner) progressKey() string {
+	var b strings.Builder
+	for i := range r.tr {
+		run := &r.tr[i]
+		fmt.Fprintf(&b, "%t%t%t%t%t%d;", run.issued, run.done, run.canceled,
+			run.finishedRead, run.upgraded, run.nextAsk)
+	}
+	return b.String()
+}
+
+// key is the memoization key: canonical RSM state + template progress +
+// oracle state (oracle state is history-dependent; merging states with
+// different oracle views could hide a divergence).
+func (r *runner) key() string {
+	var b strings.Builder
+	b.WriteString(r.rsm.StateKey(func(id core.ReqID) int32 { return r.alias[id] }))
+	b.WriteByte('#')
+	b.WriteString(r.progressKey())
+	for _, o := range r.oracles {
+		b.WriteByte('#')
+		b.WriteString(o.key())
+	}
+	return b.String()
+}
+
+// ageKey encodes the timing-relevant history of the run: for every
+// lifecycle event, the request's canonical name and the event's age in
+// steps. Options.ExhaustiveBounds appends it to the memoization key, making
+// the Theorem 1/2 delay check exhaustive over timing histories — states the
+// canonical key would merge can differ in how long their requests have
+// already waited and in the critical-section lengths that feed the observed
+// envelope. The price is that memoization degenerates to near-tree
+// exploration; without the flag, bounds are still checked on every canonical
+// path (see explore.go).
+func (r *runner) ageKey() string {
+	var b strings.Builder
+	for _, e := range r.events {
+		switch e.Type {
+		case core.EvIssued, core.EvSatisfied, core.EvCompleted, core.EvReadSegmentDone:
+			fmt.Fprintf(&b, "%d:%d=%d;", e.Type, r.alias[e.Req], r.step-int(e.T))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,359 @@
+// Package mc is a systematic model checker for the R/W RNLP request-
+// satisfaction mechanism. It drives the REAL core.RSM — not a model of it —
+// through every interleaving of a bounded scenario: at each step the
+// explorer picks which pending protocol action fires next (issue, complete,
+// cancel, upgrade finish-read, incremental acquire), so "no violation" means
+// no violation exists for ANY arrival/completion ordering of the scenario,
+// not merely for the orderings a randomized harness happened to sample.
+//
+// After every step the checker validates the structural invariants I1–I9
+// (core.CheckInvariants), deadlock freedom (a non-terminal state must have
+// an enabled action), and two differential oracles realized as independent
+// reimplementations of prior-art protocols: write-only scenarios must
+// reproduce the mutex RNLP's timestamp-FIFO satisfaction order, and
+// single-resource scenarios must reproduce phase-fair reader/writer
+// admission. At terminal states the Theorem 1/2 acquisition-delay envelopes
+// are checked in RSM logical time via obs.BoundMonitor.
+//
+// The state space is kept tractable with canonical-state memoization
+// (core.StateKey), symmetry reduction over identical templates, and
+// sleep-set pruning over statically independent actions; see explore.go for
+// the soundness argument of each.
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// Template describes one request of a scenario, before any interleaving is
+// chosen. A template turns into one request (or one upgradeable pair) when
+// its issue action fires.
+type Template struct {
+	// Read and Write are the needed sets N^r and N^w. For an upgradeable
+	// template, Read holds the pair's resource set and Write must be empty.
+	// For an incremental template they are the full potential sets.
+	Read  []core.ResourceID
+	Write []core.ResourceID
+
+	// Upgradeable marks a Sec. 3.6 read-to-write upgradeable pair.
+	Upgradeable bool
+
+	// Incremental marks a Sec. 3.7 incremental request; Asks[0] is the
+	// initial ask issued with the request, and each later entry becomes a
+	// separate Acquire action.
+	Incremental bool
+	Asks        [][]core.ResourceID
+}
+
+// Signature returns the canonical DSL form of the template; templates with
+// equal signatures are interchangeable (the symmetry reduction relies on
+// this).
+func (tp Template) Signature() string {
+	ids := func(rs []core.ResourceID) string {
+		sorted := append([]core.ResourceID(nil), rs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		parts := make([]string, len(sorted))
+		for i, r := range sorted {
+			parts[i] = fmt.Sprintf("%d", r)
+		}
+		return strings.Join(parts, "+")
+	}
+	switch {
+	case tp.Upgradeable:
+		return "u:" + ids(tp.Read)
+	case tp.Incremental:
+		s := "i:" + ids(tp.Read) + "|" + ids(tp.Write)
+		for _, a := range tp.Asks {
+			s += "/" + ids(a)
+		}
+		return s
+	case len(tp.Write) == 0:
+		return "r:" + ids(tp.Read)
+	case len(tp.Read) == 0:
+		return "w:" + ids(tp.Write)
+	default:
+		return "m:" + ids(tp.Read) + "|" + ids(tp.Write)
+	}
+}
+
+// need returns N = Read ∪ Write as a set.
+func (tp Template) need() core.ResourceSet {
+	n := core.NewResourceSet(tp.Read...)
+	n.UnionWith(core.NewResourceSet(tp.Write...))
+	return n
+}
+
+// plain reports whether the template is a plain single-shot request.
+func (tp Template) plain() bool { return !tp.Upgradeable && !tp.Incremental }
+
+// Scenario is a bounded model-checking scope: a resource system plus the
+// request templates whose interleavings are explored.
+type Scenario struct {
+	Name      string
+	Q         int // number of resources
+	Templates []Template
+
+	// Placeholders selects the Sec. 3.4 RSM variant.
+	Placeholders bool
+	// Cancels adds CancelRequest actions for plain templates that are
+	// waiting/entitled with nothing granted.
+	Cancels bool
+	// ChaosSkipWQHeadCheck forwards the core fault-injection flag
+	// (test-only; used to validate that the checker's detectors fire).
+	ChaosSkipWQHeadCheck bool
+}
+
+// Spec derives the resource-system Spec from the templates: every template
+// is declared as a potential request, exactly as an embedder would declare
+// its workload a priori.
+func (s *Scenario) Spec() (*core.Spec, error) {
+	b := core.NewSpecBuilder(s.Q)
+	for _, tp := range s.Templates {
+		if tp.Upgradeable {
+			// The pair issues a read half over Read and a write half over
+			// the same set.
+			if err := b.DeclareRequest(tp.Read, nil); err != nil {
+				return nil, err
+			}
+			if err := b.DeclareRequest(nil, tp.Read); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := b.DeclareRequest(tp.Read, tp.Write); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Options returns the core.Options the scenario runs under.
+func (s *Scenario) Options() core.Options {
+	return core.Options{
+		Placeholders:         s.Placeholders,
+		ChaosSkipWQHeadCheck: s.ChaosSkipWQHeadCheck,
+	}
+}
+
+// Validate checks structural well-formedness of the scenario.
+func (s *Scenario) Validate() error {
+	if s.Q <= 0 {
+		return fmt.Errorf("mc: scenario needs at least one resource, got q=%d", s.Q)
+	}
+	if len(s.Templates) == 0 {
+		return fmt.Errorf("mc: scenario has no templates")
+	}
+	check := func(ids []core.ResourceID) error {
+		for _, id := range ids {
+			if id < 0 || int(id) >= s.Q {
+				return fmt.Errorf("mc: resource %d out of range [0,%d)", id, s.Q)
+			}
+		}
+		return nil
+	}
+	for i, tp := range s.Templates {
+		if err := check(tp.Read); err != nil {
+			return fmt.Errorf("template %d: %w", i, err)
+		}
+		if err := check(tp.Write); err != nil {
+			return fmt.Errorf("template %d: %w", i, err)
+		}
+		if tp.Upgradeable {
+			if len(tp.Write) != 0 || tp.Incremental || len(tp.Asks) != 0 {
+				return fmt.Errorf("mc: template %d: upgradeable templates use Read only", i)
+			}
+			if len(tp.Read) == 0 {
+				return fmt.Errorf("mc: template %d: empty upgradeable set", i)
+			}
+			continue
+		}
+		if tp.Incremental {
+			if len(tp.Asks) == 0 {
+				return fmt.Errorf("mc: template %d: incremental template needs at least the initial ask", i)
+			}
+			need := tp.need()
+			for j, a := range tp.Asks {
+				if err := check(a); err != nil {
+					return fmt.Errorf("template %d ask %d: %w", i, j, err)
+				}
+				if !need.ContainsAll(core.NewResourceSet(a...)) {
+					return fmt.Errorf("mc: template %d ask %d not a subset of the potential set", i, j)
+				}
+			}
+			if need.Empty() {
+				return fmt.Errorf("mc: template %d: empty potential set", i)
+			}
+			continue
+		}
+		if len(tp.Read) == 0 && len(tp.Write) == 0 {
+			return fmt.Errorf("mc: template %d requests nothing", i)
+		}
+	}
+	return nil
+}
+
+// TemplatesDSL renders the scenario's templates in the DSL accepted by
+// ParseTemplates, space separated.
+func (s *Scenario) TemplatesDSL() string {
+	sigs := make([]string, len(s.Templates))
+	for i, tp := range s.Templates {
+		sigs[i] = tp.Signature()
+	}
+	return strings.Join(sigs, " ")
+}
+
+// ParseTemplates parses the scenario DSL: templates separated by spaces,
+// commas, or semicolons, each of the form
+//
+//	r:IDS          read request            (r:0+1)
+//	w:IDS          write request           (w:1+2)
+//	m:IDS|IDS      mixed read|write        (m:0|1+2)
+//	u:IDS          upgradeable pair        (u:0+2)
+//	i:IDS|IDS/ASK[/ASK...]  incremental potential read|write with asks
+//	               (i:0|2/2/0 — potential read {0} write {2}, initial ask
+//	               {2}, then acquire {0}); either side of | may be empty.
+//
+// IDS is a +-separated list of resource IDs.
+func ParseTemplates(dsl string) ([]Template, error) {
+	fields := strings.FieldsFunc(dsl, func(r rune) bool {
+		return r == ' ' || r == ',' || r == ';' || r == '\t' || r == '\n'
+	})
+	ids := func(s string) ([]core.ResourceID, error) {
+		if s == "" {
+			return nil, nil
+		}
+		var out []core.ResourceID
+		for _, part := range strings.Split(s, "+") {
+			var id int
+			if _, err := fmt.Sscanf(part, "%d", &id); err != nil {
+				return nil, fmt.Errorf("mc: bad resource id %q", part)
+			}
+			out = append(out, core.ResourceID(id))
+		}
+		return out, nil
+	}
+	var tpl []Template
+	for _, f := range fields {
+		kind, rest, ok := strings.Cut(f, ":")
+		if !ok {
+			return nil, fmt.Errorf("mc: template %q: missing kind prefix", f)
+		}
+		var tp Template
+		var err error
+		switch kind {
+		case "r":
+			tp.Read, err = ids(rest)
+		case "w":
+			tp.Write, err = ids(rest)
+		case "m":
+			r, w, found := strings.Cut(rest, "|")
+			if !found {
+				return nil, fmt.Errorf("mc: mixed template %q needs read|write", f)
+			}
+			if tp.Read, err = ids(r); err == nil {
+				tp.Write, err = ids(w)
+			}
+		case "u":
+			tp.Upgradeable = true
+			tp.Read, err = ids(rest)
+		case "i":
+			tp.Incremental = true
+			parts := strings.Split(rest, "/")
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("mc: incremental template %q needs sets and at least one ask", f)
+			}
+			r, w, found := strings.Cut(parts[0], "|")
+			if !found {
+				return nil, fmt.Errorf("mc: incremental template %q needs read|write", f)
+			}
+			if tp.Read, err = ids(r); err == nil {
+				tp.Write, err = ids(w)
+			}
+			for _, a := range parts[1:] {
+				if err != nil {
+					break
+				}
+				var ask []core.ResourceID
+				if ask, err = ids(a); err == nil {
+					tp.Asks = append(tp.Asks, ask)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("mc: template %q: unknown kind %q", f, kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mc: template %q: %w", f, err)
+		}
+		tpl = append(tpl, tp)
+	}
+	if len(tpl) == 0 {
+		return nil, fmt.Errorf("mc: empty template list")
+	}
+	return tpl, nil
+}
+
+// mustTemplates parses a known-good DSL (presets only).
+func mustTemplates(dsl string) []Template {
+	tpl, err := ParseTemplates(dsl)
+	if err != nil {
+		panic(err)
+	}
+	return tpl
+}
+
+// Presets returns the named built-in scenarios, in a stable order.
+func Presets() []*Scenario {
+	return []*Scenario{
+		{
+			// The documented flagship scope (EXPERIMENTS.md E21): four
+			// requests — a reader, a writer, an upgradeable pair, and a
+			// mixed incremental request — over three resources.
+			Name:      "mixed4x3",
+			Q:         3,
+			Templates: mustTemplates("r:0+1 w:1+2 u:0+2 i:0|2/2/0"),
+		},
+		{
+			// Write-only triangle: activates the mutex-RNLP differential
+			// oracle (every request exclusive, timestamp-FIFO order).
+			Name:      "writeonly3",
+			Q:         3,
+			Templates: mustTemplates("w:0+1 w:1+2 w:0+2"),
+		},
+		{
+			// Single resource, two readers and two writers: activates the
+			// phase-fair differential oracle.
+			Name:      "single4",
+			Q:         1,
+			Templates: mustTemplates("r:0 r:0 w:0 w:0"),
+		},
+		{
+			// Cancellation interleavings: a reader that may withdraw while
+			// queued behind writers (the beyond-paper timeout extension).
+			Name:      "cancel3",
+			Q:         2,
+			Templates: mustTemplates("w:0+1 w:0 r:1"),
+			Cancels:   true,
+		},
+		{
+			// Five requests over four resources with nesting and read
+			// sharing; the largest scope make ci exhausts.
+			Name:      "nested5x4",
+			Q:         4,
+			Templates: mustTemplates("r:0+1 w:1+2 r:2+3 w:0+3 u:1+3"),
+		},
+	}
+}
+
+// Preset returns the named preset scenario, or nil.
+func Preset(name string) *Scenario {
+	for _, s := range Presets() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
