@@ -2,21 +2,43 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet ci clean
+.PHONY: all build test test-short race cover bench bench-json fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci clean
 
 all: build vet test
 
-# What .github/workflows/ci.yml runs: full build/vet/test, the race detector
-# across the whole module, a fuzz smoke pass on the RSM invocation fuzzer,
-# and a bounded-depth model-checking gate (every mc preset, both placeholder
-# modes; non-zero exit on any violation).
+# What .github/workflows/ci.yml runs: full build/vet/test, the exported-API
+# surface gate, the race detector across the whole module, a fuzz smoke pass
+# on the RSM invocation fuzzer, and a bounded-depth model-checking gate
+# (every mc preset, both placeholder modes; non-zero exit on any violation).
+# staticcheck runs only where the binary is installed (it cannot be fetched
+# in hermetic environments) and is skipped gracefully elsewhere.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) staticcheck
+	$(GO) run ./cmd/apicheck -check API.txt
 	$(GO) test ./...
 	$(GO) test -race -short ./...
 	$(GO) test -fuzz=FuzzRSMInvocations -fuzztime=15s ./internal/core
 	$(GO) run ./cmd/mccheck -stats -depth 14 ci
+
+# Run staticcheck when available; no-op (with a notice) when it is not on
+# PATH so hermetic builds stay green.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+# Re-record the exported API baseline (do this in the same commit as an
+# intentional API change so the delta is visible in review).
+api:
+	$(GO) run ./cmd/apicheck -o API.txt
+
+# Fail if the exported API surface of the root package drifted from API.txt.
+api-check:
+	$(GO) run ./cmd/apicheck -check API.txt
 
 build:
 	$(GO) build ./...

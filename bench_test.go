@@ -7,9 +7,11 @@
 package rwrnlp_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/rtsync/rwrnlp"
@@ -24,6 +26,8 @@ import (
 	"github.com/rtsync/rwrnlp/internal/stm"
 	"github.com/rtsync/rwrnlp/internal/workload"
 )
+
+var bg = context.Background()
 
 // ---------------------------------------------------------------------------
 // Simulator-plane benches (E4, E5, E9–E12, E14)
@@ -252,12 +256,12 @@ func BenchmarkRuntimeRWRNLPReadHeavy(b *testing.B) {
 	benchProtocolRuntime(b, 16, func(write bool, r0, r1 rwrnlp.ResourceID) func() {
 		return func() {
 			if write {
-				tok, _ := p.Write(r0, r1)
+				tok, _ := p.Write(bg, r0, r1)
 				shared[r0]++
 				shared[r1]++
 				p.Release(tok)
 			} else {
-				tok, _ := p.Read(r0)
+				tok, _ := p.Read(bg, r0)
 				_ = shared[r0]
 				p.Release(tok)
 			}
@@ -377,12 +381,12 @@ func BenchmarkRuntimeRWRNLPWriteHeavy(b *testing.B) {
 	benchProtocolRuntime(b, 2, func(write bool, r0, r1 rwrnlp.ResourceID) func() {
 		return func() {
 			if write {
-				tok, _ := p.Write(r0, r1)
+				tok, _ := p.Write(bg, r0, r1)
 				shared[r0]++
 				shared[r1]++
 				p.Release(tok)
 			} else {
-				tok, _ := p.Read(r0)
+				tok, _ := p.Read(bg, r0)
 				_ = shared[r0]
 				p.Release(tok)
 			}
@@ -398,14 +402,14 @@ func BenchmarkRuntimeUpgradeable(b *testing.B) {
 		i := 0
 		for pb.Next() {
 			r := rwrnlp.ResourceID(i % 4)
-			u, err := p.AcquireUpgradeable(r)
+			u, err := p.AcquireUpgradeable(bg, r)
 			if err != nil {
 				b.Error(err)
 				return
 			}
 			if u.Reading() {
 				if shared[r]%7 == 0 {
-					if err := u.Upgrade(); err != nil {
+					if err := u.Upgrade(bg); err != nil {
 						b.Error(err)
 						return
 					}
@@ -479,7 +483,7 @@ func benchAcquireReadLoop(b *testing.B, p *rwrnlp.Protocol) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := rwrnlp.ResourceID(i % 4)
-		tok, err := p.Read(r)
+		tok, err := p.Read(bg, r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -527,11 +531,11 @@ func BenchmarkRuntimeScaling(b *testing.B) {
 				for pb.Next() {
 					r0 := rwrnlp.ResourceID(i % 4)
 					if i%16 == 0 {
-						tok, _ := p.Write(r0)
+						tok, _ := p.Write(bg, r0)
 						shared[r0]++
 						p.Release(tok)
 					} else {
-						tok, _ := p.Read(r0)
+						tok, _ := p.Read(bg, r0)
 						_ = shared[r0]
 						p.Release(tok)
 					}
@@ -539,5 +543,61 @@ func BenchmarkRuntimeScaling(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// BenchmarkShardScaling measures the tentpole win of component sharding:
+// k disjoint declared components ({2i,2i+1} pairs), goroutines pinned
+// round-robin to components, alternating component-wide reads and writes.
+// Unsharded, every request funnels through one engine whose stabilization
+// scans ALL in-flight requests under one mutex; sharded, each component's
+// engine sees only its own 1/k share. The "single" variants force
+// WithoutSharding for a like-for-like baseline.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, comps := range []int{1, 2, 4, 8} {
+		for _, par := range []int{1, 4, 8, 16} {
+			for _, mode := range []string{"sharded", "single"} {
+				comps, par, mode := comps, par, mode
+				b.Run(fmt.Sprintf("comps=%d/par=%d/%s", comps, par, mode), func(b *testing.B) {
+					spec := rwrnlp.NewSpecBuilder(2 * comps)
+					for i := 0; i < comps; i++ {
+						a, c := rwrnlp.ResourceID(2*i), rwrnlp.ResourceID(2*i+1)
+						if err := spec.DeclareRequest([]rwrnlp.ResourceID{a, c}, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+					var opts []rwrnlp.Option
+					if mode == "single" {
+						opts = append(opts, rwrnlp.WithoutSharding())
+					}
+					p := rwrnlp.New(spec.Build(), opts...)
+					if mode == "sharded" && p.NumShards() != comps {
+						b.Fatalf("NumShards = %d, want %d", p.NumShards(), comps)
+					}
+					shared := make([]int64, 2*comps)
+					var nextG atomic.Int64
+					b.SetParallelism(par)
+					b.RunParallel(func(pb *testing.PB) {
+						g := int(nextG.Add(1) - 1)
+						comp := g % comps
+						r0, r1 := rwrnlp.ResourceID(2*comp), rwrnlp.ResourceID(2*comp+1)
+						i := 0
+						for pb.Next() {
+							if i%4 == 0 {
+								tok, _ := p.Write(bg, r0, r1)
+								shared[r0]++
+								shared[r1]++
+								p.Release(tok)
+							} else {
+								tok, _ := p.Read(bg, r0, r1)
+								_ = shared[r0]
+								p.Release(tok)
+							}
+							i++
+						}
+					})
+				})
+			}
+		}
 	}
 }

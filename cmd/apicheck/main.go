@@ -1,0 +1,234 @@
+// Command apicheck records and verifies the exported API surface of the
+// repository's public package (the module root). It is a dependency-free
+// stand-in for golang.org/x/exp/apidiff: a deterministic textual dump of
+// every exported declaration — functions, methods, types, struct fields,
+// interface methods, consts and vars — diffed against a committed baseline.
+//
+//	go run ./cmd/apicheck -o API.txt          # (re)record the baseline
+//	go run ./cmd/apicheck -check API.txt      # CI gate: non-zero on any delta
+//
+// A failing check prints the delta as +added/-removed lines. Intentional API
+// changes are accepted by re-recording the baseline in the same commit, which
+// makes every surface change visible in review.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory of the package to dump")
+	out := flag.String("o", "", "write the API dump to this file")
+	check := flag.String("check", "", "compare the dump against this baseline and exit non-zero on any difference")
+	flag.Parse()
+
+	lines, err := dumpAPI(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(2)
+	}
+	dump := strings.Join(lines, "\n") + "\n"
+
+	switch {
+	case *out != "":
+		if err := os.WriteFile(*out, []byte(dump), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apicheck: wrote %d declarations to %s\n", len(lines), *out)
+	case *check != "":
+		base, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(2)
+		}
+		added, removed := diffLines(splitLines(string(base)), lines)
+		if len(added) == 0 && len(removed) == 0 {
+			fmt.Printf("apicheck: API unchanged (%d declarations)\n", len(lines))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: exported API differs from %s:\n", *check)
+		for _, l := range removed {
+			fmt.Fprintln(os.Stderr, "  -", l)
+		}
+		for _, l := range added {
+			fmt.Fprintln(os.Stderr, "  +", l)
+		}
+		fmt.Fprintln(os.Stderr, "apicheck: if intentional, re-record with: go run ./cmd/apicheck -o", *check)
+		os.Exit(1)
+	default:
+		fmt.Print(dump)
+	}
+}
+
+// dumpAPI parses the non-test files of the package in dir and returns one
+// sorted line per exported declaration.
+func dumpAPI(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	var lines []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			recv := exprString(fset, d.Recv.List[0].Type)
+			// Methods on unexported receivers are unreachable API.
+			if !ast.IsExported(strings.TrimPrefix(strings.TrimPrefix(recv, "*"), "")) {
+				return nil
+			}
+			lines = append(lines, fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, signatureString(fset, d.Type)))
+		} else {
+			lines = append(lines, fmt.Sprintf("func %s%s", d.Name.Name, signatureString(fset, d.Type)))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				typ := ""
+				if s.Type != nil {
+					typ = " " + exprString(fset, s.Type)
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						lines = append(lines, fmt.Sprintf("%s %s%s", kw, n.Name, typ))
+					}
+				}
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				lines = append(lines, typeLines(fset, s)...)
+			}
+		}
+	}
+	return lines
+}
+
+// typeLines renders a type declaration: one line for the type itself plus one
+// line per exported struct field or interface method.
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	eq := ""
+	if s.Assign.IsValid() {
+		eq = "= "
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{fmt.Sprintf("type %s %sstruct", name, eq)}
+		for _, f := range t.Fields.List {
+			ft := exprString(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				if ast.IsExported(strings.TrimPrefix(ft, "*")) {
+					lines = append(lines, fmt.Sprintf("field %s.%s %s (embedded)", name, strings.TrimPrefix(ft, "*"), ft))
+				}
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					lines = append(lines, fmt.Sprintf("field %s.%s %s", name, n.Name, ft))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{fmt.Sprintf("type %s %sinterface", name, eq)}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				lines = append(lines, fmt.Sprintf("ifacemethod %s.%s (embedded)", name, exprString(fset, m.Type)))
+				continue
+			}
+			ft, ok := m.Type.(*ast.FuncType)
+			if !ok {
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					lines = append(lines, fmt.Sprintf("ifacemethod %s.%s%s", name, n.Name, signatureString(fset, ft)))
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{fmt.Sprintf("type %s %s%s", name, eq, exprString(fset, s.Type))}
+	}
+}
+
+var ws = regexp.MustCompile(`\s+`)
+
+// exprString renders an AST expression on one normalized line.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%T>", e)
+	}
+	return ws.ReplaceAllString(buf.String(), " ")
+}
+
+// signatureString renders a function type's "(params) results" part.
+func signatureString(fset *token.FileSet, ft *ast.FuncType) string {
+	s := exprString(fset, ft)
+	return strings.TrimPrefix(s, "func")
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimRight(l, "\r"); l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// diffLines computes the set difference both ways over sorted inputs.
+func diffLines(base, cur []string) (added, removed []string) {
+	in := func(set []string, l string) bool {
+		i := sort.SearchStrings(set, l)
+		return i < len(set) && set[i] == l
+	}
+	for _, l := range cur {
+		if !in(base, l) {
+			added = append(added, l)
+		}
+	}
+	for _, l := range base {
+		if !in(cur, l) {
+			removed = append(removed, l)
+		}
+	}
+	return added, removed
+}

@@ -1,6 +1,8 @@
 package rwrnlp_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"github.com/rtsync/rwrnlp"
@@ -15,11 +17,12 @@ func Example() {
 	if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1, 2}, nil); err != nil {
 		panic(err)
 	}
-	p := rwrnlp.New(spec.Build(), rwrnlp.Options{Placeholders: true})
+	p := rwrnlp.New(spec.Build(), rwrnlp.WithPlaceholders())
+	ctx := context.Background()
 
 	// Atomic multi-resource write: no lock ordering to get wrong, no
 	// deadlock possible.
-	w, err := p.Write(0, 1)
+	w, err := p.Write(ctx, 0, 1)
 	if err != nil {
 		panic(err)
 	}
@@ -28,7 +31,7 @@ func Example() {
 	}
 
 	// Consistent three-resource read snapshot; concurrent readers share.
-	r, err := p.Read(0, 1, 2)
+	r, err := p.Read(ctx, 0, 1, 2)
 	if err != nil {
 		panic(err)
 	}
@@ -46,9 +49,9 @@ func ExampleProtocol_Acquire() {
 	if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, []rwrnlp.ResourceID{2}); err != nil {
 		panic(err)
 	}
-	p := rwrnlp.New(spec.Build(), rwrnlp.Options{})
+	p := rwrnlp.New(spec.Build())
 
-	tok, err := p.Acquire([]rwrnlp.ResourceID{0, 1}, []rwrnlp.ResourceID{2})
+	tok, err := p.Acquire(context.Background(), []rwrnlp.ResourceID{0, 1}, []rwrnlp.ResourceID{2})
 	if err != nil {
 		panic(err)
 	}
@@ -65,18 +68,19 @@ func ExampleProtocol_Acquire() {
 // writers.
 func ExampleProtocol_AcquireUpgradeable() {
 	spec := rwrnlp.NewSpecBuilder(1)
-	p := rwrnlp.New(spec.Build(), rwrnlp.Options{})
+	p := rwrnlp.New(spec.Build())
+	ctx := context.Background()
 
 	needWrite := true // decided from the data read, in a real program
 
-	u, err := p.AcquireUpgradeable(0)
+	u, err := p.AcquireUpgradeable(ctx, 0)
 	if err != nil {
 		panic(err)
 	}
 	if u.Reading() {
 		// ... read the resource ...
 		if needWrite {
-			if err := u.Upgrade(); err != nil {
+			if err := u.Upgrade(ctx); err != nil {
 				panic(err)
 			}
 			// ... re-validate and write: the data may have changed between
@@ -104,16 +108,17 @@ func ExampleProtocol_AcquireIncremental() {
 	if err := spec.DeclareRequest(nil, []rwrnlp.ResourceID{0, 1, 2}); err != nil {
 		panic(err)
 	}
-	p := rwrnlp.New(spec.Build(), rwrnlp.Options{Placeholders: true})
+	p := rwrnlp.New(spec.Build(), rwrnlp.WithPlaceholders())
+	ctx := context.Background()
 
 	path := []rwrnlp.ResourceID{0, 1, 2}
-	inc, err := p.AcquireIncremental(nil, path, nil, path[:1])
+	inc, err := p.AcquireIncremental(ctx, nil, path, nil, path[:1])
 	if err != nil {
 		panic(err)
 	}
 	for _, next := range path[1:] {
 		// ... work in the sectors held so far ...
-		if err := inc.Acquire(next); err != nil {
+		if err := inc.Acquire(ctx, next); err != nil {
 			panic(err)
 		}
 	}
@@ -122,4 +127,19 @@ func ExampleProtocol_AcquireIncremental() {
 	}
 	fmt.Println("walked the path")
 	// Output: walked the path
+}
+
+// Typed sentinel errors make failure modes testable with errors.Is.
+func ExampleProtocol_Release_alreadyReleased() {
+	p := rwrnlp.New(rwrnlp.NewSpecBuilder(2).Build())
+	tok, err := p.Write(context.Background(), 0)
+	if err != nil {
+		panic(err)
+	}
+	if err := p.Release(tok); err != nil {
+		panic(err)
+	}
+	err = p.Release(tok)
+	fmt.Println(errors.Is(err, rwrnlp.ErrAlreadyReleased))
+	// Output: true
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -66,13 +67,13 @@ func main() {
 					rwrnlp.ResourceID((s0 + 2) % nSectors),
 				}
 				// Declare the whole path; take the first sector now.
-				inc, err := p.AcquireIncremental(nil, path, nil, path[:1])
+				inc, err := p.AcquireIncremental(context.Background(), nil, path, nil, path[:1])
 				if err != nil {
 					panic(err)
 				}
 				for hop := 0; hop < len(path); hop++ {
 					if hop > 0 {
-						if err := inc.Acquire(path[hop]); err != nil {
+						if err := inc.Acquire(context.Background(), path[hop]); err != nil {
 							panic(err)
 						}
 					}
@@ -99,7 +100,7 @@ func main() {
 			defer wg.Done()
 			for i := 0; i < 600; i++ {
 				s0 := rwrnlp.ResourceID((g + i) % nSectors)
-				u, err := p.AcquireUpgradeable(s0)
+				u, err := p.AcquireUpgradeable(context.Background(), s0)
 				if err != nil {
 					panic(err)
 				}
@@ -114,7 +115,7 @@ func main() {
 						}
 						continue
 					}
-					if err := u.Upgrade(); err != nil {
+					if err := u.Upgrade(context.Background()); err != nil {
 						panic(err)
 					}
 				}

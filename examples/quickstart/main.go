@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -45,7 +46,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
-				tok, err := p.Write(rX, rY)
+				tok, err := p.Write(context.Background(), rX, rY)
 				if err != nil {
 					panic(err)
 				}
@@ -69,7 +70,7 @@ func main() {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 1000; i++ {
-			tok, err := p.Acquire([]rwrnlp.ResourceID{rX, rY}, []rwrnlp.ResourceID{rZ})
+			tok, err := p.Acquire(context.Background(), []rwrnlp.ResourceID{rX, rY}, []rwrnlp.ResourceID{rZ})
 			if err != nil {
 				panic(err)
 			}
@@ -87,7 +88,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
-				tok, err := p.Read(rX, rY, rZ)
+				tok, err := p.Read(context.Background(), rX, rY, rZ)
 				if err != nil {
 					panic(err)
 				}

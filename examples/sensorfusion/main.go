@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -67,7 +68,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := int64(1); i <= 1500; i++ {
-				tok, err := p.Write(sensors[s])
+				tok, err := p.Write(context.Background(), sensors[s])
 				if err != nil {
 					panic(err)
 				}
@@ -84,7 +85,7 @@ func main() {
 	go func() {
 		defer wg.Done()
 		for i := int64(1); i <= 2000; i++ {
-			tok, err := p.Acquire(sensors, []rwrnlp.ResourceID{world})
+			tok, err := p.Acquire(context.Background(), sensors, []rwrnlp.ResourceID{world})
 			if err != nil {
 				panic(err)
 			}
@@ -110,7 +111,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
-				tok, err := p.Read(sensors[g%nSensors], world)
+				tok, err := p.Read(context.Background(), sensors[g%nSensors], world)
 				if err != nil {
 					panic(err)
 				}

@@ -1,6 +1,10 @@
 package rwrnlp
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"github.com/rtsync/rwrnlp/internal/core"
 )
 
@@ -12,69 +16,113 @@ import (
 // The total blocking across all Acquire calls is bounded by a single
 // request's worst case.
 type Incremental struct {
-	p  *Protocol
+	s  *shard
 	id core.ReqID
 }
 
 // AcquireIncremental issues an incremental request whose full potential
 // sets are read and write, and blocks until the initial subset (initialRead
-// ∪ initialWrite, which must be subsets of the potential sets) is held.
-func (p *Protocol) AcquireIncremental(read, write, initialRead, initialWrite []ResourceID) (*Incremental, error) {
-	p.mu.Lock()
-	id, err := p.rsm.IssueIncremental(p.tick(), read, write, initialRead, initialWrite, nil)
+// ∪ initialWrite, which must be subsets of the potential sets) is held. If
+// ctx is done first the request is withdrawn and ctx.Err() returned.
+//
+// The potential set must lie within one declared resource component
+// (ErrCrossComponent otherwise): incremental asks take possession in caller-
+// chosen order, which is only deadlock-free under one component's total
+// order.
+func (p *Protocol) AcquireIncremental(ctx context.Context, read, write, initialRead, initialWrite []ResourceID) (*Incremental, error) {
+	parts, err := p.split(read, write)
 	if err != nil {
-		p.mu.Unlock()
 		return nil, err
 	}
-	inc := &Incremental{p: p, id: id}
+	if len(parts) > 1 {
+		return nil, fmt.Errorf("%w: incremental potential set covers %d components", ErrCrossComponent, len(parts))
+	}
+	s := parts[0].s
+	s.mu.Lock()
+	id, err := s.rsm.IssueIncremental(s.tick(), read, write, initialRead, initialWrite, nil)
+	if err != nil {
+		s.unlock()
+		return nil, err
+	}
+	inc := &Incremental{s: s, id: id}
 	initial := append(append([]ResourceID{}, initialRead...), initialWrite...)
-	if ok, _ := p.rsm.Granted(id, initial); ok {
-		p.mu.Unlock()
+	if ok, _ := s.rsm.Granted(id, initial); ok {
+		s.selfCheck()
+		s.unlock()
 		return inc, nil
 	}
 	w := newWaiter()
-	p.waiters[id] = w
-	p.mu.Unlock()
-	w.wait(p.opt.Spin)
+	s.waiters[id] = w
+	s.selfCheck()
+	s.unlock()
+	if err := s.awaitCtx(ctx, w,
+		func() bool {
+			if ok, _ := s.rsm.Granted(id, initial); ok {
+				delete(s.waiters, id)
+				return true
+			}
+			return false
+		},
+		func() error {
+			// Nothing granted yet (the initial ask is all-or-nothing), so the
+			// whole request can be withdrawn.
+			delete(s.waiters, id)
+			return s.rsm.CancelRequest(s.tick(), id)
+		}); err != nil {
+		return nil, err
+	}
 	return inc, nil
 }
 
 // Acquire blocks until the additional resources (which must belong to the
-// declared potential sets) are held. Resources already held return
-// immediately.
-func (inc *Incremental) Acquire(resources ...ResourceID) error {
-	p := inc.p
-	p.mu.Lock()
-	granted, err := p.rsm.Acquire(p.tick(), inc.id, resources)
+// declared potential sets) are held; resources already held return
+// immediately. If ctx is done first, only the pending ask is withdrawn
+// (earlier grants stay held, the handle stays valid) and ctx.Err() is
+// returned.
+func (inc *Incremental) Acquire(ctx context.Context, resources ...ResourceID) error {
+	s := inc.s
+	s.mu.Lock()
+	granted, err := s.rsm.Acquire(s.tick(), inc.id, resources)
 	if err != nil {
-		p.mu.Unlock()
+		s.unlock()
+		if errors.Is(err, core.ErrUnknownRequest) {
+			return ErrAlreadyReleased
+		}
 		return err
 	}
 	if granted {
-		p.mu.Unlock()
+		s.unlock()
 		return nil
 	}
 	w := newWaiter()
-	p.waiters[inc.id] = w
-	p.mu.Unlock()
-	w.wait(p.opt.Spin)
-	return nil
+	s.waiters[inc.id] = w
+	s.unlock()
+	return s.awaitCtx(ctx, w,
+		func() bool {
+			if ok, _ := s.rsm.Granted(inc.id, resources); ok {
+				delete(s.waiters, inc.id)
+				return true
+			}
+			return false
+		},
+		func() error {
+			delete(s.waiters, inc.id)
+			return s.rsm.CancelAsk(s.tick(), inc.id)
+		})
 }
 
 // Holds reports whether all the given resources are currently held.
 func (inc *Incremental) Holds(resources ...ResourceID) bool {
-	p := inc.p
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ok, err := p.rsm.Granted(inc.id, resources)
+	s := inc.s
+	s.mu.Lock()
+	ok, err := s.rsm.Granted(inc.id, resources)
+	s.unlock()
 	return err == nil && ok
 }
 
 // Release ends the critical section, releasing every held resource. It is
 // valid even if only a subset of the potential resources was ever acquired.
+// A second Release returns ErrAlreadyReleased.
 func (inc *Incremental) Release() error {
-	p := inc.p
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.rsm.Complete(p.tick(), inc.id)
+	return inc.s.release(inc.id)
 }

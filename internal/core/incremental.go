@@ -86,6 +86,28 @@ func (m *RSM) Acquire(t Time, id ReqID, resources []ResourceID) (bool, error) {
 	return r.want.Empty(), nil
 }
 
+// CancelAsk withdraws the outstanding (ungranted) ask of an incremental
+// request, e.g. when the caller's context expires while waiting for a grant.
+// A pending ask occupies no queues and holds nothing — Acquire only records
+// the asked set on the request — so cancellation simply clears it; resources
+// already granted are unaffected and the request itself stays issued (it
+// still occupies the queues of its full potential set, as Sec. 3.7 requires).
+func (m *RSM) CancelAsk(t Time, id ReqID) error {
+	if err := m.checkTime(t); err != nil {
+		return err
+	}
+	r := m.reqs[id]
+	if r == nil {
+		return fmt.Errorf("%w: id=%d", ErrUnknownRequest, id)
+	}
+	if !r.incremental {
+		return fmt.Errorf("%w: id=%d", ErrNotIncremental, id)
+	}
+	r.want = ResourceSet{}
+	r.askT = -1
+	return nil
+}
+
 // Granted reports whether the request currently holds all resources in the
 // given set (for incremental requests, whether an earlier ask has been
 // granted).

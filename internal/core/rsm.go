@@ -49,16 +49,27 @@ type Options struct {
 	// satisfied past an earlier conflicting one, falsifying Lemma 6 and the
 	// mutex-RNLP satisfaction order. Never enable outside tests.
 	ChaosSkipWQHeadCheck bool
+
+	// FirstID and IDStep stride the request-ID space so several RSMs feeding
+	// shared observers mint globally unique IDs (the sharded runtime lock
+	// runs one RSM per resource component; shard i uses FirstID=i,
+	// IDStep=numShards). IDs are FirstID+IDStep, FirstID+2·IDStep, … — still
+	// strictly increasing within one RSM, so per-RSM timestamp reasoning is
+	// unaffected. A zero (or negative) IDStep means 1, giving the default
+	// dense numbering 1, 2, 3, …
+	FirstID ReqID
+	IDStep  ReqID
 }
 
 // Exported errors returned by RSM methods on API misuse.
 var (
-	ErrUnknownRequest = errors.New("core: unknown or completed request")
-	ErrBadState       = errors.New("core: request is not in a valid state for this operation")
-	ErrTimeRegressed  = errors.New("core: invocation time precedes an earlier invocation (violates G4 total order)")
-	ErrEmptyRequest   = errors.New("core: request needs no resources")
-	ErrNotUpgrade     = errors.New("core: request is not an upgradeable pair")
-	ErrNotIncremental = errors.New("core: request is not incremental")
+	ErrUnknownRequest  = errors.New("core: unknown or completed request")
+	ErrBadState        = errors.New("core: request is not in a valid state for this operation")
+	ErrTimeRegressed   = errors.New("core: invocation time precedes an earlier invocation (violates G4 total order)")
+	ErrEmptyRequest    = errors.New("core: request needs no resources")
+	ErrNotUpgrade      = errors.New("core: request is not an upgradeable pair")
+	ErrNotIncremental  = errors.New("core: request is not incremental")
+	ErrUnknownResource = errors.New("core: resource out of range")
 )
 
 // resourceState is the per-resource queue and lock state of Fig. 1: a read
@@ -111,11 +122,15 @@ type Stats struct {
 
 // NewRSM creates an RSM for the resource system described by spec.
 func NewRSM(spec *Spec, opt Options) *RSM {
+	if opt.IDStep <= 0 {
+		opt.IDStep = 1
+	}
 	return &RSM{
-		spec: spec,
-		opt:  opt,
-		res:  make([]resourceState, spec.NumResources()),
-		reqs: make(map[ReqID]*request),
+		spec:   spec,
+		opt:    opt,
+		nextID: opt.FirstID,
+		res:    make([]resourceState, spec.NumResources()),
+		reqs:   make(map[ReqID]*request),
 	}
 }
 
@@ -210,7 +225,7 @@ func (m *RSM) buildRequest(t Time, nr, nw ResourceSet, tag any) (*request, error
 	if need.Empty() {
 		return nil, ErrEmptyRequest
 	}
-	m.nextID++
+	m.nextID += m.opt.IDStep
 	r := &request{
 		id:        m.nextID,
 		seq:       int64(m.nextID),

@@ -14,9 +14,20 @@ import "fmt"
 // their write queues — Sec. 3.4).
 //
 // A Spec is immutable once built; RSMs share it without copying.
+//
+// Beyond the read-sharing relation, a Spec records the connected components
+// of the union of declared request footprints: two resources are in the same
+// component iff some chain of declared requests links them. Requests confined
+// to one component can never conflict with — nor even share a queue with —
+// requests of another (S(ℓ) never crosses a component boundary, so neither
+// expansion extras nor placeholders do), which is what lets the runtime lock
+// run one independent RSM per component (Rule G4's total order is only
+// needed among requests that can interact).
 type Spec struct {
 	q        int
 	readSets []ResourceSet // readSets[a] = S(ℓa); always contains a itself
+	comp     []int         // comp[a] = dense component index of resource a
+	compRes  [][]ResourceID
 }
 
 // SpecBuilder accumulates the potential requests of the system and derives
@@ -26,6 +37,7 @@ type Spec struct {
 type SpecBuilder struct {
 	q        int
 	readSets []ResourceSet
+	parent   []int // union-find over declared footprints
 }
 
 // NewSpecBuilder creates a builder for a system of numResources resources.
@@ -34,11 +46,32 @@ func NewSpecBuilder(numResources int) *SpecBuilder {
 	if numResources < 0 {
 		panic(fmt.Sprintf("core: negative resource count %d", numResources))
 	}
-	b := &SpecBuilder{q: numResources, readSets: make([]ResourceSet, numResources)}
+	b := &SpecBuilder{
+		q:        numResources,
+		readSets: make([]ResourceSet, numResources),
+		parent:   make([]int, numResources),
+	}
 	for i := range b.readSets {
 		b.readSets[i].Add(ResourceID(i))
+		b.parent[i] = i
 	}
 	return b
+}
+
+// find is union-find root lookup with path compression.
+func (b *SpecBuilder) find(x int) int {
+	for b.parent[x] != x {
+		b.parent[x] = b.parent[b.parent[x]]
+		x = b.parent[x]
+	}
+	return x
+}
+
+func (b *SpecBuilder) union(x, y int) {
+	rx, ry := b.find(x), b.find(y)
+	if rx != ry {
+		b.parent[ry] = rx
+	}
 }
 
 // NumResources returns q.
@@ -47,7 +80,7 @@ func (b *SpecBuilder) NumResources() int { return b.q }
 func (b *SpecBuilder) check(ids []ResourceID) error {
 	for _, id := range ids {
 		if id < 0 || int(id) >= b.q {
-			return fmt.Errorf("core: resource %d out of range [0,%d)", id, b.q)
+			return fmt.Errorf("%w: resource %d not in [0,%d)", ErrUnknownResource, id, b.q)
 		}
 	}
 	return nil
@@ -77,6 +110,20 @@ func (b *SpecBuilder) DeclareRequest(read, write []ResourceID) error {
 	for _, a := range write {
 		for _, bID := range read {
 			b.readSets[a].Add(bID)
+		}
+	}
+	// Every resource of the footprint (read ∪ write) belongs to one declared
+	// request and therefore to one connected component — including write-only
+	// footprints, which contribute no read sharing but are still acquired
+	// atomically by a single request.
+	var first = -1
+	for _, ids := range [][]ResourceID{read, write} {
+		for _, id := range ids {
+			if first < 0 {
+				first = int(id)
+				continue
+			}
+			b.union(first, int(id))
 		}
 	}
 	return nil
@@ -126,8 +173,44 @@ func (b *SpecBuilder) Build() *Spec {
 			}
 		}
 	}
+	// Component assignment: dense indices in order of each component's
+	// smallest resource ID, so the numbering is stable and independent of
+	// declaration order. The transitive closure above never crosses a
+	// component boundary (readSets only ever grow within declared
+	// footprints), so S(ℓa) ⊆ component(a) holds by construction.
+	s.comp = make([]int, b.q)
+	roots := map[int]int{}
+	for a := 0; a < b.q; a++ {
+		r := b.find(a)
+		c, ok := roots[r]
+		if !ok {
+			c = len(s.compRes)
+			roots[r] = c
+			s.compRes = append(s.compRes, nil)
+		}
+		s.comp[a] = c
+		s.compRes[c] = append(s.compRes[c], ResourceID(a))
+	}
 	return s
 }
+
+// NumComponents returns the number of connected components of the declared
+// footprints. Resources never named by any DeclareRequest each form their
+// own singleton component.
+func (s *Spec) NumComponents() int { return len(s.compRes) }
+
+// Component returns the dense component index of resource a. Components are
+// numbered in order of their smallest resource ID.
+func (s *Spec) Component(a ResourceID) int {
+	if a < 0 || int(a) >= s.q {
+		panic(fmt.Sprintf("core: resource %d out of range [0,%d)", a, s.q))
+	}
+	return s.comp[a]
+}
+
+// ComponentResources returns the resources of component c in ascending
+// order. The returned slice must not be modified.
+func (s *Spec) ComponentResources(c int) []ResourceID { return s.compRes[c] }
 
 // NumResources returns q, the number of resources in the system.
 func (s *Spec) NumResources() int { return s.q }
@@ -153,11 +236,12 @@ func (s *Spec) Expand(n ResourceSet) ResourceSet {
 }
 
 // Validate checks that every ID of n names a resource of this system.
+// Violations wrap ErrUnknownResource.
 func (s *Spec) Validate(n ResourceSet) error {
 	var err error
 	n.ForEach(func(a ResourceID) bool {
 		if int(a) >= s.q {
-			err = fmt.Errorf("core: resource %d out of range [0,%d)", a, s.q)
+			err = fmt.Errorf("%w: resource %d not in [0,%d)", ErrUnknownResource, a, s.q)
 			return false
 		}
 		return true

@@ -177,8 +177,11 @@ func FuzzRSMInvocations(f *testing.F) {
 			}
 			ck.check("fuzz")
 		}
-		// Drain.
-		for rounds := 0; rounds < 1000 && len(live) > 0; rounds++ {
+		// Drain. One completion per round, so the round budget must cover
+		// every live request (a long script can leave well over 1000): only
+		// a round with no satisfiable request is a genuine liveness failure.
+		budget := len(live) + 16
+		for rounds := 0; rounds < budget && len(live) > 0; rounds++ {
 			now++
 			progressed := false
 			for j, id := range live {

@@ -171,6 +171,49 @@ func (m *RSM) cancel(t Time, r *request) {
 	m.record(r)
 }
 
+// CancelUpgradeable withdraws an upgradeable pair before it holds anything.
+// Two configurations are legal:
+//
+//   - Neither half satisfied (UpgradePending): both halves are canceled.
+//     This is the context-cancellation path of the runtime's upgradeable
+//     acquire, mirroring CancelRequest for plain requests.
+//   - The read half already completed via FinishRead(…, true) and the write
+//     half is still waiting/entitled: only the write half is canceled. This
+//     is the context-cancellation path of a pending upgrade; the caller no
+//     longer holds the read locks, so nothing is released.
+//
+// If either half is satisfied (holds locks), cancellation is refused with
+// ErrBadState — the pair must go through its normal FinishRead/Complete
+// lifecycle instead.
+func (m *RSM) CancelUpgradeable(t Time, h UpgradeHandle) error {
+	if err := m.checkTime(t); err != nil {
+		return err
+	}
+	uw := m.reqs[h.WriteID]
+	if uw == nil || uw.upgradeRole != roleUWrite {
+		return fmt.Errorf("%w: write half %d", ErrNotUpgrade, h.WriteID)
+	}
+	if (uw.state != StateWaiting && uw.state != StateEntitled) || !uw.granted.Empty() {
+		return fmt.Errorf("%w: CancelUpgradeable with write half in state %s", ErrBadState, uw.state)
+	}
+	ur := m.reqs[h.ReadID]
+	if ur != nil {
+		if ur.upgradeRole != roleURead {
+			return fmt.Errorf("%w: read half %d", ErrNotUpgrade, h.ReadID)
+		}
+		if ur.state == StateSatisfied || !ur.granted.Empty() {
+			return fmt.Errorf("%w: read half is satisfied; use FinishRead", ErrBadState)
+		}
+		m.cancel(t, ur)
+		// The pair counted as one request at issue (stats.Issued was
+		// decremented); canceling both halves must likewise count once.
+		m.stats.Canceled--
+	}
+	m.cancel(t, uw)
+	m.stabilize(t)
+	return nil
+}
+
 // CancelRequest withdraws a request that has not yet acquired anything:
 // waiting or entitled plain requests, and incremental requests with no
 // grants. It must not be used on satisfied requests, partially granted

@@ -12,6 +12,8 @@
 package mutexrnlp
 
 import (
+	"context"
+
 	"github.com/rtsync/rwrnlp"
 	"github.com/rtsync/rwrnlp/internal/core"
 )
@@ -24,8 +26,11 @@ type Lock struct {
 // New creates a mutex RNLP for q resources.
 func New(q int) *Lock {
 	// No read sharing exists when every request is exclusive, so the spec
-	// needs no declarations.
-	return &Lock{p: rwrnlp.New(core.NewSpecBuilder(q).Build(), rwrnlp.Options{})}
+	// needs no declarations. Sharding is disabled: with nothing declared
+	// every resource is its own component, and the engine's multi-component
+	// slow path (per-component sequential locking) is NOT the mutex RNLP's
+	// single-timestamp atomic acquisition.
+	return &Lock{p: rwrnlp.New(core.NewSpecBuilder(q).Build(), rwrnlp.WithoutSharding())}
 }
 
 // Token identifies a held acquisition.
@@ -34,7 +39,7 @@ type Token = rwrnlp.Token
 // Acquire blocks until exclusive access to all resources is held. Reads and
 // writes are not distinguished — that is the protocol's limitation.
 func (l *Lock) Acquire(resources ...core.ResourceID) (Token, error) {
-	return l.p.Write(resources...)
+	return l.p.Write(context.Background(), resources...)
 }
 
 // Release ends the critical section.

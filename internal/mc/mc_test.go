@@ -40,6 +40,7 @@ func TestOracleSelection(t *testing.T) {
 		{"single4", []string{"phase-fair"}},
 		{"mixed4x3", nil},
 		{"cancel3", nil},
+		{"shards4x2", []string{"sharded-rsm"}},
 	}
 	for _, c := range cases {
 		var names []string

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/rtsync/rwrnlp/internal/core"
 )
 
 // Differential oracles: independent reimplementations of the two protocols
@@ -23,6 +25,14 @@ import (
 //     writer publishes presence as soon as its predecessor finishes,
 //     blocking later readers; readers that arrived earlier drain first; a
 //     completing writer releases ALL readers blocked on its phase.
+//
+//   - Multi-component scenarios (the declared footprints partition into
+//     more than one connected component): one independent RSM per
+//     component, exactly the runtime lock's sharded deployment, must
+//     reproduce the single RSM's satisfaction log. This validates the
+//     partitioning argument end to end: requests in different components
+//     never conflict, so per-component protocol instances are
+//     indistinguishable from one global instance.
 //
 // An oracle consumes the same action sequence as the RSM and produces its
 // own satisfaction log; the runner compares the two after every step.
@@ -66,6 +76,9 @@ func activeOracles(sc *Scenario) []oracle {
 	}
 	if sc.Q == 1 {
 		os = append(os, newPhaseFairOracle())
+	}
+	if spec, err := sc.Spec(); err == nil && spec.NumComponents() > 1 {
+		os = append(os, newShardOracle(sc, spec))
 	}
 	return os
 }
@@ -329,4 +342,119 @@ func (o *phaseFairOracle) key() string {
 	}
 	sort.Ints(rh)
 	return fmt.Sprintf("rh=%v,w=%d,e=%d,wq=%v,br=%v", rh, o.writer, o.entitledWriter, o.wq, o.blockedReaders)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-RSM oracle (multi-component scenarios)
+
+// shardOracle runs one real core.RSM per connected component of the declared
+// footprints — the exact deployment the runtime lock uses when sharding —
+// and routes every action to the owning component's instance. Unlike the
+// other two oracles it is not an independent transcription of a prior-art
+// protocol: it is a differential check of the PARTITIONING argument. If
+// splitting the resource system along component boundaries could ever
+// reorder, delay, or drop a satisfaction relative to the single global RSM,
+// the logs diverge and the violation is reported with the schedule.
+//
+// Request IDs are strided (instance i mints i+n, i+2n, …) exactly as the
+// runtime shards stride theirs, so the canonical state keys of the instances
+// can be concatenated without collisions.
+type shardOracle struct {
+	spec *core.Spec
+	rsms []*core.RSM
+
+	comp   []int        // comp[tmpl] = owning component, -1 unissued
+	ids    []core.ReqID // ids[tmpl] = request ID in its component's RSM
+	alias  map[core.ReqID]int32
+	events []core.Event
+	broken bool // an instance rejected an action the global RSM accepted
+}
+
+func newShardOracle(sc *Scenario, spec *core.Spec) *shardOracle {
+	n := spec.NumComponents()
+	o := &shardOracle{
+		spec:  spec,
+		rsms:  make([]*core.RSM, n),
+		comp:  make([]int, len(sc.Templates)),
+		ids:   make([]core.ReqID, len(sc.Templates)),
+		alias: map[core.ReqID]int32{},
+	}
+	for i := range o.comp {
+		o.comp[i] = -1
+	}
+	for i := range o.rsms {
+		opt := sc.Options()
+		opt.FirstID = core.ReqID(i)
+		opt.IDStep = core.ReqID(n)
+		o.rsms[i] = core.NewRSM(spec, opt)
+		o.rsms[i].SetObserver(core.ObserverFunc(func(e core.Event) {
+			o.events = append(o.events, e)
+		}))
+	}
+	return o
+}
+
+func (o *shardOracle) name() string { return "sharded-rsm" }
+
+func (o *shardOracle) apply(step int, a Action, sc *Scenario) {
+	if o.broken {
+		return
+	}
+	tp := &sc.Templates[a.Tmpl]
+	t := core.Time(step)
+	switch a.Kind {
+	case ActIssue:
+		// Every declared footprint lies within one component by
+		// construction of the union-find closure; route by any member.
+		need := tp.need().IDs()
+		c := o.spec.Component(need[0])
+		id, err := o.rsms[c].Issue(t, tp.Read, tp.Write, a.Tmpl)
+		if err != nil {
+			o.broken = true
+			return
+		}
+		o.comp[a.Tmpl] = c
+		o.ids[a.Tmpl] = id
+		o.alias[id] = aliasBase(a.Tmpl)
+	case ActComplete:
+		if err := o.rsms[o.comp[a.Tmpl]].Complete(t, o.ids[a.Tmpl]); err != nil {
+			o.broken = true
+		}
+	case ActCancel:
+		if err := o.rsms[o.comp[a.Tmpl]].CancelRequest(t, o.ids[a.Tmpl]); err != nil {
+			o.broken = true
+		}
+	}
+}
+
+// satisfactions derives the combined log. A rejected action (broken) yields
+// an impossible sentinel entry so the comparison reports a divergence rather
+// than silently truncating.
+func (o *shardOracle) satisfactions() []satEv {
+	var log []satEv
+	for _, e := range o.events {
+		if e.Type != core.EvSatisfied {
+			continue
+		}
+		if al, ok := o.alias[e.Req]; ok {
+			log = append(log, satEv{step: int(e.T), tmpl: int(al) / 3})
+		}
+	}
+	if o.broken {
+		log = append(log, satEv{step: -1, tmpl: -1})
+	}
+	return log
+}
+
+func (o *shardOracle) key() string {
+	var b strings.Builder
+	for i, m := range o.rsms {
+		fmt.Fprintf(&b, "s%d:", i)
+		b.WriteString(m.StateKey(func(id core.ReqID) int32 { return o.alias[id] }))
+		b.WriteByte('|')
+	}
+	if o.broken {
+		b.WriteString("!broken")
+	}
+	return b.String()
 }

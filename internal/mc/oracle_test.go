@@ -174,3 +174,62 @@ func TestDifferentialRandomizedEpisodes(t *testing.T) {
 		}
 	}
 }
+
+// Two disjoint components driven through an interleaved schedule: the
+// sharded deployment (one RSM per component) must reproduce the global
+// RSM's satisfaction log step for step. The expected log is hand-computed:
+// within each component phase-fair admission applies independently, and
+// actions in the other component never shift a satisfaction.
+func TestDifferentialShardedComponents(t *testing.T) {
+	sc := Preset("shards4x2")
+	names := func() []string {
+		var ns []string
+		for _, o := range activeOracles(sc) {
+			ns = append(ns, o.name())
+		}
+		return ns
+	}()
+	if len(names) != 1 || names[0] != "sharded-rsm" {
+		t.Fatalf("oracles on shards4x2 = %v, want [sharded-rsm]", names)
+	}
+	// Templates: 0=r{0,1} 1=w{0,1} 2=r{2,3} 3=w{2,3}.
+	schedule := []Action{
+		{Tmpl: 1, Kind: ActIssue},    // t=1: w{0,1} satisfied immediately
+		{Tmpl: 3, Kind: ActIssue},    // t=2: w{2,3} satisfied immediately (other component)
+		{Tmpl: 0, Kind: ActIssue},    // t=3: r{0,1} blocked behind writer
+		{Tmpl: 2, Kind: ActIssue},    // t=4: r{2,3} blocked behind writer
+		{Tmpl: 3, Kind: ActComplete}, // t=5: r{2,3} admitted — component {0,1} unaffected
+		{Tmpl: 1, Kind: ActComplete}, // t=6: r{0,1} admitted
+		{Tmpl: 2, Kind: ActComplete}, // t=7
+		{Tmpl: 0, Kind: ActComplete}, // t=8
+	}
+	got := applySchedule(t, sc, schedule)
+	assertLog(t, got, []satEv{
+		{step: 1, tmpl: 1},
+		{step: 2, tmpl: 3},
+		{step: 5, tmpl: 2},
+		{step: 6, tmpl: 0},
+	})
+}
+
+// Cancellation routed to the owning component instance: withdrawing a queued
+// writer admits the reader blocked behind it in that component only.
+func TestDifferentialShardedCancel(t *testing.T) {
+	sc := Preset("shards4x2")
+	schedule := []Action{
+		{Tmpl: 1, Kind: ActIssue},    // t=1: w{0,1} satisfied
+		{Tmpl: 3, Kind: ActIssue},    // t=2: w{2,3} satisfied
+		{Tmpl: 0, Kind: ActIssue},    // t=3: r{0,1} blocked
+		{Tmpl: 2, Kind: ActIssue},    // t=4: r{2,3} blocked
+		{Tmpl: 2, Kind: ActCancel},   // t=5: r{2,3} withdraws while queued
+		{Tmpl: 1, Kind: ActComplete}, // t=6: r{0,1} admitted
+		{Tmpl: 0, Kind: ActComplete}, // t=7
+		{Tmpl: 3, Kind: ActComplete}, // t=8
+	}
+	got := applySchedule(t, sc, schedule)
+	assertLog(t, got, []satEv{
+		{step: 1, tmpl: 1},
+		{step: 2, tmpl: 3},
+		{step: 6, tmpl: 0},
+	})
+}

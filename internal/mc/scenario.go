@@ -345,6 +345,16 @@ func Presets() []*Scenario {
 			Q:         4,
 			Templates: mustTemplates("r:0+1 w:1+2 r:2+3 w:0+3 u:1+3"),
 		},
+		{
+			// Two disjoint declared components {0,1} and {2,3}, with
+			// cancellations: activates the sharded-RSM differential oracle,
+			// checking that one protocol instance per component reproduces
+			// the global instance's satisfaction order exactly.
+			Name:      "shards4x2",
+			Q:         4,
+			Templates: mustTemplates("r:0+1 w:0+1 r:2+3 w:2+3"),
+			Cancels:   true,
+		},
 	}
 }
 

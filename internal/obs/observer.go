@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/rtsync/rwrnlp/internal/core"
@@ -37,7 +38,29 @@ const (
 	MWallAcqWriteNS = "wall_acquire_write_ns"
 	MWallBlockNS    = "wall_block_ns"
 	MWallCSNS       = "wall_cs_ns"
+
+	// Per-shard instruments recorded by the runtime lock's component shards;
+	// instance names carry a {shard=i} label via ShardMetric. The counters
+	// count acquisition/release attempts routed to the shard, mutex-
+	// contended acquisitions, and acquisitions executed by another holder
+	// via the combining stack; shard_combine_wait_ns is the wall-clock
+	// publish-to-execute latency of contended acquisitions.
+	MShardAcquires      = "shard_acquires"
+	MShardReleases      = "shard_releases"
+	MShardContended     = "shard_contended"
+	MShardCombined      = "shard_combined"
+	MShardCombineWaitNS = "shard_combine_wait_ns"
+
+	// MSlowPath counts multi-component acquisitions served by the runtime
+	// lock's ordered slow path (undeclared footprints only).
+	MSlowPath = "protocol_slow_path"
 )
+
+// ShardMetric derives the shard-labeled instance name of a per-shard metric,
+// e.g. ShardMetric(MShardAcquires, 2) = "shard_acquires{shard=2}".
+func ShardMetric(name string, shard int) string {
+	return fmt.Sprintf("%s{shard=%d}", name, shard)
+}
 
 // pendingReq is the per-request state ProtocolObserver keeps between issue
 // and completion.

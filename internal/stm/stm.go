@@ -30,6 +30,7 @@
 package stm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -219,7 +220,7 @@ func (s *STM) Atomically(read, write []VarBase, fn func(tx *Tx) error) error {
 	if err := s.checkDeclared(r, w); err != nil {
 		return err
 	}
-	tok, err := s.p.Acquire(r, w)
+	tok, err := s.p.Acquire(context.Background(), r, w)
 	if err != nil {
 		return err
 	}
@@ -251,7 +252,7 @@ func (s *STM) AtomicallyUpgradeable(vars []VarBase, readFn func(tx *Tx) (Upgrade
 	if err := s.checkDeclared(vs, nil); err != nil {
 		return err
 	}
-	u, err := s.p.AcquireUpgradeable(vs...)
+	u, err := s.p.AcquireUpgradeable(context.Background(), vs...)
 	if err != nil {
 		return err
 	}
@@ -265,7 +266,7 @@ func (s *STM) AtomicallyUpgradeable(vars []VarBase, readFn func(tx *Tx) (Upgrade
 			}
 			return err
 		}
-		if err := u.Upgrade(); err != nil {
+		if err := u.Upgrade(context.Background()); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -11,6 +12,8 @@ import (
 	"github.com/rtsync/rwrnlp/internal/sim"
 	"github.com/rtsync/rwrnlp/internal/workload"
 )
+
+var bg = context.Background()
 
 // A hand-driven RSM execution (the Fig. 2 running example) passes all
 // checks.
@@ -108,31 +111,35 @@ func TestCheckRuntimeExecution(t *testing.T) {
 				rng := rand.New(rand.NewSource(int64(g)))
 				r0 := rwrnlp.ResourceID(g % 4)
 				r1 := rwrnlp.ResourceID((g + 1) % 4)
+				// Incremental form needs a same-component partner (components
+				// are {0,1} and {2,3}); r1 may cross components, which the
+				// plain write path serves via the ordered slow path.
+				rInc := r0 ^ 1
 				for i := 0; i < 150; i++ {
 					switch rng.Intn(4) {
 					case 0:
-						tok, err := p.Read(r0)
+						tok, err := p.Read(bg, r0)
 						if err != nil {
 							t.Error(err)
 							return
 						}
 						p.Release(tok)
 					case 1:
-						tok, err := p.Write(r0, r1)
+						tok, err := p.Write(bg, r0, r1)
 						if err != nil {
 							t.Error(err)
 							return
 						}
 						p.Release(tok)
 					case 2:
-						u, err := p.AcquireUpgradeable(r0)
+						u, err := p.AcquireUpgradeable(bg, r0)
 						if err != nil {
 							t.Error(err)
 							return
 						}
 						if u.Reading() {
 							if rng.Intn(2) == 0 {
-								if err := u.Upgrade(); err != nil {
+								if err := u.Upgrade(bg); err != nil {
 									t.Error(err)
 									return
 								}
@@ -144,12 +151,12 @@ func TestCheckRuntimeExecution(t *testing.T) {
 							u.Release()
 						}
 					case 3:
-						inc, err := p.AcquireIncremental(nil, []rwrnlp.ResourceID{r0, r1}, nil, []rwrnlp.ResourceID{r0})
+						inc, err := p.AcquireIncremental(bg, nil, []rwrnlp.ResourceID{r0, rInc}, nil, []rwrnlp.ResourceID{r0})
 						if err != nil {
 							t.Error(err)
 							return
 						}
-						if err := inc.Acquire(r1); err != nil {
+						if err := inc.Acquire(bg, rInc); err != nil {
 							t.Error(err)
 							return
 						}

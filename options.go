@@ -1,0 +1,101 @@
+package rwrnlp
+
+// config is the resolved configuration of a Protocol.
+type config struct {
+	placeholders bool
+	spin         bool
+	selfCheck    bool
+	metrics      bool
+	sharding     bool
+}
+
+func defaultConfig() config {
+	return config{sharding: true}
+}
+
+// Option configures a Protocol at construction:
+//
+//	p := rwrnlp.New(spec, rwrnlp.WithPlaceholders(), rwrnlp.WithMetrics())
+//
+// The legacy Options struct also implements Option, so v1 call sites keep
+// compiling unchanged.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithPlaceholders enables the Sec. 3.4 optimization (recommended): writers
+// enqueue placeholders in the write queues of read-shared resources instead
+// of locking them, strictly increasing concurrency with the same worst-case
+// bounds.
+func WithPlaceholders() Option {
+	return optionFunc(func(c *config) { c.placeholders = true })
+}
+
+// WithSpin makes waiters busy-wait (yielding from the first iteration, then
+// backing off) instead of blocking on a channel. Spinning mirrors the paper's
+// Rule-S1 variant and has lower wake-up latency; blocking is kinder to mixed
+// workloads. Context-aware waits always block regardless of this option.
+func WithSpin() Option {
+	return optionFunc(func(c *config) { c.spin = true })
+}
+
+// WithSelfCheck verifies the protocol's structural invariants (mutual
+// exclusion, Prop. E10, queue order, Lemma 6, …) after every invocation —
+// per component shard — and panics on a violation. Costly; for bring-up and
+// tests.
+func WithSelfCheck() Option {
+	return optionFunc(func(c *config) { c.selfCheck = true })
+}
+
+// WithMetrics enables the observability layer (internal/obs): protocol event
+// counters and tick-valued histograms via per-shard obs.ProtocolObservers
+// recording into one shared registry, per-shard acquire/contention counters
+// (shard-labeled names), plus wall-clock acquisition/blocking/CS histograms
+// recorded directly on the acquisition path. Retrieve with Protocol.Metrics;
+// serve with Protocol.DebugHandler. When disabled the only cost on the
+// acquisition path is a nil check.
+func WithMetrics() Option {
+	return optionFunc(func(c *config) { c.metrics = true })
+}
+
+// WithoutSharding forces a single RSM + mutex for the whole resource system
+// instead of one per connected component. Use it when requests routinely
+// span undeclared resource combinations (so the multi-component slow path
+// would dominate) or when the exact v1 single-timeline semantics are needed
+// — e.g. a mutex-RNLP built over undeclared resources, where per-resource
+// sequential locking would not be the RNLP.
+func WithoutSharding() Option {
+	return optionFunc(func(c *config) { c.sharding = false })
+}
+
+// Options is the v1 configuration struct.
+//
+// Deprecated: pass functional options to New instead — Options{Placeholders:
+// true} becomes WithPlaceholders(), and so on. Options implements Option, so
+// existing New(spec, Options{…}) call sites keep compiling; it always
+// implies WithoutSharding-off (sharding stays enabled).
+type Options struct {
+	// Placeholders enables the Sec. 3.4 optimization. See WithPlaceholders.
+	Placeholders bool
+
+	// Spin makes waiters busy-wait. See WithSpin.
+	Spin bool
+
+	// SelfCheck verifies structural invariants after every invocation. See
+	// WithSelfCheck.
+	SelfCheck bool
+
+	// Metrics enables the observability layer. See WithMetrics.
+	Metrics bool
+}
+
+func (o Options) apply(c *config) {
+	c.placeholders = o.Placeholders
+	c.spin = o.Spin
+	c.selfCheck = o.SelfCheck
+	c.metrics = o.Metrics
+}

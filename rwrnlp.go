@@ -9,9 +9,9 @@
 //
 //	b := rwrnlp.NewSpecBuilder(3)            // resources 0, 1, 2
 //	b.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil) // a potential 2-resource read
-//	p := rwrnlp.New(b.Build(), rwrnlp.Options{Placeholders: true})
+//	p := rwrnlp.New(b.Build(), rwrnlp.WithPlaceholders())
 //
-//	tok, _ := p.Acquire([]rwrnlp.ResourceID{0, 1}, nil) // read lock 0 and 1
+//	tok, _ := p.Acquire(ctx, []rwrnlp.ResourceID{0, 1}, nil) // read lock 0 and 1
 //	defer p.Release(tok)
 //
 // The protocol requires the shapes of potential multi-resource requests to
@@ -21,6 +21,22 @@
 // blocking O(1). Issuing an undeclared multi-resource READ request weakens
 // the writer FIFO guarantees; single-resource requests never need
 // declaration.
+//
+// # Sharding
+//
+// The declared footprints partition the resources into connected components
+// (core.Spec computes them), and requests confined to different components
+// can never conflict with — nor even share a queue with — each other. New
+// therefore runs one RSM behind one mutex per component, so acquisitions on
+// disjoint components proceed independently; Rule G4's total order is only
+// needed among requests that can interact, so the protocol's guarantees
+// (Theorems 1 and 2) hold per component exactly as in the single-RSM build.
+// Every declared request lies within one component by construction and takes
+// this fast path. An undeclared request spanning several components is still
+// served, by a slow path that acquires each component's slice in ascending
+// component order (deadlock-free: all hold-wait edges point up) — but such a
+// request is satisfied piecewise, not atomically, and inherits no FIFO bound
+// across components. WithoutSharding restores the single global RSM.
 //
 // Real-time caveat: the Go runtime scheduler does not expose real-time
 // priorities, so this package preserves the protocol's ordering semantics
@@ -34,11 +50,10 @@ package rwrnlp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"sort"
 	"time"
 
 	"github.com/rtsync/rwrnlp/internal/core"
@@ -60,53 +75,41 @@ type SpecBuilder = core.SpecBuilder
 // NewSpecBuilder creates a builder for a system of q resources.
 func NewSpecBuilder(q int) *SpecBuilder { return core.NewSpecBuilder(q) }
 
-// Options configure a Protocol.
-type Options struct {
-	// Placeholders enables the Sec. 3.4 optimization (recommended): writers
-	// enqueue placeholders in the write queues of read-shared resources
-	// instead of locking them, strictly increasing concurrency with the
-	// same worst-case bounds.
-	Placeholders bool
+// Sentinel errors of the public API. Compare with errors.Is; messages may
+// carry wrapped detail.
+var (
+	// ErrEmptyRequest reports an acquisition that names no resources.
+	ErrEmptyRequest = core.ErrEmptyRequest
 
-	// Spin makes waiters busy-wait (with cooperative yielding) instead of
-	// blocking on a channel. Spinning mirrors the paper's Rule-S1 variant
-	// and has lower wake-up latency; blocking is kinder to mixed workloads.
-	Spin bool
+	// ErrUnknownResource reports a resource ID outside [0, q).
+	ErrUnknownResource = core.ErrUnknownResource
 
-	// SelfCheck verifies the protocol's structural invariants (mutual
-	// exclusion, Prop. E10, queue order, Lemma 6, …) after every
-	// invocation and panics on a violation. Costly; for bring-up and tests.
-	SelfCheck bool
+	// ErrAlreadyReleased reports a second Release of the same Token (or
+	// Incremental/Upgradeable), or the release of a zero Token.
+	ErrAlreadyReleased = errors.New("rwrnlp: already released")
 
-	// Metrics enables the observability layer (internal/obs): protocol
-	// event counters and tick-valued histograms via an attached
-	// obs.ProtocolObserver, plus wall-clock acquisition/blocking/CS
-	// histograms recorded directly on the acquisition path. Retrieve with
-	// Protocol.Metrics; serve with Protocol.DebugHandler. When disabled the
-	// only cost on the acquisition path is a nil check.
-	Metrics bool
-}
+	// ErrCrossComponent reports an incremental or upgradeable request whose
+	// resources span multiple declared components. Those forms need one
+	// atomic timestamp in one total order; span a single component (declare
+	// the footprint) or construct the Protocol with WithoutSharding.
+	ErrCrossComponent = errors.New("rwrnlp: request spans multiple resource components")
+)
 
 // Protocol is a ready-to-use R/W RNLP instance. All methods are safe for
 // concurrent use.
 type Protocol struct {
-	opt Options
+	cfg    config
+	spec   *Spec
+	shards []*shard
 
-	mu      sync.Mutex // serializes RSM invocations (Rule G4's total order)
-	rsm     *core.RSM
-	clock   core.Time
-	waiters map[core.ReqID]*waiter
-	tracer  core.Observer
-
-	// Observability (nil unless Options.Metrics): metricsObs survives
-	// SetTracer; the wall* histograms are resolved once so the acquisition
-	// path never touches the registry.
-	metrics    *obs.Metrics
-	metricsObs core.Observer
-	wallAcqR   *obs.Histogram
-	wallAcqW   *obs.Histogram
-	wallBlock  *obs.Histogram
-	wallCS     *obs.Histogram
+	// Observability (nil unless WithMetrics): the wall* histograms are
+	// resolved once so the acquisition path never touches the registry.
+	metrics   *obs.Metrics
+	slowPath  *obs.Counter
+	wallAcqR  *obs.Histogram
+	wallAcqW  *obs.Histogram
+	wallBlock *obs.Histogram
+	wallCS    *obs.Histogram
 }
 
 // Metrics re-exports the obs registry type for the public API.
@@ -115,78 +118,55 @@ type Metrics = obs.Metrics
 // MetricsSnapshot re-exports the obs snapshot type for the public API.
 type MetricsSnapshot = obs.Snapshot
 
-// SetTracer installs a secondary observer receiving every protocol event —
-// feed it a trace.Recorder to machine-check an execution against the
-// paper's properties. Must be called before any acquisition; it replaces
-// any observers previously set with SetTracer or AddObserver (the metrics
-// observer enabled by Options.Metrics is unaffected). (The argument type
-// lives in an internal package; this hook is for in-module tooling, tests,
-// and the examples.)
-func (p *Protocol) SetTracer(obs core.Observer) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.tracer = obs
-}
-
-// AddObserver attaches an additional observer alongside any existing ones
-// (fan-out via core.MultiObserver). Must be called before any acquisition.
-func (p *Protocol) AddObserver(o core.Observer) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.tracer = core.MultiObserver(p.tracer, o)
-}
-
-// waiter is the parked state of one unsatisfied request.
-type waiter struct {
-	done atomic.Bool
-	ch   chan struct{}
-	once sync.Once
-}
-
-func newWaiter() *waiter { return &waiter{ch: make(chan struct{})} }
-
-func (w *waiter) signal() {
-	w.once.Do(func() {
-		w.done.Store(true)
-		close(w.ch)
-	})
-}
-
-func (w *waiter) wait(spin bool) {
-	if !spin {
-		<-w.ch
-		return
-	}
-	for spins := 0; !w.done.Load(); spins++ {
-		if spins > 64 {
-			runtime.Gosched()
+// New creates a Protocol for the given resource system. With no options the
+// protocol runs sharded (one RSM per declared resource component), blocking
+// waiters, no placeholders, no metrics; see the With… options and the
+// deprecated Options struct.
+func New(spec *Spec, opts ...Option) *Protocol {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&cfg)
 		}
 	}
-}
-
-// New creates a Protocol for the given resource system.
-func New(spec *Spec, opt Options) *Protocol {
-	p := &Protocol{
-		opt:     opt,
-		rsm:     core.NewRSM(spec, core.Options{Placeholders: opt.Placeholders}),
-		waiters: make(map[core.ReqID]*waiter),
+	n := 1
+	if cfg.sharding {
+		if n = spec.NumComponents(); n < 1 {
+			n = 1
+		}
 	}
-	if opt.Metrics {
+	p := &Protocol{cfg: cfg, spec: spec}
+	if cfg.metrics {
 		p.metrics = obs.NewMetrics()
-		p.metricsObs = obs.NewProtocolObserver(p.metrics)
+		p.slowPath = p.metrics.Counter(obs.MSlowPath)
 		p.wallAcqR = p.metrics.Histogram(obs.MWallAcqReadNS)
 		p.wallAcqW = p.metrics.Histogram(obs.MWallAcqWriteNS)
 		p.wallBlock = p.metrics.Histogram(obs.MWallBlockNS)
 		p.wallCS = p.metrics.Histogram(obs.MWallCSNS)
 	}
-	p.rsm.SetObserver(core.ObserverFunc(p.observe))
+	p.shards = make([]*shard, n)
+	for i := range p.shards {
+		p.shards[i] = newShard(p, i, n)
+	}
 	return p
 }
 
-// Metrics returns the protocol's metrics registry, or nil when
-// Options.Metrics is disabled. Event-derived histograms are in logical
-// protocol ticks (one tick per invocation); the wall_* histograms are
-// wall-clock nanoseconds.
+// NumShards reports how many independent RSM shards the protocol runs — the
+// number of declared resource components, or 1 under WithoutSharding.
+func (p *Protocol) NumShards() int { return len(p.shards) }
+
+// shardOf returns the shard owning resource a.
+func (p *Protocol) shardOf(a ResourceID) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	return p.shards[p.spec.Component(a)]
+}
+
+// Metrics returns the protocol's metrics registry, or nil when metrics are
+// disabled. Event-derived histograms are in logical protocol ticks (one tick
+// per shard invocation); the wall_* histograms are wall-clock nanoseconds;
+// the shard_* series carry a {shard=i} label.
 func (p *Protocol) Metrics() *Metrics { return p.metrics }
 
 // DebugHandler serves the metrics snapshot over HTTP (JSON; ?format=text
@@ -194,20 +174,30 @@ func (p *Protocol) Metrics() *Metrics { return p.metrics }
 // serves an empty snapshot when metrics are disabled.
 func (p *Protocol) DebugHandler() http.Handler { return obs.Handler(p.metrics) }
 
-// observe runs under p.mu (the RSM is only invoked with the mutex held).
-func (p *Protocol) observe(e core.Event) {
-	switch e.Type {
-	case core.EvSatisfied, core.EvGranted, core.EvCanceled:
-		if w, ok := p.waiters[e.Req]; ok {
-			delete(p.waiters, e.Req)
-			w.signal()
-		}
+// SetTracer installs a secondary observer receiving every protocol event —
+// feed it a trace.Recorder to machine-check an execution against the
+// paper's properties. Must be called before any acquisition; it replaces
+// any observers previously set with SetTracer or AddObserver (the metrics
+// observers enabled by WithMetrics are unaffected). With several shards the
+// tracer sees each shard's events in order but the shards interleave; the
+// trace checker is insensitive to that, since cross-shard requests never
+// conflict. (The argument type lives in an internal package; this hook is
+// for in-module tooling, tests, and the examples.)
+func (p *Protocol) SetTracer(o core.Observer) {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.tracer = o
+		s.unlock()
 	}
-	if p.metricsObs != nil {
-		p.metricsObs.Observe(e)
-	}
-	if p.tracer != nil {
-		p.tracer.Observe(e)
+}
+
+// AddObserver attaches an additional observer alongside any existing ones
+// (fan-out via core.MultiObserver). Must be called before any acquisition.
+func (p *Protocol) AddObserver(o core.Observer) {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.tracer = core.MultiObserver(s.tracer, o)
+		s.unlock()
 	}
 }
 
@@ -223,9 +213,9 @@ func (p *Protocol) nowNS() int64 {
 // finishAcquire records wall-clock acquisition metrics and mints the token.
 // start/blockStart are nowNS readings (0 when metrics are disabled or the
 // request never blocked).
-func (p *Protocol) finishAcquire(id core.ReqID, start, blockStart int64, isWrite bool) Token {
+func (p *Protocol) finishAcquire(s *shard, id core.ReqID, start, blockStart int64, isWrite bool, rest []tokenPart) Token {
 	if p.metrics == nil {
-		return Token{id: id}
+		return Token{s: s, id: id, rest: rest}
 	}
 	now := time.Now().UnixNano()
 	if isWrite {
@@ -236,153 +226,249 @@ func (p *Protocol) finishAcquire(id core.ReqID, start, blockStart int64, isWrite
 	if blockStart != 0 {
 		p.wallBlock.Observe(now - blockStart)
 	}
-	return Token{id: id, acqNS: now}
+	return Token{s: s, id: id, acqNS: now, rest: rest}
 }
 
-func (p *Protocol) tick() core.Time {
-	p.clock++
-	return p.clock
+// tokenPart is one additional component slice held by a slow-path Token.
+type tokenPart struct {
+	s  *shard
+	id core.ReqID
 }
 
-// selfCheck runs the invariant audit when enabled; called with p.mu held
-// after every protocol invocation.
-func (p *Protocol) selfCheck() {
-	if !p.opt.SelfCheck {
-		return
-	}
-	if v := p.rsm.CheckInvariants(); len(v) != 0 {
-		panic("rwrnlp: invariant violated: " + v[0])
-	}
-}
-
-// Token identifies a held acquisition, to be passed to Release.
+// Token identifies a held acquisition, to be passed to Release. The zero
+// Token is not valid; releasing it (or releasing twice) returns
+// ErrAlreadyReleased.
 type Token struct {
+	s  *shard
 	id core.ReqID
 	// acqNS is the wall-clock satisfaction time (0 when metrics are
 	// disabled), letting Release attribute the critical-section length.
 	acqNS int64
+	// rest holds the higher-component slices of a multi-component slow-path
+	// acquisition, ascending; nil on the fast path.
+	rest []tokenPart
+}
+
+// part is one component's slice of a request footprint.
+type part struct {
+	s           *shard
+	read, write []ResourceID
+}
+
+// split validates the footprint and groups it by component, ascending. The
+// common case — all resources in one component, which every declared request
+// satisfies by construction — returns exactly one part.
+func (p *Protocol) split(read, write []ResourceID) ([]part, error) {
+	q := p.spec.NumResources()
+	check := func(ids []ResourceID) error {
+		for _, id := range ids {
+			if id < 0 || int(id) >= q {
+				return fmt.Errorf("%w: resource %d not in [0,%d)", ErrUnknownResource, id, q)
+			}
+		}
+		return nil
+	}
+	if err := check(read); err != nil {
+		return nil, err
+	}
+	if err := check(write); err != nil {
+		return nil, err
+	}
+	if len(read)+len(write) == 0 {
+		return nil, ErrEmptyRequest
+	}
+	if len(p.shards) == 1 {
+		return []part{{s: p.shards[0], read: read, write: write}}, nil
+	}
+	first, multi := -1, false
+	for _, ids := range [2][]ResourceID{read, write} {
+		for _, id := range ids {
+			c := p.spec.Component(id)
+			if first < 0 {
+				first = c
+			} else if c != first {
+				multi = true
+			}
+		}
+	}
+	if !multi {
+		return []part{{s: p.shards[first], read: read, write: write}}, nil
+	}
+	byComp := map[int]*part{}
+	slice := func(ids []ResourceID, write bool) {
+		for _, id := range ids {
+			c := p.spec.Component(id)
+			pt := byComp[c]
+			if pt == nil {
+				pt = &part{s: p.shards[c]}
+				byComp[c] = pt
+			}
+			if write {
+				pt.write = append(pt.write, id)
+			} else {
+				pt.read = append(pt.read, id)
+			}
+		}
+	}
+	slice(read, false)
+	slice(write, true)
+	comps := make([]int, 0, len(byComp))
+	for c := range byComp {
+		comps = append(comps, c)
+	}
+	sort.Ints(comps)
+	parts := make([]part, 0, len(comps))
+	for _, c := range comps {
+		parts = append(parts, *byComp[c])
+	}
+	return parts, nil
 }
 
 // Acquire blocks until read access to every resource in read and write
 // access to every resource in write is held (Sec. 3.5 mixing: both sets may
 // be non-empty). Multiple resources are acquired atomically with no
-// deadlock risk — that is the point of the protocol. An empty request is an
-// error.
-func (p *Protocol) Acquire(read, write []ResourceID) (Token, error) {
+// deadlock risk — that is the point of the protocol. An empty request
+// returns ErrEmptyRequest. If ctx is done before satisfaction, the request
+// is withdrawn and ctx.Err() returned; when satisfaction races with
+// cancellation, the acquisition wins and the caller owns the token (check
+// the error, not the context). A nil ctx never cancels.
+//
+// A request spanning several components (necessarily undeclared) is served
+// by the slow path: each component's slice is acquired in ascending
+// component order, piecewise rather than atomically — see the package
+// documentation.
+func (p *Protocol) Acquire(ctx context.Context, read, write []ResourceID) (Token, error) {
 	start := p.nowNS()
-	p.mu.Lock()
-	id, err := p.rsm.Issue(p.tick(), read, write, nil)
-	p.selfCheck()
+	parts, err := p.split(read, write)
 	if err != nil {
-		p.mu.Unlock()
 		return Token{}, err
 	}
-	st, _ := p.rsm.State(id)
-	if st == core.StateSatisfied {
-		p.mu.Unlock()
-		return p.finishAcquire(id, start, 0, len(write) > 0), nil
+	isWrite := len(write) > 0
+	if len(parts) == 1 {
+		s := parts[0].s
+		id, w, err := s.acquire(read, write)
+		if err != nil {
+			return Token{}, err
+		}
+		var blockStart int64
+		if w != nil {
+			blockStart = p.nowNS()
+			if err := s.awaitAcquire(ctx, id, w); err != nil {
+				return Token{}, err
+			}
+		}
+		return p.finishAcquire(s, id, start, blockStart, isWrite, nil), nil
 	}
-	w := newWaiter()
-	p.waiters[id] = w
-	p.mu.Unlock()
-	blockStart := p.nowNS()
-	w.wait(p.opt.Spin)
-	return p.finishAcquire(id, start, blockStart, len(write) > 0), nil
+
+	// Slow path: ascending component order; on failure release what is held
+	// in reverse.
+	if p.slowPath != nil {
+		p.slowPath.Inc()
+	}
+	var held []tokenPart
+	var blockStart int64
+	for _, pt := range parts {
+		id, w, err := pt.s.acquire(pt.read, pt.write)
+		if err == nil && w != nil {
+			if blockStart == 0 {
+				blockStart = p.nowNS()
+			}
+			err = pt.s.awaitAcquire(ctx, id, w)
+		}
+		if err != nil {
+			for i := len(held) - 1; i >= 0; i-- {
+				_ = held[i].s.release(held[i].id)
+			}
+			return Token{}, err
+		}
+		held = append(held, tokenPart{s: pt.s, id: id})
+	}
+	return p.finishAcquire(held[0].s, held[0].id, start, blockStart, isWrite, held[1:]), nil
 }
 
-// Read is shorthand for Acquire(resources, nil).
-func (p *Protocol) Read(resources ...ResourceID) (Token, error) {
-	return p.Acquire(resources, nil)
+// Read is shorthand for Acquire(ctx, resources, nil).
+func (p *Protocol) Read(ctx context.Context, resources ...ResourceID) (Token, error) {
+	return p.Acquire(ctx, resources, nil)
 }
 
-// Write is shorthand for Acquire(nil, resources).
-func (p *Protocol) Write(resources ...ResourceID) (Token, error) {
-	return p.Acquire(nil, resources)
+// Write is shorthand for Acquire(ctx, nil, resources).
+func (p *Protocol) Write(ctx context.Context, resources ...ResourceID) (Token, error) {
+	return p.Acquire(ctx, nil, resources)
+}
+
+// AcquireContext is the v1 name for a cancelable acquisition.
+//
+// Deprecated: Acquire is context-first since v2; call it directly.
+func (p *Protocol) AcquireContext(ctx context.Context, read, write []ResourceID) (Token, error) {
+	return p.Acquire(ctx, read, write)
 }
 
 // Release ends the critical section of a token, unlocking all its resources
-// and satisfying whichever requests become eligible.
+// and satisfying whichever requests become eligible (their wakeups are
+// signaled in one batch outside the shard lock). Releasing a token twice, or
+// releasing the zero Token, returns ErrAlreadyReleased.
 func (p *Protocol) Release(t Token) error {
+	if t.s == nil {
+		return ErrAlreadyReleased
+	}
 	if t.acqNS != 0 && p.wallCS != nil {
 		p.wallCS.Observe(time.Now().UnixNano() - t.acqNS)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	err := p.rsm.Complete(p.tick(), t.id)
-	p.selfCheck()
-	return err
+	var firstErr error
+	for i := len(t.rest) - 1; i >= 0; i-- {
+		if err := t.rest[i].s.release(t.rest[i].id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := t.s.release(t.id); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
-// Stats returns the protocol's activity counters.
+// Stats returns the protocol's activity counters, summed over all shards.
 func (p *Protocol) Stats() core.Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.rsm.Stats()
+	var total core.Stats
+	for _, s := range p.shards {
+		s.mu.Lock()
+		st := s.rsm.Stats()
+		s.unlock()
+		total.Issued += st.Issued
+		total.Satisfied += st.Satisfied
+		total.Completed += st.Completed
+		total.Canceled += st.Canceled
+		total.ImmediateSats += st.ImmediateSats
+		total.Entitlements += st.Entitlements
+		total.UpgradesTaken += st.UpgradesTaken
+		total.UpgradesSkipped += st.UpgradesSkipped
+	}
+	return total
 }
 
 func (p *Protocol) String() string {
-	return fmt.Sprintf("rwrnlp.Protocol(q=%d, placeholders=%v)", p.rsm.Spec().NumResources(), p.opt.Placeholders)
-}
-
-// AcquireContext is Acquire with cancellation: if ctx is done before the
-// request is satisfied, the request is withdrawn and ctx.Err() returned.
-// If satisfaction races with cancellation, the acquisition wins and the
-// caller owns the token (check the error, not the context).
-func (p *Protocol) AcquireContext(ctx context.Context, read, write []ResourceID) (Token, error) {
-	start := p.nowNS()
-	p.mu.Lock()
-	id, err := p.rsm.Issue(p.tick(), read, write, nil)
-	if err != nil {
-		p.mu.Unlock()
-		return Token{}, err
-	}
-	st, _ := p.rsm.State(id)
-	if st == core.StateSatisfied {
-		p.mu.Unlock()
-		return p.finishAcquire(id, start, 0, len(write) > 0), nil
-	}
-	w := newWaiter()
-	p.waiters[id] = w
-	p.mu.Unlock()
-
-	blockStart := p.nowNS()
-	select {
-	case <-w.ch:
-		return p.finishAcquire(id, start, blockStart, len(write) > 0), nil
-	case <-ctx.Done():
-	}
-	// Withdraw — unless satisfaction won the race.
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if w.done.Load() {
-		return p.finishAcquire(id, start, blockStart, len(write) > 0), nil
-	}
-	st, err = p.rsm.State(id)
-	if err == nil && st == core.StateSatisfied {
-		delete(p.waiters, id)
-		return p.finishAcquire(id, start, blockStart, len(write) > 0), nil
-	}
-	delete(p.waiters, id)
-	if cerr := p.rsm.CancelRequest(p.tick(), id); cerr != nil {
-		return Token{}, cerr
-	}
-	return Token{}, ctx.Err()
+	return fmt.Sprintf("rwrnlp.Protocol(q=%d, shards=%d, placeholders=%v)",
+		p.spec.NumResources(), len(p.shards), p.cfg.placeholders)
 }
 
 // QueueState re-exports the per-resource queue snapshot type.
 type QueueState = core.QueueState
 
 // Snapshot returns the current queue and holder state of every resource —
-// a consistent point-in-time view for debugging and instrumentation
-// (request IDs match those inside Tokens, which are not exposed; correlate
-// via a tracer if needed).
+// a consistent point-in-time view for debugging and instrumentation: all
+// shard locks are held (in ascending order, like the slow path) while the
+// queues are read. Request IDs match those inside Tokens, which are not
+// exposed; correlate via a tracer if needed.
 func (p *Protocol) Snapshot() []QueueState {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	q := p.rsm.Spec().NumResources()
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+	q := p.spec.NumResources()
 	out := make([]QueueState, q)
 	for a := 0; a < q; a++ {
-		out[a] = p.rsm.Queues(ResourceID(a))
+		out[a] = p.shardOf(ResourceID(a)).rsm.Queues(ResourceID(a))
+	}
+	for _, s := range p.shards {
+		s.unlock()
 	}
 	return out
 }

@@ -8,6 +8,8 @@ import (
 	"time"
 )
 
+var bg = context.Background()
+
 func newTestProtocol(t testing.TB, q int, opt Options, readGroups ...[]ResourceID) *Protocol {
 	t.Helper()
 	b := NewSpecBuilder(q)
@@ -21,11 +23,11 @@ func newTestProtocol(t testing.TB, q int, opt Options, readGroups ...[]ResourceI
 
 func TestAcquireReleaseBasic(t *testing.T) {
 	p := newTestProtocol(t, 3, Options{}, []ResourceID{0, 1})
-	tok, err := p.Read(0, 1)
+	tok, err := p.Read(bg, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tok2, err := p.Read(1)
+	tok2, err := p.Read(bg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func TestAcquireReleaseBasic(t *testing.T) {
 	if err := p.Release(tok2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Acquire(nil, nil); err == nil {
+	if _, err := p.Acquire(bg, nil, nil); err == nil {
 		t.Error("empty acquire accepted")
 	}
 }
@@ -57,7 +59,7 @@ func TestConcurrentMutualExclusion(t *testing.T) {
 				res := []ResourceID{ResourceID(g % 4), ResourceID((g + 1) % 4)}
 				for i := 0; i < 400; i++ {
 					if i%4 == 0 {
-						tok, err := p.Write(res...)
+						tok, err := p.Write(bg, res...)
 						if err != nil {
 							t.Error(err)
 							return
@@ -76,7 +78,7 @@ func TestConcurrentMutualExclusion(t *testing.T) {
 							return
 						}
 					} else {
-						tok, err := p.Read(res[0])
+						tok, err := p.Read(bg, res[0])
 						if err != nil {
 							t.Error(err)
 							return
@@ -100,10 +102,10 @@ func TestConcurrentMutualExclusion(t *testing.T) {
 // Two readers hold overlapping resources concurrently.
 func TestReaderSharing(t *testing.T) {
 	p := newTestProtocol(t, 2, Options{}, []ResourceID{0, 1})
-	tok1, _ := p.Read(0, 1)
+	tok1, _ := p.Read(bg, 0, 1)
 	done := make(chan struct{})
 	go func() {
-		tok2, err := p.Read(0)
+		tok2, err := p.Read(bg, 0)
 		if err != nil {
 			t.Error(err)
 		}
@@ -122,11 +124,11 @@ func TestReaderSharing(t *testing.T) {
 // current readers drain.
 func TestPhaseFairness(t *testing.T) {
 	p := newTestProtocol(t, 1, Options{})
-	r1, _ := p.Read(0)
+	r1, _ := p.Read(bg, 0)
 
 	wIn := make(chan struct{})
 	go func() {
-		w, err := p.Write(0)
+		w, err := p.Write(bg, 0)
 		if err != nil {
 			t.Error(err)
 		}
@@ -138,7 +140,7 @@ func TestPhaseFairness(t *testing.T) {
 
 	lateR := make(chan struct{})
 	go func() {
-		r, err := p.Read(0)
+		r, err := p.Read(bg, 0)
 		if err != nil {
 			t.Error(err)
 		}
@@ -174,9 +176,9 @@ func TestNoDeadlockOppositeOrders(t *testing.T) {
 				var tok Token
 				var err error
 				if g%2 == 0 {
-					tok, err = p.Write(0, 1)
+					tok, err = p.Write(bg, 0, 1)
 				} else {
-					tok, err = p.Write(1, 0)
+					tok, err = p.Write(bg, 1, 0)
 				}
 				if err != nil {
 					t.Error(err)
@@ -202,7 +204,7 @@ func TestUpgradeableFlow(t *testing.T) {
 	p := newTestProtocol(t, 2, Options{}, []ResourceID{0, 1})
 
 	// Uncontended: read phase, no upgrade needed.
-	u, err := p.AcquireUpgradeable(0, 1)
+	u, err := p.AcquireUpgradeable(bg, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +219,11 @@ func TestUpgradeableFlow(t *testing.T) {
 	}
 
 	// Upgrade path.
-	u2, err := p.AcquireUpgradeable(0)
+	u2, err := p.AcquireUpgradeable(bg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := u2.Upgrade(); err != nil {
+	if err := u2.Upgrade(bg); err != nil {
 		t.Fatal(err)
 	}
 	if err := u2.Release(); err != nil {
@@ -229,7 +231,7 @@ func TestUpgradeableFlow(t *testing.T) {
 	}
 
 	// After everything, a plain write goes through (queues are clean).
-	tok, err := p.Write(0, 1)
+	tok, err := p.Write(bg, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,8 +241,8 @@ func TestUpgradeableFlow(t *testing.T) {
 // An upgrade must wait for concurrent readers of its resources, then win.
 func TestUpgradeWaitsForReaders(t *testing.T) {
 	p := newTestProtocol(t, 1, Options{})
-	r, _ := p.Read(0)
-	u, err := p.AcquireUpgradeable(0)
+	r, _ := p.Read(bg, 0)
+	u, err := p.AcquireUpgradeable(bg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +251,7 @@ func TestUpgradeWaitsForReaders(t *testing.T) {
 	}
 	upDone := make(chan struct{})
 	go func() {
-		if err := u.Upgrade(); err != nil {
+		if err := u.Upgrade(bg); err != nil {
 			t.Error(err)
 		}
 		close(upDone)
@@ -273,7 +275,7 @@ func TestIncrementalFlow(t *testing.T) {
 
 	// Uncontended: Rule W1 satisfies the request immediately, so the WHOLE
 	// potential set is held at once.
-	easy, err := p.AcquireIncremental([]ResourceID{0}, []ResourceID{1, 2}, nil, []ResourceID{1})
+	easy, err := p.AcquireIncremental(bg, []ResourceID{0}, []ResourceID{1, 2}, nil, []ResourceID{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,8 +287,8 @@ func TestIncrementalFlow(t *testing.T) {
 	}
 
 	// Contended: a reader on 2 forces genuine incremental grants.
-	blocker, _ := p.Read(2)
-	inc, err := p.AcquireIncremental(
+	blocker, _ := p.Read(bg, 2)
+	inc, err := p.AcquireIncremental(bg,
 		[]ResourceID{0}, []ResourceID{1, 2}, // potential: read 0, write 1,2
 		[]ResourceID{0}, []ResourceID{1}, // initially: read 0, write 1
 	)
@@ -302,13 +304,13 @@ func TestIncrementalFlow(t *testing.T) {
 	if err := p.Release(blocker); err != nil {
 		t.Fatal(err)
 	}
-	if err := inc.Acquire(2); err != nil {
+	if err := inc.Acquire(bg, 2); err != nil {
 		t.Fatal(err)
 	}
 	if !inc.Holds(0, 1, 2) {
 		t.Fatal("full set not held after Acquire")
 	}
-	if err := inc.Acquire(99); err == nil {
+	if err := inc.Acquire(bg, 99); err == nil {
 		t.Error("out-of-set acquire accepted")
 	}
 	if err := inc.Release(); err != nil {
@@ -319,10 +321,10 @@ func TestIncrementalFlow(t *testing.T) {
 // Incremental requests under contention: a reader holds a resource the
 // incremental writer wants later; the grant arrives when the reader leaves.
 func TestIncrementalContended(t *testing.T) {
-	p := newTestProtocol(t, 2, Options{})
-	r, _ := p.Read(1)
+	p := newTestProtocol(t, 2, Options{}, []ResourceID{0, 1})
+	r, _ := p.Read(bg, 1)
 
-	inc, err := p.AcquireIncremental(nil, []ResourceID{0, 1}, nil, []ResourceID{0})
+	inc, err := p.AcquireIncremental(bg, nil, []ResourceID{0, 1}, nil, []ResourceID{0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +333,7 @@ func TestIncrementalContended(t *testing.T) {
 	}
 	acq := make(chan struct{})
 	go func() {
-		if err := inc.Acquire(1); err != nil {
+		if err := inc.Acquire(bg, 1); err != nil {
 			t.Error(err)
 		}
 		close(acq)
@@ -361,38 +363,42 @@ func TestStressAllForms(t *testing.T) {
 			defer wg.Done()
 			r0 := ResourceID(g % 4)
 			r1 := ResourceID((g + 2) % 4)
+			// Incremental requests must stay within one declared component
+			// ({0,1} / {2,3}); r1 may cross and exercises the slow path in
+			// the plain mixed acquisition instead.
+			rInc := r0 ^ 1
 			for i := 0; i < 200; i++ {
 				switch i % 5 {
 				case 0:
-					tok, err := p.Write(r0)
+					tok, err := p.Write(bg, r0)
 					if err != nil {
 						t.Error(err)
 						return
 					}
 					p.Release(tok)
 				case 1:
-					tok, err := p.Read(r0)
+					tok, err := p.Read(bg, r0)
 					if err != nil {
 						t.Error(err)
 						return
 					}
 					p.Release(tok)
 				case 2:
-					tok, err := p.Acquire([]ResourceID{r0}, []ResourceID{r1}) // mixed
+					tok, err := p.Acquire(bg, []ResourceID{r0}, []ResourceID{r1}) // mixed
 					if err != nil {
 						t.Error(err)
 						return
 					}
 					p.Release(tok)
 				case 3:
-					u, err := p.AcquireUpgradeable(r0)
+					u, err := p.AcquireUpgradeable(bg, r0)
 					if err != nil {
 						t.Error(err)
 						return
 					}
 					if u.Reading() {
 						if i%2 == 0 {
-							if err := u.Upgrade(); err != nil {
+							if err := u.Upgrade(bg); err != nil {
 								t.Error(err)
 								return
 							}
@@ -405,12 +411,12 @@ func TestStressAllForms(t *testing.T) {
 						u.Release()
 					}
 				case 4:
-					inc, err := p.AcquireIncremental(nil, []ResourceID{r0, r1}, nil, []ResourceID{r0})
+					inc, err := p.AcquireIncremental(bg, nil, []ResourceID{r0, rInc}, nil, []ResourceID{r0})
 					if err != nil {
 						t.Error(err)
 						return
 					}
-					if err := inc.Acquire(r1); err != nil {
+					if err := inc.Acquire(bg, rInc); err != nil {
 						t.Error(err)
 						return
 					}
@@ -434,7 +440,7 @@ func TestStressAllForms(t *testing.T) {
 
 func TestAcquireContextTimeout(t *testing.T) {
 	p := newTestProtocol(t, 1, Options{})
-	hold, _ := p.Write(0)
+	hold, _ := p.Write(bg, 0)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
@@ -467,7 +473,7 @@ func TestAcquireContextImmediate(t *testing.T) {
 
 func TestAcquireContextCancelUnblocksOthers(t *testing.T) {
 	p := newTestProtocol(t, 1, Options{})
-	r1, _ := p.Read(0)
+	r1, _ := p.Read(bg, 0)
 
 	// A writer queues (entitled), then gets canceled; a reader queued
 	// behind the entitled writer must be satisfied after the cancellation.
@@ -481,7 +487,7 @@ func TestAcquireContextCancelUnblocksOthers(t *testing.T) {
 
 	rDone := make(chan struct{})
 	go func() {
-		tok, err := p.Read(0)
+		tok, err := p.Read(bg, 0)
 		if err != nil {
 			t.Error(err)
 		}
@@ -533,7 +539,7 @@ func TestAcquireContextStress(t *testing.T) {
 		t.Error("nothing acquired under context pressure")
 	}
 	// The protocol must be fully drained and reusable.
-	tok, err := p.Write(0, 1)
+	tok, err := p.Write(bg, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -551,14 +557,14 @@ func TestSelfCheckMode(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				if i%3 == 0 {
-					tok, err := p.Write(ResourceID(g % 3))
+					tok, err := p.Write(bg, ResourceID(g%3))
 					if err != nil {
 						t.Error(err)
 						return
 					}
 					p.Release(tok)
 				} else {
-					tok, err := p.Read(0, 1)
+					tok, err := p.Read(bg, 0, 1)
 					if err != nil {
 						t.Error(err)
 						return
@@ -573,7 +579,7 @@ func TestSelfCheckMode(t *testing.T) {
 
 func TestSnapshot(t *testing.T) {
 	p := newTestProtocol(t, 2, Options{})
-	tok, _ := p.Write(0)
+	tok, _ := p.Write(bg, 0)
 	snap := p.Snapshot()
 	if len(snap) != 2 {
 		t.Fatalf("snapshot covers %d resources", len(snap))
@@ -621,38 +627,42 @@ func TestRuntimeSoak(t *testing.T) {
 				defer wg.Done()
 				r0 := ResourceID(g % 6)
 				r1 := ResourceID((g + 3) % 6)
+				// Same-component partner for the incremental form (components
+				// are {0,1,2} and {3,4,5}); r1 always crosses and keeps the
+				// multi-component slow path under load elsewhere.
+				rInc := ResourceID((int(r0)/3)*3 + (int(r0)+1)%3)
 				for i := 0; i < 300; i++ {
 					switch i % 6 {
 					case 0:
-						tok, err := p.Write(r0, r1)
+						tok, err := p.Write(bg, r0, r1)
 						if err != nil {
 							t.Error(err)
 							return
 						}
 						p.Release(tok)
 					case 1:
-						tok, err := p.Read(0, 1, 2)
+						tok, err := p.Read(bg, 0, 1, 2)
 						if err != nil {
 							t.Error(err)
 							return
 						}
 						p.Release(tok)
 					case 2:
-						tok, err := p.Acquire([]ResourceID{3, 4}, []ResourceID{5})
+						tok, err := p.Acquire(bg, []ResourceID{3, 4}, []ResourceID{5})
 						if err != nil {
 							t.Error(err)
 							return
 						}
 						p.Release(tok)
 					case 3:
-						u, err := p.AcquireUpgradeable(r0)
+						u, err := p.AcquireUpgradeable(bg, r0)
 						if err != nil {
 							t.Error(err)
 							return
 						}
 						if u.Reading() {
 							if i%2 == 0 {
-								if err := u.Upgrade(); err != nil {
+								if err := u.Upgrade(bg); err != nil {
 									t.Error(err)
 									return
 								}
@@ -664,12 +674,12 @@ func TestRuntimeSoak(t *testing.T) {
 							u.Release()
 						}
 					case 4:
-						inc, err := p.AcquireIncremental(nil, []ResourceID{r0, r1}, nil, []ResourceID{r0})
+						inc, err := p.AcquireIncremental(bg, nil, []ResourceID{r0, rInc}, nil, []ResourceID{r0})
 						if err != nil {
 							t.Error(err)
 							return
 						}
-						if err := inc.Acquire(r1); err != nil {
+						if err := inc.Acquire(bg, rInc); err != nil {
 							t.Error(err)
 							return
 						}

@@ -1,0 +1,308 @@
+package rwrnlp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+	"github.com/rtsync/rwrnlp/internal/obs"
+)
+
+// waiter is the parked state of one unsatisfied request.
+type waiter struct {
+	done atomic.Bool
+	ch   chan struct{}
+	once sync.Once
+}
+
+func newWaiter() *waiter { return &waiter{ch: make(chan struct{})} }
+
+func (w *waiter) signal() {
+	w.once.Do(func() {
+		w.done.Store(true)
+		close(w.ch)
+	})
+}
+
+// wait parks until signaled. Spin mode yields from the very first iteration:
+// on a single-P runtime an unyielding spinner would starve the goroutine that
+// is about to signal it. After a bounded burst of yields it decays into
+// exponentially backed-off sleeps and finally blocks on the channel.
+func (w *waiter) wait(spin bool) {
+	if !spin {
+		<-w.ch
+		return
+	}
+	for i := 0; i < 256; i++ {
+		if w.done.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
+	d := time.Microsecond
+	for !w.done.Load() {
+		if d >= 128*time.Microsecond {
+			<-w.ch
+			return
+		}
+		time.Sleep(d)
+		d *= 2
+	}
+}
+
+// issueOp is a published acquisition record (flat combining): a goroutine
+// that finds the shard mutex contended pushes its op onto a lock-free stack
+// instead of queueing on the mutex, and the current lock holder executes it
+// before unlocking. One mutex handoff then completes many acquisitions.
+type issueOp struct {
+	next        *issueOp
+	read, write []ResourceID
+
+	// Results, published before done — the release/acquire pair on done
+	// makes them visible to the publisher.
+	id   core.ReqID
+	w    *waiter // non-nil if not satisfied synchronously
+	err  error
+	done atomic.Bool
+}
+
+// shard runs one connected component's RSM behind its own mutex. Requests
+// confined to the component never interact with other shards in any way
+// (see core.Spec: the read-sharing closure never crosses a component
+// boundary), so per-shard Rule G4 total orders preserve the protocol within
+// each component. Request IDs are strided (FirstID=idx, IDStep=n) so they
+// are globally unique across shards.
+type shard struct {
+	p   *Protocol
+	idx int
+
+	mu      sync.Mutex
+	rsm     *core.RSM
+	clock   core.Time
+	waiters map[core.ReqID]*waiter
+	tracer  core.Observer
+	signals []*waiter // satisfied during the current critical section
+
+	ops atomic.Pointer[issueOp] // combining stack; nil = empty
+
+	// Observability (nil unless metrics): the ProtocolObserver instance is
+	// per shard (its pending map sees only this shard's strided IDs) but
+	// records into the Protocol's shared registry, so the protocol_* series
+	// aggregate across shards; the shard_* instruments carry a shard label.
+	metricsObs                              core.Observer
+	acquires, releases, contended, combined *obs.Counter
+	combineWait                             *obs.Histogram
+}
+
+func newShard(p *Protocol, idx, n int) *shard {
+	s := &shard{p: p, idx: idx, waiters: make(map[core.ReqID]*waiter)}
+	s.rsm = core.NewRSM(p.spec, core.Options{
+		Placeholders: p.cfg.placeholders,
+		FirstID:      core.ReqID(idx),
+		IDStep:       core.ReqID(n),
+	})
+	if p.metrics != nil {
+		s.metricsObs = obs.NewProtocolObserver(p.metrics)
+		s.acquires = p.metrics.Counter(obs.ShardMetric(obs.MShardAcquires, idx))
+		s.releases = p.metrics.Counter(obs.ShardMetric(obs.MShardReleases, idx))
+		s.contended = p.metrics.Counter(obs.ShardMetric(obs.MShardContended, idx))
+		s.combined = p.metrics.Counter(obs.ShardMetric(obs.MShardCombined, idx))
+		s.combineWait = p.metrics.Histogram(obs.ShardMetric(obs.MShardCombineWaitNS, idx))
+	}
+	s.rsm.SetObserver(core.ObserverFunc(s.observe))
+	return s
+}
+
+func (s *shard) tick() core.Time {
+	s.clock++
+	return s.clock
+}
+
+// observe runs under s.mu (the RSM is only invoked with the mutex held).
+// Wakeups are batched: satisfied waiters are collected here and signaled by
+// unlock after the mutex is released, so one Release that satisfies many
+// requests signals them all outside its critical section and woken
+// goroutines never collide with the signaler on s.mu.
+func (s *shard) observe(e core.Event) {
+	switch e.Type {
+	case core.EvSatisfied, core.EvGranted, core.EvCanceled:
+		if w, ok := s.waiters[e.Req]; ok {
+			delete(s.waiters, e.Req)
+			s.signals = append(s.signals, w)
+		}
+	}
+	if s.metricsObs != nil {
+		s.metricsObs.Observe(e)
+	}
+	if s.tracer != nil {
+		s.tracer.Observe(e)
+	}
+}
+
+func (s *shard) selfCheck() {
+	if !s.p.cfg.selfCheck {
+		return
+	}
+	if v := s.rsm.CheckInvariants(); len(v) != 0 {
+		panic("rwrnlp: invariant violated: " + v[0])
+	}
+}
+
+// drainOps executes every published op. Caller holds s.mu.
+func (s *shard) drainOps() {
+	for op := s.ops.Swap(nil); op != nil; {
+		next := op.next
+		s.runOp(op)
+		op = next
+	}
+}
+
+// unlock leaves the shard's critical section: it combines any ops published
+// while the lock was held, releases the mutex, and only then signals the
+// batch of waiters satisfied during the section. Every code path that locks
+// s.mu must exit through unlock (or the deferred signals would be lost).
+func (s *shard) unlock() {
+	s.drainOps()
+	sigs := s.signals
+	s.signals = nil
+	s.mu.Unlock()
+	for _, w := range sigs {
+		w.signal()
+	}
+}
+
+// runOp issues one published acquisition. Caller holds s.mu.
+func (s *shard) runOp(op *issueOp) {
+	op.id, op.err = s.rsm.Issue(s.tick(), op.read, op.write, nil)
+	if op.err == nil {
+		if st, _ := s.rsm.State(op.id); st != core.StateSatisfied {
+			op.w = newWaiter()
+			s.waiters[op.id] = op.w
+		}
+	}
+	s.selfCheck()
+	op.done.Store(true)
+}
+
+// acquire issues one request on this shard, returning the request ID and a
+// waiter to park on (nil when satisfied synchronously). An uncontended
+// caller takes the mutex directly; a contended one publishes an op for the
+// current holder to combine, falling back to the mutex if no holder picks it
+// up in time (the fallback drains the stack itself, so an op is always
+// executed after at most one lock acquisition).
+func (s *shard) acquire(read, write []ResourceID) (core.ReqID, *waiter, error) {
+	if s.acquires != nil {
+		s.acquires.Inc()
+	}
+	if s.mu.TryLock() {
+		op := issueOp{read: read, write: write}
+		s.runOp(&op)
+		s.unlock()
+		return op.id, op.w, op.err
+	}
+	if s.contended != nil {
+		s.contended.Inc()
+	}
+	var start int64
+	if s.combineWait != nil {
+		start = time.Now().UnixNano()
+	}
+	op := &issueOp{read: read, write: write}
+	for {
+		old := s.ops.Load()
+		op.next = old
+		if s.ops.CompareAndSwap(old, op) {
+			break
+		}
+	}
+	for i := 0; i < 128; i++ {
+		if op.done.Load() {
+			// A lock holder combined the op on our behalf.
+			if s.combined != nil {
+				s.combined.Inc()
+				s.combineWait.Observe(time.Now().UnixNano() - start)
+			}
+			return op.id, op.w, op.err
+		}
+		runtime.Gosched()
+	}
+	// Fallback: take the mutex. Holders drain the stack before releasing, so
+	// once we hold it the op is either done or still in the stack.
+	s.mu.Lock()
+	if !op.done.Load() {
+		s.drainOps()
+	}
+	s.unlock()
+	if s.combineWait != nil {
+		s.combineWait.Observe(time.Now().UnixNano() - start)
+	}
+	return op.id, op.w, op.err
+}
+
+// release completes a request, mapping the RSM's unknown-request report to
+// the deterministic ErrAlreadyReleased (request IDs are never reused, so a
+// second completion of the same ID always lands there).
+func (s *shard) release(id core.ReqID) error {
+	if s.releases != nil {
+		s.releases.Inc()
+	}
+	s.mu.Lock()
+	err := s.rsm.Complete(s.tick(), id)
+	s.selfCheck()
+	s.unlock()
+	if errors.Is(err, core.ErrUnknownRequest) {
+		return ErrAlreadyReleased
+	}
+	return err
+}
+
+// awaitCtx parks on w until it is signaled or ctx is done. On cancellation
+// it re-checks under s.mu whether the wait was actually won — won (optional)
+// reports satisfaction the batched signal has not delivered yet — and
+// otherwise withdraws via the withdraw callback (also under s.mu), returning
+// ctx.Err(). A nil or non-cancelable ctx parks unconditionally, honoring the
+// spin option.
+func (s *shard) awaitCtx(ctx context.Context, w *waiter, won func() bool, withdraw func() error) error {
+	if ctx == nil || ctx.Done() == nil {
+		w.wait(s.p.cfg.spin)
+		return nil
+	}
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	if w.done.Load() || (won != nil && won()) {
+		s.unlock()
+		return nil
+	}
+	err := withdraw()
+	s.selfCheck()
+	s.unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// awaitAcquire is awaitCtx for a plain pending acquisition: cancellation
+// withdraws the whole request.
+func (s *shard) awaitAcquire(ctx context.Context, id core.ReqID, w *waiter) error {
+	return s.awaitCtx(ctx, w,
+		func() bool {
+			if st, err := s.rsm.State(id); err == nil && st == core.StateSatisfied {
+				delete(s.waiters, id)
+				return true
+			}
+			return false
+		},
+		func() error {
+			delete(s.waiters, id)
+			return s.rsm.CancelRequest(s.tick(), id)
+		})
+}

@@ -1,7 +1,9 @@
 package rwrnlp
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"github.com/rtsync/rwrnlp/internal/core"
 )
@@ -17,11 +19,11 @@ var ErrNotReading = errors.New("rwrnlp: upgradeable request is not in its read p
 //
 // Lifecycle:
 //
-//	u, _ := p.AcquireUpgradeable(rs...)
+//	u, _ := p.AcquireUpgradeable(ctx, rs...)
 //	if u.Reading() {
 //	    // read the data
 //	    if needWrite {
-//	        u.Upgrade()        // blocks; data may have changed — re-read!
+//	        u.Upgrade(ctx)     // blocks; data may have changed — re-read!
 //	        // write the data
 //	        u.Release()
 //	    } else {
@@ -33,39 +35,61 @@ var ErrNotReading = errors.New("rwrnlp: upgradeable request is not in its read p
 //	    u.Release()
 //	}
 type Upgradeable struct {
-	p       *Protocol
+	s       *shard
 	h       core.UpgradeHandle
 	reading bool
 }
 
 // AcquireUpgradeable blocks until the upgradeable request holds either its
 // read locks (the common case — check Reading) or, if the write half won the
-// race, its write locks.
-func (p *Protocol) AcquireUpgradeable(resources ...ResourceID) (*Upgradeable, error) {
-	p.mu.Lock()
-	h, err := p.rsm.IssueUpgradeable(p.tick(), resources, nil)
+// race, its write locks. If ctx is done first, the pair is withdrawn and
+// ctx.Err() returned.
+//
+// The resources must lie within one declared component (ErrCrossComponent
+// otherwise): the pair's two halves share one timestamp in one total order.
+func (p *Protocol) AcquireUpgradeable(ctx context.Context, resources ...ResourceID) (*Upgradeable, error) {
+	parts, err := p.split(resources, nil)
 	if err != nil {
-		p.mu.Unlock()
 		return nil, err
 	}
-	u := &Upgradeable{p: p, h: h}
+	if len(parts) > 1 {
+		return nil, fmt.Errorf("%w: upgradeable footprint covers %d components", ErrCrossComponent, len(parts))
+	}
+	s := parts[0].s
+	s.mu.Lock()
+	h, err := s.rsm.IssueUpgradeable(s.tick(), resources, nil)
+	if err != nil {
+		s.unlock()
+		return nil, err
+	}
+	u := &Upgradeable{s: s, h: h}
 	for {
-		switch p.rsm.UpgradePhase(h) {
+		switch s.rsm.UpgradePhase(h) {
 		case core.UpgradeReading:
 			u.reading = true
-			p.mu.Unlock()
+			s.unlock()
 			return u, nil
 		case core.UpgradeWriting:
-			p.mu.Unlock()
+			s.unlock()
 			return u, nil
 		}
 		// Neither half satisfied yet: wait for the read half (the write
 		// half's satisfaction cancels it, which also signals the waiter).
 		w := newWaiter()
-		p.waiters[h.ReadID] = w
-		p.mu.Unlock()
-		w.wait(p.opt.Spin)
-		p.mu.Lock()
+		s.waiters[h.ReadID] = w
+		s.unlock()
+		if err := s.awaitCtx(ctx, w,
+			func() bool {
+				ph := s.rsm.UpgradePhase(h)
+				return ph == core.UpgradeReading || ph == core.UpgradeWriting
+			},
+			func() error {
+				delete(s.waiters, h.ReadID)
+				return s.rsm.CancelUpgradeable(s.tick(), h)
+			}); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
 	}
 }
 
@@ -75,48 +99,63 @@ func (u *Upgradeable) Reading() bool { return u.reading }
 // Upgrade ends the read segment and blocks until write access is granted.
 // The resources may have been modified by other writers in between; the
 // caller must re-validate anything it read (Sec. 3.6). After Upgrade
-// returns, finish with Release.
-func (u *Upgradeable) Upgrade() error {
-	p := u.p
-	p.mu.Lock()
+// returns nil, finish with Release. If ctx is done before write access is
+// granted, the write half is withdrawn — the read locks are already gone at
+// that point, so the pair is over and Release reports ErrAlreadyReleased.
+func (u *Upgradeable) Upgrade(ctx context.Context) error {
+	s := u.s
+	s.mu.Lock()
 	if !u.reading {
-		p.mu.Unlock()
+		s.unlock()
 		return ErrNotReading
 	}
 	u.reading = false
-	if err := p.rsm.FinishRead(p.tick(), u.h, true); err != nil {
-		p.mu.Unlock()
+	if err := s.rsm.FinishRead(s.tick(), u.h, true); err != nil {
+		s.unlock()
 		return err
 	}
-	if p.rsm.UpgradePhase(u.h) == core.UpgradeWriting {
-		p.mu.Unlock()
+	if s.rsm.UpgradePhase(u.h) == core.UpgradeWriting {
+		s.selfCheck()
+		s.unlock()
 		return nil
 	}
 	w := newWaiter()
-	p.waiters[u.h.WriteID] = w
-	p.mu.Unlock()
-	w.wait(p.opt.Spin)
-	return nil
+	s.waiters[u.h.WriteID] = w
+	s.selfCheck()
+	s.unlock()
+	return s.awaitCtx(ctx, w,
+		func() bool {
+			if s.rsm.UpgradePhase(u.h) == core.UpgradeWriting {
+				delete(s.waiters, u.h.WriteID)
+				return true
+			}
+			return false
+		},
+		func() error {
+			delete(s.waiters, u.h.WriteID)
+			return s.rsm.CancelUpgradeable(s.tick(), u.h)
+		})
 }
 
 // ReleaseRead ends the read segment without upgrading: the write half is
 // canceled and the request is complete.
 func (u *Upgradeable) ReleaseRead() error {
-	p := u.p
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := u.s
+	s.mu.Lock()
 	if !u.reading {
+		s.unlock()
 		return ErrNotReading
 	}
 	u.reading = false
-	return p.rsm.FinishRead(p.tick(), u.h, false)
+	err := s.rsm.FinishRead(s.tick(), u.h, false)
+	s.selfCheck()
+	s.unlock()
+	return err
 }
 
 // Release ends the write segment (after Upgrade, or when the write half won
-// the race at acquisition).
+// the race at acquisition). A second Release — or a Release after a
+// context-canceled Upgrade — returns ErrAlreadyReleased.
 func (u *Upgradeable) Release() error {
-	p := u.p
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.rsm.Complete(p.tick(), u.h.WriteID)
+	return u.s.release(u.h.WriteID)
 }
