@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci clean
+.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci clean
 
 all: build vet test
 
@@ -62,6 +62,23 @@ bench:
 # allocs/op, written to BENCH_<date>.json for cross-commit comparison.
 bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json
+
+# Perf-regression gate: re-run the benchmark suite (short benchtime) and
+# compare against the newest committed BENCH_*.json snapshot. Fails if any
+# benchmark present in both slowed down by more than BENCH_THRESHOLD percent
+# ns/op; benchmarks that exist on only one side are reported but never fail
+# the gate. Override the baseline or threshold per-invocation:
+#   make bench-check BENCH_BASELINE=BENCH_20260101.json BENCH_THRESHOLD=25
+# Set BENCH_KEEP=1 to leave bench_current.json behind (CI uploads it as an
+# artifact for offline comparison).
+BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+BENCH_THRESHOLD ?= 15
+bench-check:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-check: no BENCH_*.json baseline in repo root"; exit 1; }
+	@echo "bench-check: baseline $(BENCH_BASELINE), threshold $(BENCH_THRESHOLD)%"
+	$(GO) test -bench=. -benchmem -benchtime=0.3s -count=3 -run='^$$' ./... | $(GO) run ./cmd/benchjson -o bench_current.json
+	$(GO) run ./cmd/benchjson compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) bench_current.json
+	@if [ -z "$(BENCH_KEEP)" ]; then rm -f bench_current.json; fi
 
 fuzz:
 	$(GO) test -fuzz=FuzzRSMInvocations -fuzztime 60s ./internal/core

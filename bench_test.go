@@ -21,6 +21,7 @@ import (
 	"github.com/rtsync/rwrnlp/internal/locks/mutexrnlp"
 	"github.com/rtsync/rwrnlp/internal/locks/phasefair"
 	"github.com/rtsync/rwrnlp/internal/locks/taskfair"
+	"github.com/rtsync/rwrnlp/internal/obs"
 	"github.com/rtsync/rwrnlp/internal/sched"
 	"github.com/rtsync/rwrnlp/internal/sim"
 	"github.com/rtsync/rwrnlp/internal/stm"
@@ -512,7 +513,15 @@ func BenchmarkAcquireObserved(b *testing.B) {
 	}
 	p := rwrnlp.New(spec.Build(), rwrnlp.Options{Placeholders: true, Metrics: true})
 	benchAcquireReadLoop(b, p)
-	if p.Metrics().Snapshot().Counters["protocol_issued"] == 0 {
+	snap := p.Metrics().Snapshot()
+	// All-read traffic is served by the reader fast path (fastpath_hit) or,
+	// on a miss, by the RSM (protocol_issued); either way metrics must have
+	// recorded every acquisition.
+	recorded := snap.Counters["protocol_issued"]
+	for s := 0; s < p.NumShards(); s++ {
+		recorded += snap.Counters[obs.ShardMetric(obs.MFastPathHit, s)]
+	}
+	if recorded == 0 {
 		b.Fatal("metrics not recorded")
 	}
 }
@@ -599,5 +608,99 @@ func BenchmarkShardScaling(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// BRAVO-style reader fast path (PR 4 acceptance): uncontended all-read
+// acquisitions with the fast path on vs off. The "on" variant must publish
+// the read set with atomic stores only — no shard mutex, no flat-combining
+// stack, no RSM — and the acceptance bar is >=3x the "off" throughput for
+// the uncontended single-goroutine loop.
+
+func newFastPathBenchProtocol(b *testing.B, fast bool) *rwrnlp.Protocol {
+	b.Helper()
+	spec := rwrnlp.NewSpecBuilder(4)
+	if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := spec.DeclareRequest([]rwrnlp.ResourceID{2, 3}, nil); err != nil {
+		b.Fatal(err)
+	}
+	var opts []rwrnlp.Option
+	if !fast {
+		opts = append(opts, rwrnlp.WithoutFastPath())
+	}
+	return rwrnlp.New(spec.Build(), opts...)
+}
+
+// BenchmarkFastPathUncontendedRead: single goroutine, single-resource read
+// round trips. This is the headline fast-path number.
+func BenchmarkFastPathUncontendedRead(b *testing.B) {
+	for _, mode := range []string{"on", "off"} {
+		mode := mode
+		b.Run("fastpath="+mode, func(b *testing.B) {
+			benchAcquireReadLoop(b, newFastPathBenchProtocol(b, mode == "on"))
+		})
+	}
+}
+
+// BenchmarkFastPathParallelRead: all goroutines read the same component
+// concurrently. With the fast path on, readers claim distinct padded slots
+// and never serialize; off, every reader funnels through the shard mutex or
+// the flat-combining stack.
+func BenchmarkFastPathParallelRead(b *testing.B) {
+	for _, mode := range []string{"on", "off"} {
+		mode := mode
+		b.Run("fastpath="+mode, func(b *testing.B) {
+			p := newFastPathBenchProtocol(b, mode == "on")
+			var shared [4]int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					tok, err := p.Read(bg, 0, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = shared[0]
+					if err := p.Release(tok); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFastPathReadMostly: 63/64 reads, 1/64 writes per goroutine,
+// goroutines pinned to components. Writers close the gate and drain, so
+// this prices the revocation/hysteresis machinery under realistic
+// read-mostly traffic rather than the pure-read best case.
+func BenchmarkFastPathReadMostly(b *testing.B) {
+	for _, mode := range []string{"on", "off"} {
+		mode := mode
+		b.Run("fastpath="+mode, func(b *testing.B) {
+			p := newFastPathBenchProtocol(b, mode == "on")
+			var shared [4]int64
+			var nextG atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				g := int(nextG.Add(1) - 1)
+				comp := g % 2
+				r0, r1 := rwrnlp.ResourceID(2*comp), rwrnlp.ResourceID(2*comp+1)
+				i := 0
+				for pb.Next() {
+					if i%64 == 63 {
+						tok, _ := p.Write(bg, r0, r1)
+						shared[r0]++
+						shared[r1]++
+						p.Release(tok)
+					} else {
+						tok, _ := p.Read(bg, r0)
+						_ = shared[r0]
+						p.Release(tok)
+					}
+					i++
+				}
+			})
+		})
 	}
 }

@@ -52,7 +52,10 @@ func main() {
 			panic(err)
 		}
 	}
-	p := rwrnlp.New(spec.Build(), rwrnlp.Options{Placeholders: true})
+	// WithoutFastPath: this example machine-checks the event stream, and a
+	// reader served by the BRAVO fast path never emits events — full trace
+	// fidelity matters more here than reader throughput.
+	p := rwrnlp.New(spec.Build(), rwrnlp.WithPlaceholders(), rwrnlp.WithoutFastPath())
 	rec := &trace.Recorder{}
 	p.SetTracer(rec)
 

@@ -1,0 +1,346 @@
+package rwrnlp
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// BRAVO-style reader fast path (Dice & Kogan, USENIX ATC'19, adapted to the
+// R/W RNLP's component structure): an all-read acquisition confined to one
+// component publishes its read set into a padded per-shard slot array with
+// atomic operations only — no shard mutex, no flat-combining stack, no RSM
+// invocation — provided the shard's writer gate is open.
+//
+// Writers make the two planes meet by MIGRATION rather than by waiting:
+// writerEnter closes the gate (no new fast readers) and then materializes
+// every in-flight fast reader as a surrogate read request in the RSM,
+// before the writer itself issues. From that point the RSM's grant
+// decisions are exactly those of the all-slow baseline — the writer queues
+// behind the surrogate reads under the unchanged Rules R1–R2/W1–W2, later
+// readers queue behind the entitled writer (phase-fairness), and partial
+// grants (incremental, upgradeable) see precisely the read locks they would
+// have seen had every fast reader gone through the RSM. A migrated reader's
+// Release completes its surrogate through the RSM, waking whatever became
+// eligible; an unmigrated reader's Release stays a single CAS.
+//
+// Admission safety (proof sketch in IMPLEMENTATION.md): the gate is >0 for
+// every write-capable request from before its RSM issuance until after its
+// completion, so a reader admitted with the gate at zero runs while the
+// component's RSM has no incomplete write-capable request — precisely
+// core.WriterFree, under which Rule R1 would satisfy the read immediately
+// with zero acquisition delay. The same argument makes migration sound: an
+// ADMITTED reader's surrogate is always issued into a writer-free RSM (the
+// reader's gate re-check read zero, so every writer's gate-close — and
+// hence its pre-issue migration scan — is ordered after the fully published
+// claim, and the earliest such scan runs before any of those writers
+// issues), so it is satisfied immediately and the RSM never reports a fast
+// reader as waiting while it is inside its critical section. The Theorem
+// 1/2 envelopes of RSM-served requests are therefore unchanged — a writer
+// waits for a migrated fast read exactly as it would for the equivalent
+// slow read. A writer may also scan a DOOMED claim — one whose reader is
+// between its slot CAS and a failing gate re-check — and record a surrogate
+// for it (possibly with a partially published mask, possibly waiting behind
+// an already-issued writer); such surrogates are transient: the reader's
+// retraction retires them through the same exactly-once handshake a release
+// uses, completing satisfied surrogates and canceling waiting ones.
+//
+// Under sustained write pressure (a long streak of gate-closed misses) the
+// path revokes itself and re-enables only after a writer-free grace period
+// (hysteresis), so write-heavy phases stop paying the publish/retract and
+// migration overhead.
+//
+// Visibility: a fast read that never meets a writer is invisible to Stats,
+// Snapshot, and any attached event observer (the per-shard fastpath_*
+// counters are its only telemetry); once migrated it appears as an ordinary
+// satisfied read request tagged fastSurrogateTag. Use WithoutFastPath when
+// full event-stream fidelity matters more than reader throughput.
+const (
+	// fastSlotWords bounds the inline read-set mask: resources 0 …
+	// 64·fastSlotWords−1. Reads naming a higher ID fall back to the RSM.
+	fastSlotWords   = 4
+	fastMaxResource = 64 * fastSlotWords
+
+	// fastRevokeMisses is the streak of gate-closed misses after which the
+	// path revokes itself; fastGraceReads is how many fast-eligible reads
+	// must subsequently find the component writer-free (on the RSM path)
+	// before the path re-enables.
+	fastRevokeMisses = 128
+	fastGraceReads   = 64
+)
+
+// fastSurrogateTag marks RSM read requests materialized from in-flight
+// fast readers by writer migration, so snapshots and traces can tell the
+// two planes apart.
+const fastSurrogateTag = "fastpath-reader"
+
+// fastSlot is one visible-reader slot. seq is 0 when free, else the unique
+// claim sequence of the holding reader; set is the holder's read-set mask,
+// published after the claim and before the gate re-check (so, by sequential
+// consistency, any writer whose gate-close the holder missed reads the
+// complete mask). migSeq is the claim sequence most recently migrated into
+// the RSM — written only under the shard mutex by migrating writers, and
+// compared against the releasing holder's own sequence to decide whether a
+// surrogate must be completed. The padding keeps neighboring slots off each
+// other's cache lines — readers on different CPUs claim different slots and
+// must not false share.
+type fastSlot struct {
+	seq    atomic.Uint64
+	set    [fastSlotWords]atomic.Uint64
+	migSeq atomic.Uint64
+	_      [80]byte
+}
+
+// fastSlotCount sizes the slot array to the parallelism of the machine
+// (rounded up to a power of two so claim probing can mask instead of mod).
+func fastSlotCount() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// initFastPath allocates the shard's reader slots; left uninitialized (nil
+// fastSlots disables every fast-path hook) under WithoutFastPath.
+func (s *shard) initFastPath() {
+	s.fastSlots = make([]fastSlot, fastSlotCount())
+	s.fastMask = len(s.fastSlots) - 1
+}
+
+// fastAcquire attempts the reader fast path for an all-read footprint that
+// split has already validated and confined to this shard. It returns the
+// minted token and true on a hit; on a miss (gate closed, path revoked,
+// slots full, or a resource beyond the inline mask) it records the
+// revocation hysteresis progress and the caller falls back to the RSM.
+func (s *shard) fastAcquire(read []ResourceID) (Token, bool) {
+	gateClosed := s.fastWriters.Load() != 0
+	if gateClosed || s.fastRevoked.Load() {
+		s.fastReadMissed(gateClosed)
+		return Token{}, false
+	}
+	var mask [fastSlotWords]uint64
+	for _, a := range read {
+		if int(a) >= fastMaxResource {
+			s.fastReadMissed(false)
+			return Token{}, false
+		}
+		mask[int(a)>>6] |= 1 << (uint(a) & 63)
+	}
+	seq := s.fastSeq.Add(1)
+	slot := -1
+	h := int(seq) & s.fastMask
+	for i := 0; i <= s.fastMask; i++ {
+		idx := (h + i) & s.fastMask
+		if s.fastSlots[idx].seq.CompareAndSwap(0, seq) {
+			slot = idx
+			break
+		}
+	}
+	if slot < 0 {
+		s.fastReadMissed(false)
+		return Token{}, false
+	}
+	sl := &s.fastSlots[slot]
+	for w, v := range mask {
+		sl.set[w].Store(v)
+	}
+	// Publication/re-check protocol: the read set is stored before this gate
+	// load, and writers store the gate before scanning the slots, so at
+	// least one side sees the other — either we observe the writer here and
+	// retract (the writer may then read a stale or partial mask, harmlessly:
+	// we never enter the critical section), or the writer's scan observes
+	// our claim with the complete mask and migrates it.
+	if s.fastWriters.Load() != 0 {
+		sl.seq.Store(0)
+		// A migrating writer may have scanned the claim between our CAS and
+		// this retraction and recorded a surrogate for it; retire it, or the
+		// RSM holds a phantom read lock forever. Any error is a structural
+		// bug the selfCheck would catch — the caller falls back to the RSM
+		// either way.
+		_ = s.retireSurrogate(sl, seq)
+		s.fastReadMissed(true)
+		return Token{}, false
+	}
+	if s.fastHitC != nil {
+		s.fastHitC.Inc()
+	}
+	if s.fastMissStreak.Load() != 0 {
+		s.fastMissStreak.Store(0)
+	}
+	return Token{s: s, fastSeq: seq, fastSlot: int32(slot)}, true
+}
+
+// fastRelease ends a fast-path critical section: the slot is freed by
+// CASing the token's claim sequence back to zero, which doubles as the
+// double-release check (sequences are never reused, so a second release —
+// even after the slot was re-claimed — always fails the CAS). If a writer
+// migrated this claim into the RSM, the surrogate read is completed under
+// the shard mutex, satisfying whatever requests were queued behind it.
+func (s *shard) fastRelease(t Token) error {
+	sl := &s.fastSlots[t.fastSlot]
+	if !sl.seq.CompareAndSwap(t.fastSeq, 0) {
+		return ErrAlreadyReleased
+	}
+	return s.retireSurrogate(sl, t.fastSeq)
+}
+
+// retireSurrogate retires the surrogate RSM request a migrating writer may
+// have recorded for the withdrawn claim seq (released after its critical
+// section, or retracted by the admission re-check). By sequential
+// consistency the migSeq load is ordered after the claim withdrawal above,
+// and a migrating writer stores migSeq before re-checking seq — so either
+// the writer sees the withdrawal and retires the surrogate itself, or we
+// see migSeq here. The map entry is deleted under s.mu by whichever side
+// gets there first, so the retirement happens exactly once. A surrogate for
+// an admitted reader is always satisfied (it was issued into a writer-free
+// RSM) and is completed; one recorded for a doomed, mid-publication claim
+// may still be waiting behind an earlier writer and is canceled instead.
+func (s *shard) retireSurrogate(sl *fastSlot, seq uint64) error {
+	if sl.migSeq.Load() != seq {
+		return nil
+	}
+	s.mu.Lock()
+	id, ok := s.fastSurr[seq]
+	var err error
+	if ok {
+		delete(s.fastSurr, seq)
+		if st, serr := s.rsm.State(id); serr == nil && st == core.StateSatisfied {
+			err = s.rsm.Complete(s.tick(), id)
+		} else {
+			err = s.rsm.CancelRequest(s.tick(), id)
+		}
+		s.selfCheck()
+	}
+	s.unlock()
+	return err
+}
+
+// fastReadMissed records a fast-eligible read served by the RSM, driving the
+// revocation hysteresis: a streak of fastRevokeMisses gate-closed misses
+// revokes the path (sustained write pressure — stop paying the
+// publish/retract overhead), and fastGraceReads subsequent misses that find
+// the component writer-free re-enable it. (A writer racing the re-enable is
+// harmless: admission re-checks the gate after claiming a slot.)
+func (s *shard) fastReadMissed(gateClosed bool) {
+	if s.fastMissC != nil {
+		s.fastMissC.Inc()
+	}
+	if gateClosed {
+		if !s.fastRevoked.Load() && s.fastMissStreak.Add(1) >= fastRevokeMisses {
+			if !s.fastRevoked.Swap(true) {
+				s.fastGrace.Store(fastGraceReads)
+				if s.fastRevokedC != nil {
+					s.fastRevokedC.Inc()
+				}
+			}
+		}
+		return
+	}
+	s.fastMissStreak.Store(0)
+	if s.fastRevoked.Load() && s.fastWriters.Load() == 0 {
+		if s.fastGrace.Add(-1) <= 0 {
+			s.fastRevoked.Store(false)
+		}
+	}
+}
+
+// writerEnter closes the shard's writer gate on behalf of a write-capable
+// request about to be issued, then migrates every in-flight fast reader
+// into the RSM. It must be called before the request reaches the RSM and be
+// balanced by writerExit after the request completes; the gate counter
+// being >0 across that whole span is what makes fast-path admission sound,
+// and migrating before issuing is what makes the RSM's grant decisions
+// identical to the all-slow baseline. No-op when the fast path is disabled.
+func (s *shard) writerEnter() {
+	if s.fastSlots == nil {
+		return
+	}
+	s.fastWriters.Add(1)
+	s.migrateFast()
+}
+
+// writerExit reopens the gate after the write-capable request completed (its
+// RSM locks are released).
+func (s *shard) writerExit() {
+	if s.fastSlots == nil {
+		return
+	}
+	s.fastWriters.Add(-1)
+}
+
+// migrateFast issues a surrogate RSM read request for every claimed slot
+// not already migrated. Called with the gate closed, so the slot population
+// can only shrink underneath the scan. Each surrogate is issued into a
+// writer-free RSM (see the package comment's induction) and is therefore
+// satisfied immediately; if the holding reader releases while the surrogate
+// is being recorded, the re-check completes it on the spot.
+func (s *shard) migrateFast() {
+	live := false
+	for i := range s.fastSlots {
+		if s.fastSlots[i].seq.Load() != 0 {
+			live = true
+			break
+		}
+	}
+	if !live {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.fastSlots {
+		sl := &s.fastSlots[i]
+		seq := sl.seq.Load()
+		if seq == 0 || sl.migSeq.Load() == seq {
+			continue
+		}
+		id, err := s.rsm.Issue(s.tick(), sl.resources(), nil, fastSurrogateTag)
+		if err != nil {
+			continue
+		}
+		if s.fastSurr == nil {
+			s.fastSurr = make(map[uint64]core.ReqID)
+		}
+		s.fastSurr[seq] = id
+		sl.migSeq.Store(seq)
+		if sl.seq.Load() != seq {
+			// The holder released (or retracted) between our first look and
+			// the migSeq store and cannot have seen it; retire the surrogate
+			// here. It may be waiting rather than satisfied if the claim was
+			// a doomed mid-publication one scanned while an earlier writer
+			// was already in the RSM.
+			delete(s.fastSurr, seq)
+			if st, serr := s.rsm.State(id); serr == nil && st == core.StateSatisfied {
+				_ = s.rsm.Complete(s.tick(), id)
+			} else {
+				_ = s.rsm.CancelRequest(s.tick(), id)
+			}
+		} else if s.fastMigratedC != nil {
+			s.fastMigratedC.Inc()
+		}
+	}
+	s.selfCheck()
+	s.unlock()
+}
+
+// resources decodes the slot's published read-set mask.
+func (sl *fastSlot) resources() []ResourceID {
+	var out []ResourceID
+	for w := 0; w < fastSlotWords; w++ {
+		m := sl.set[w].Load()
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			out = append(out, ResourceID(w*64+b))
+			m &= m - 1
+		}
+	}
+	return out
+}

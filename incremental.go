@@ -16,8 +16,18 @@ import (
 // The total blocking across all Acquire calls is bounded by a single
 // request's worst case.
 type Incremental struct {
-	s  *shard
-	id core.ReqID
+	s    *shard
+	id   core.ReqID
+	gate bool // write potential non-empty: holds the shard's writer gate
+}
+
+// exitGate reopens the shard's writer gate once the request is complete or
+// withdrawn. Idempotent under the type's single-owner contract.
+func (inc *Incremental) exitGate() {
+	if inc.gate {
+		inc.gate = false
+		inc.s.writerExit()
+	}
 }
 
 // AcquireIncremental issues an incremental request whose full potential
@@ -38,13 +48,25 @@ func (p *Protocol) AcquireIncremental(ctx context.Context, read, write, initialR
 		return nil, fmt.Errorf("%w: incremental potential set covers %d components", ErrCrossComponent, len(parts))
 	}
 	s := parts[0].s
+	// A non-empty write potential makes the request write-capable for its
+	// whole lifetime (any of those resources may be write-locked by a later
+	// ask), so the writer gate stays closed until Release. All-read
+	// incremental requests never write-lock anything and leave the gate
+	// open — they cannot delay a fast reader.
+	gate := len(write) > 0 && s.fastSlots != nil
+	if gate {
+		s.writerEnter()
+	}
 	s.mu.Lock()
 	id, err := s.rsm.IssueIncremental(s.tick(), read, write, initialRead, initialWrite, nil)
 	if err != nil {
 		s.unlock()
+		if gate {
+			s.writerExit()
+		}
 		return nil, err
 	}
-	inc := &Incremental{s: s, id: id}
+	inc := &Incremental{s: s, id: id, gate: gate}
 	initial := append(append([]ResourceID{}, initialRead...), initialWrite...)
 	if ok, _ := s.rsm.Granted(id, initial); ok {
 		s.selfCheck()
@@ -69,6 +91,7 @@ func (p *Protocol) AcquireIncremental(ctx context.Context, read, write, initialR
 			delete(s.waiters, id)
 			return s.rsm.CancelRequest(s.tick(), id)
 		}); err != nil {
+		inc.exitGate()
 		return nil, err
 	}
 	return inc, nil
@@ -124,5 +147,9 @@ func (inc *Incremental) Holds(resources ...ResourceID) bool {
 // valid even if only a subset of the potential resources was ever acquired.
 // A second Release returns ErrAlreadyReleased.
 func (inc *Incremental) Release() error {
-	return inc.s.release(inc.id)
+	err := inc.s.release(inc.id)
+	if err == nil {
+		inc.exitGate()
+	}
+	return err
 }

@@ -1,0 +1,51 @@
+package core
+
+// This file holds the RSM-side contract of the runtime lock's BRAVO-style
+// reader fast path (rwrnlp/shard.go): an all-read request confined to one
+// component may be satisfied outside the RSM — with atomic publication only —
+// exactly when the RSM itself would satisfy it immediately at issuance. The
+// admission predicate below defines that condition, and the model checker
+// (internal/mc) verifies the implication on every reachable state: whenever
+// WriterFree holds for a component, a fresh all-read request over that
+// component is satisfied by Issue in the same invocation.
+
+// WriterFree reports whether no incomplete request could write-lock any
+// resource of the component containing a — the RSM-side admission predicate
+// of the reader fast path.
+//
+// KindWrite covers every write-capable form: plain writes, mixed requests
+// (Sec. 3.5, their write half locks N^w), the write half of an upgradeable
+// pair (Sec. 3.6), and incremental requests with a non-empty write potential.
+// All-read incomplete requests are deliberately ignored: readers never
+// conflict with readers (Rule R1), so their presence cannot delay a fresh
+// read.
+//
+// Correctness (see IMPLEMENTATION.md, "Reader fast path"): if WriterFree(a)
+// holds, a fresh all-read request R over resources of a's component
+// satisfies Rule R1 immediately — conflictsActive(R) scans for entitled or
+// satisfied write-capable requests on R's resources, and with no KindWrite
+// request incomplete in the component there is none, so freshPass satisfies
+// R in the Issue invocation itself with zero acquisition delay.
+func (m *RSM) WriterFree(a ResourceID) bool {
+	if a < 0 || int(a) >= m.spec.NumResources() {
+		return false
+	}
+	c := m.spec.Component(a)
+	for _, r := range m.incomplete {
+		if r.kind != KindWrite {
+			continue
+		}
+		// A request's footprint never crosses a component boundary (the
+		// read-sharing closure is component-confined), so any one member
+		// locates it.
+		found := false
+		r.need.ForEach(func(b ResourceID) bool {
+			found = m.spec.Component(b) == c
+			return false
+		})
+		if found {
+			return false
+		}
+	}
+	return true
+}

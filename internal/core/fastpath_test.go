@@ -1,0 +1,89 @@
+package core
+
+import "testing"
+
+// WriterFree must be false exactly while a write-capable request — plain
+// write, mixed, upgradeable pair, or incremental with write potential — is
+// incomplete in the resource's component, and must ignore all-read requests
+// and other components entirely.
+func TestWriterFree(t *testing.T) {
+	b := NewSpecBuilder(4)
+	if err := b.DeclareRequest([]ResourceID{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareRequest([]ResourceID{2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := NewRSM(b.Build(), Options{})
+
+	for a := ResourceID(0); a < 4; a++ {
+		if !m.WriterFree(a) {
+			t.Fatalf("WriterFree(%d) = false on an empty RSM", a)
+		}
+	}
+	if m.WriterFree(-1) || m.WriterFree(4) {
+		t.Error("WriterFree accepted an out-of-range resource")
+	}
+
+	// An all-read request never makes its component writer-bound.
+	r := mustIssue(t, m, 1, []ResourceID{0, 1}, nil)
+	if !m.WriterFree(0) {
+		t.Error("WriterFree(0) = false with only a read incomplete")
+	}
+
+	// A plain write closes its whole component — including resources the
+	// write doesn't name — and leaves the other component free.
+	w := mustIssue(t, m, 2, nil, []ResourceID{0})
+	if m.WriterFree(0) || m.WriterFree(1) {
+		t.Error("WriterFree true in a component with an incomplete write")
+	}
+	if !m.WriterFree(2) {
+		t.Error("WriterFree(2) = false; the write is in the other component")
+	}
+	mustComplete(t, m, 3, r)
+	// Still write-bound until the write COMPLETES, not merely satisfies.
+	if m.WriterFree(0) {
+		t.Error("WriterFree(0) = true while the write is satisfied but incomplete")
+	}
+	mustComplete(t, m, 4, w)
+	if !m.WriterFree(0) {
+		t.Error("WriterFree(0) = false after the write completed")
+	}
+
+	// A mixed request (read 2, write 3) is write-capable for component {2,3}.
+	mix := mustIssue(t, m, 5, []ResourceID{2}, []ResourceID{3})
+	if m.WriterFree(2) {
+		t.Error("WriterFree(2) = true with an incomplete mixed request")
+	}
+	mustComplete(t, m, 6, mix)
+
+	// The write half of an upgradeable pair is write-capable from issuance,
+	// through the read phase, until the pair is over.
+	h, err := m.IssueUpgradeable(7, []ResourceID{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WriterFree(0) {
+		t.Error("WriterFree(0) = true with an upgradeable pair in its read phase")
+	}
+	if err := m.FinishRead(8, h, false); err != nil {
+		t.Fatal(err)
+	}
+	if !m.WriterFree(0) {
+		t.Error("WriterFree(0) = false after the pair's write half was canceled")
+	}
+
+	// An incremental request with non-empty write potential is write-capable
+	// even before (and after) any write resource is asked for.
+	inc, err := m.IssueIncremental(9, []ResourceID{2}, []ResourceID{3}, []ResourceID{2}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WriterFree(2) {
+		t.Error("WriterFree(2) = true with an incremental write potential outstanding")
+	}
+	mustComplete(t, m, 10, inc)
+	if !m.WriterFree(2) {
+		t.Error("WriterFree(2) = false after the incremental request completed")
+	}
+}

@@ -50,6 +50,15 @@ type Options struct {
 	// mutex-RNLP satisfaction order. Never enable outside tests.
 	ChaosSkipWQHeadCheck bool
 
+	// ChaosDeafFreshReads is a TEST-ONLY fault-injection switch validating
+	// the model checker's fast-path admission detector: it makes freshPass
+	// skip read requests and disables lateReadPass, so a fresh read issued
+	// into a writer-free component strands in StateWaiting instead of being
+	// satisfied immediately — breaking exactly the implication
+	// (WriterFree ⇒ immediate read satisfaction) the runtime reader fast
+	// path relies on. Never enable outside tests.
+	ChaosDeafFreshReads bool
+
 	// FirstID and IDStep stride the request-ID space so several RSMs feeding
 	// shared observers mint globally unique IDs (the sharded runtime lock
 	// runs one RSM per resource component; shard i uses FirstID=i,
@@ -428,6 +437,9 @@ func (m *RSM) freshPass(t Time) bool {
 			continue
 		}
 		r.fresh = false
+		if r.kind == KindRead && m.opt.ChaosDeafFreshReads {
+			continue
+		}
 		if r.kind == KindWrite && !m.opt.ChaosSkipWQHeadCheck && !m.headEverywhere(r) {
 			continue
 		}
@@ -448,6 +460,9 @@ func (m *RSM) freshPass(t Time) bool {
 // precondition, so an unblocked waiting write always proceeds through
 // entitle→satisfy (Props. E7/E9).
 func (m *RSM) lateReadPass(t Time) bool {
+	if m.opt.ChaosDeafFreshReads {
+		return false
+	}
 	changed := false
 	for _, r := range snapshot(m.incomplete) {
 		if r.state != StateWaiting || r.kind != KindRead {

@@ -55,19 +55,20 @@ func DefaultOptions() Options {
 
 // Stats describes an exploration's effort and pruning effectiveness.
 type Stats struct {
-	States         int // distinct states expanded
-	Revisits       int // memoization hits
-	Terminals      int // complete schedules reached
-	SleepPruned    int // transitions suppressed by sleep sets
-	SymmetryPruned int // issue transitions suppressed by template symmetry
-	DepthCutoffs   int // paths truncated by MaxDepth
-	MaxDepthSeen   int // longest schedule reached
-	Truncated      bool
+	States          int // distinct states expanded
+	Revisits        int // memoization hits
+	Terminals       int // complete schedules reached
+	SleepPruned     int // transitions suppressed by sleep sets
+	SymmetryPruned  int // issue transitions suppressed by template symmetry
+	DepthCutoffs    int // paths truncated by MaxDepth
+	MaxDepthSeen    int // longest schedule reached
+	FastPathChecked int // fast-path admission implications evaluated (over all node replays)
+	Truncated       bool
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("states=%d revisits=%d terminals=%d sleep-pruned=%d symmetry-pruned=%d depth-cutoffs=%d max-depth=%d",
-		s.States, s.Revisits, s.Terminals, s.SleepPruned, s.SymmetryPruned, s.DepthCutoffs, s.MaxDepthSeen)
+	return fmt.Sprintf("states=%d revisits=%d terminals=%d sleep-pruned=%d symmetry-pruned=%d depth-cutoffs=%d max-depth=%d fastpath-checked=%d",
+		s.States, s.Revisits, s.Terminals, s.SleepPruned, s.SymmetryPruned, s.DepthCutoffs, s.MaxDepthSeen, s.FastPathChecked)
 }
 
 // Result is the outcome of an exploration or walk.
@@ -179,6 +180,7 @@ func Explore(sc *Scenario, opt Options) (Result, error) {
 		if len(path) > res.Stats.MaxDepthSeen {
 			res.Stats.MaxDepthSeen = len(path)
 		}
+		res.Stats.FastPathChecked += r.fastChecked
 		if v := r.checkStep(); v != nil {
 			v.attach(sc, path)
 			return v, nil

@@ -1,0 +1,63 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fastread5x4 preset must actually exercise the fast-path admission
+// implication: every all-read issue into a writer-free component checked,
+// on every reachable interleaving, with no violation. (Cleanliness across
+// presets is asserted by TestExplorePresetsClean; this pins the coverage.)
+func TestFastPathImplicationChecked(t *testing.T) {
+	for _, ph := range []bool{false, true} {
+		sc := *Preset("fastread5x4")
+		sc.Placeholders = ph
+		res, err := Explore(&sc, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("placeholders=%v: violation:\n%s", ph, res.Violation)
+		}
+		if res.Stats.FastPathChecked == 0 {
+			t.Fatalf("placeholders=%v: FastPathChecked = 0 — the admission implication was never evaluated", ph)
+		}
+		t.Logf("placeholders=%v: %d admission implications checked", ph, res.Stats.FastPathChecked)
+	}
+}
+
+// Fault injection validating the detector: with ChaosDeafFreshReads the RSM
+// deliberately leaves fresh all-read requests unsatisfied at issuance, so
+// the explorer must surface a VFastPath violation — and its replay script
+// must reproduce it deterministically.
+func TestChaosDeafFreshReadsCaught(t *testing.T) {
+	sc := *Preset("fastread5x4")
+	sc.ChaosDeafFreshReads = true
+	res, err := Explore(&sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("ChaosDeafFreshReads explored clean — the fast-path detector is deaf too")
+	}
+	if res.Violation.Kind != VFastPath {
+		t.Fatalf("violation kind = %v, want VFastPath:\n%s", res.Violation.Kind, res.Violation)
+	}
+
+	script := res.Violation.Script()
+	if !strings.Contains(script, "chaos-deaf-fresh-reads") {
+		t.Fatalf("replay script does not carry the chaos flag:\n%s", script)
+	}
+	rsc, path, err := ParseReplay(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Replay(rsc, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Kind != VFastPath {
+		t.Fatalf("replay did not reproduce the VFastPath violation (got %v)", v)
+	}
+}

@@ -23,6 +23,10 @@ const (
 	VDeadlock
 	// VBound: a Theorem 1/2 acquisition-delay envelope was exceeded.
 	VBound
+	// VFastPath: the runtime reader fast path's admission implication
+	// failed — a fresh all-read request issued into a writer-free component
+	// (core.WriterFree) was not satisfied immediately by the RSM.
+	VFastPath
 )
 
 func (k VKind) String() string {
@@ -35,6 +39,8 @@ func (k VKind) String() string {
 		return "deadlock"
 	case VBound:
 		return "bound"
+	case VFastPath:
+		return "fastpath-admission"
 	default:
 		return fmt.Sprintf("vkind(%d)", uint8(k))
 	}
@@ -98,6 +104,9 @@ func (v *Violation) Script() string {
 	if sc.ChaosSkipWQHeadCheck {
 		b.WriteString("chaos-skip-wq-head-check\n")
 	}
+	if sc.ChaosDeafFreshReads {
+		b.WriteString("chaos-deaf-fresh-reads\n")
+	}
 	for _, tp := range sc.Templates {
 		fmt.Fprintf(&b, "tmpl %s\n", tp.Signature())
 	}
@@ -159,6 +168,8 @@ func ParseReplay(r io.Reader) (*Scenario, []Action, error) {
 			sc.Cancels = true
 		case "chaos-skip-wq-head-check":
 			sc.ChaosSkipWQHeadCheck = true
+		case "chaos-deaf-fresh-reads":
+			sc.ChaosDeafFreshReads = true
 		case "tmpl":
 			tpl, err := ParseTemplates(rest)
 			if err != nil {

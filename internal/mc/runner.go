@@ -133,6 +133,12 @@ type runner struct {
 
 	oracles    []oracle
 	divergence *Violation
+
+	// Fast-path admission check (see checkFastPath): fastChecked counts the
+	// issues the implication applied to; fastViolation records the first
+	// failure.
+	fastChecked   int
+	fastViolation *Violation
 }
 
 // satEv is one satisfaction observation: template tmpl satisfied at step.
@@ -325,12 +331,21 @@ func (r *runner) apply(a Action) error {
 			run.nextAsk = 1
 			r.alias[id] = aliasBase(a.Tmpl)
 		default:
+			// Fast-path admission implication (the contract of the runtime
+			// reader fast path, rwrnlp/fastpath.go): evaluate the gate
+			// predicate BEFORE the issue — WriterFree over the request's
+			// component — and afterwards require immediate satisfaction.
+			gateOpen := len(tp.Write) == 0 && len(tp.Read) > 0 &&
+				r.rsm.WriterFree(tp.Read[0])
 			id, err := r.rsm.Issue(t, tp.Read, tp.Write, a.Tmpl)
 			if err != nil {
 				return err
 			}
 			run.id = id
 			r.alias[id] = aliasBase(a.Tmpl)
+			if gateOpen {
+				r.checkFastPath(a.Tmpl, id)
+			}
 		}
 		run.issued = true
 
@@ -460,11 +475,40 @@ func (r *runner) compareOracles() {
 	}
 }
 
-// checkStep runs the per-state checks: structural invariants and oracle
-// divergence. The explorer adds deadlock and terminal bound checks.
+// checkFastPath asserts the fast-path admission implication for one plain
+// all-read issue whose component was writer-free at the invocation: the RSM
+// must have satisfied it within the Issue invocation itself (Rule R1,
+// zero acquisition delay). This is checked on EVERY reachable interleaving
+// the explorer drives, so a pass means the runtime fast path — which admits
+// readers exactly under this predicate, enforced by its writer gate — only
+// ever satisfies requests the RSM would satisfy immediately.
+func (r *runner) checkFastPath(tmpl int, id core.ReqID) {
+	r.fastChecked++
+	if r.fastViolation != nil {
+		return
+	}
+	st, err := r.rsm.State(id)
+	if err != nil || st != core.StateSatisfied {
+		r.fastViolation = &Violation{
+			Kind: VFastPath,
+			Step: r.step,
+			Details: []string{
+				fmt.Sprintf("template %d: all-read issue into a writer-free component not satisfied immediately (state %v)", tmpl, st),
+				"the runtime reader fast path would have admitted this request outside the RSM",
+			},
+		}
+	}
+}
+
+// checkStep runs the per-state checks: structural invariants, the fast-path
+// admission implication, and oracle divergence. The explorer adds deadlock
+// and terminal bound checks.
 func (r *runner) checkStep() *Violation {
 	if bad := r.rsm.CheckInvariants(); len(bad) > 0 {
 		return &Violation{Kind: VInvariant, Step: r.step, Details: bad}
+	}
+	if r.fastViolation != nil {
+		return r.fastViolation
 	}
 	if r.divergence != nil {
 		return r.divergence

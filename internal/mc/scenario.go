@@ -105,6 +105,10 @@ type Scenario struct {
 	// ChaosSkipWQHeadCheck forwards the core fault-injection flag
 	// (test-only; used to validate that the checker's detectors fire).
 	ChaosSkipWQHeadCheck bool
+	// ChaosDeafFreshReads forwards the core fault-injection flag that
+	// strands fresh reads in writer-free components (test-only; validates
+	// the VFastPath admission detector).
+	ChaosDeafFreshReads bool
 }
 
 // Spec derives the resource-system Spec from the templates: every template
@@ -136,6 +140,7 @@ func (s *Scenario) Options() core.Options {
 	return core.Options{
 		Placeholders:         s.Placeholders,
 		ChaosSkipWQHeadCheck: s.ChaosSkipWQHeadCheck,
+		ChaosDeafFreshReads:  s.ChaosDeafFreshReads,
 	}
 }
 
@@ -354,6 +359,18 @@ func Presets() []*Scenario {
 			Q:         4,
 			Templates: mustTemplates("r:0+1 w:0+1 r:2+3 w:2+3"),
 			Cancels:   true,
+		},
+		{
+			// Read-mostly traffic over two components: two identical readers
+			// racing a writer in component {0,1} plus a reader/writer pair
+			// in {2,3}. Exercises the fast-path admission check (every
+			// all-read issue into a writer-free component must satisfy
+			// immediately — the invariant the runtime's BRAVO-style reader
+			// fast path relies on) across every interleaving, with the
+			// sharded-RSM differential oracle active.
+			Name:      "fastread5x4",
+			Q:         4,
+			Templates: mustTemplates("r:0+1 r:0+1 w:0+1 r:2+3 w:2+3"),
 		},
 	}
 }

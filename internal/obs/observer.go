@@ -54,6 +54,20 @@ const (
 	// MSlowPath counts multi-component acquisitions served by the runtime
 	// lock's ordered slow path (undeclared footprints only).
 	MSlowPath = "protocol_slow_path"
+
+	// Reader fast-path counters (shard-labeled via ShardMetric): hits are
+	// all-read acquisitions satisfied with atomic stores only, bypassing the
+	// shard mutex and RSM; misses are fast-eligible acquisitions that fell
+	// back to the RSM (writer present, slots full, or path revoked);
+	// revocations count transitions into the revoked state after a streak
+	// of gate-closed misses; migrations count in-flight fast readers
+	// materialized into the RSM as surrogate read requests by an entering
+	// writer. A fast-path acquisition appears in the protocol_* series only
+	// if it was migrated — otherwise the RSM never sees it.
+	MFastPathHit      = "fastpath_hit"
+	MFastPathMiss     = "fastpath_miss"
+	MFastPathRevoked  = "fastpath_revoked"
+	MFastPathMigrated = "fastpath_migrated"
 )
 
 // ShardMetric derives the shard-labeled instance name of a per-shard metric,

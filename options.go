@@ -7,10 +7,11 @@ type config struct {
 	selfCheck    bool
 	metrics      bool
 	sharding     bool
+	fastPath     bool
 }
 
 func defaultConfig() config {
-	return config{sharding: true}
+	return config{sharding: true, fastPath: true}
 }
 
 // Option configures a Protocol at construction:
@@ -70,6 +71,22 @@ func WithMetrics() Option {
 // sequential locking would not be the RNLP.
 func WithoutSharding() Option {
 	return optionFunc(func(c *config) { c.sharding = false })
+}
+
+// WithoutFastPath disables the BRAVO-style reader fast path (on by default):
+// an all-read acquisition within one component, admitted while the component
+// has no write-capable request in flight, normally publishes its read set
+// into a padded per-shard slot array with atomic stores only — no shard
+// mutex, no RSM invocation. Writers close a per-shard gate and migrate the
+// in-flight fast readers into the RSM as surrogate read requests before
+// issuing, so the RSM's grant decisions match the all-slow baseline exactly;
+// under sustained write pressure the path revokes itself (hysteresis).
+// Disable it when every read acquisition must appear in Stats/Snapshot and
+// the protocol event stream (a fast read is visible there only if a writer
+// migrated it; otherwise its only telemetry is the per-shard fastpath_*
+// counters), or when benchmarking the pure RSM path.
+func WithoutFastPath() Option {
+	return optionFunc(func(c *config) { c.fastPath = false })
 }
 
 // Options is the v1 configuration struct.

@@ -212,10 +212,11 @@ func (p *Protocol) nowNS() int64 {
 
 // finishAcquire records wall-clock acquisition metrics and mints the token.
 // start/blockStart are nowNS readings (0 when metrics are disabled or the
-// request never blocked).
-func (p *Protocol) finishAcquire(s *shard, id core.ReqID, start, blockStart int64, isWrite bool, rest []tokenPart) Token {
+// request never blocked). wgate marks a token whose Release must reopen its
+// shard's writer gate.
+func (p *Protocol) finishAcquire(s *shard, id core.ReqID, start, blockStart int64, isWrite, wgate bool, rest []tokenPart) Token {
 	if p.metrics == nil {
-		return Token{s: s, id: id, rest: rest}
+		return Token{s: s, id: id, wgate: wgate, rest: rest}
 	}
 	now := time.Now().UnixNano()
 	if isWrite {
@@ -226,13 +227,14 @@ func (p *Protocol) finishAcquire(s *shard, id core.ReqID, start, blockStart int6
 	if blockStart != 0 {
 		p.wallBlock.Observe(now - blockStart)
 	}
-	return Token{s: s, id: id, acqNS: now, rest: rest}
+	return Token{s: s, id: id, acqNS: now, wgate: wgate, rest: rest}
 }
 
 // tokenPart is one additional component slice held by a slow-path Token.
 type tokenPart struct {
-	s  *shard
-	id core.ReqID
+	s     *shard
+	id    core.ReqID
+	wgate bool // this part closed its shard's writer gate
 }
 
 // Token identifies a held acquisition, to be passed to Release. The zero
@@ -247,6 +249,13 @@ type Token struct {
 	// rest holds the higher-component slices of a multi-component slow-path
 	// acquisition, ascending; nil on the fast path.
 	rest []tokenPart
+	// wgate marks a write-capable token whose Release reopens the shard's
+	// writer gate (see fastpath.go).
+	wgate bool
+	// fastSeq/fastSlot identify a reader-fast-path acquisition
+	// (fastSeq != 0): the claim sequence and slot to CAS free.
+	fastSeq  uint64
+	fastSlot int32
 }
 
 // part is one component's slice of a request footprint.
@@ -346,18 +355,38 @@ func (p *Protocol) Acquire(ctx context.Context, read, write []ResourceID) (Token
 	isWrite := len(write) > 0
 	if len(parts) == 1 {
 		s := parts[0].s
+		if !isWrite && s.fastSlots != nil {
+			if tok, ok := s.fastAcquire(read); ok {
+				if p.metrics != nil {
+					now := time.Now().UnixNano()
+					p.wallAcqR.Observe(now - start)
+					tok.acqNS = now
+				}
+				return tok, nil
+			}
+		}
+		wgate := isWrite && s.fastSlots != nil
+		if wgate {
+			s.writerEnter()
+		}
 		id, w, err := s.acquire(read, write)
 		if err != nil {
+			if wgate {
+				s.writerExit()
+			}
 			return Token{}, err
 		}
 		var blockStart int64
 		if w != nil {
 			blockStart = p.nowNS()
 			if err := s.awaitAcquire(ctx, id, w); err != nil {
+				if wgate {
+					s.writerExit()
+				}
 				return Token{}, err
 			}
 		}
-		return p.finishAcquire(s, id, start, blockStart, isWrite, nil), nil
+		return p.finishAcquire(s, id, start, blockStart, isWrite, wgate, nil), nil
 	}
 
 	// Slow path: ascending component order; on failure release what is held
@@ -368,6 +397,10 @@ func (p *Protocol) Acquire(ctx context.Context, read, write []ResourceID) (Token
 	var held []tokenPart
 	var blockStart int64
 	for _, pt := range parts {
+		wgate := len(pt.write) > 0 && pt.s.fastSlots != nil
+		if wgate {
+			pt.s.writerEnter()
+		}
 		id, w, err := pt.s.acquire(pt.read, pt.write)
 		if err == nil && w != nil {
 			if blockStart == 0 {
@@ -376,14 +409,21 @@ func (p *Protocol) Acquire(ctx context.Context, read, write []ResourceID) (Token
 			err = pt.s.awaitAcquire(ctx, id, w)
 		}
 		if err != nil {
+			if wgate {
+				pt.s.writerExit()
+			}
 			for i := len(held) - 1; i >= 0; i-- {
 				_ = held[i].s.release(held[i].id)
+				if held[i].wgate {
+					held[i].s.writerExit()
+				}
 			}
 			return Token{}, err
 		}
-		held = append(held, tokenPart{s: pt.s, id: id})
+		held = append(held, tokenPart{s: pt.s, id: id, wgate: wgate})
 	}
-	return p.finishAcquire(held[0].s, held[0].id, start, blockStart, isWrite, held[1:]), nil
+	first := held[0]
+	return p.finishAcquire(first.s, first.id, start, blockStart, isWrite, first.wgate, held[1:]), nil
 }
 
 // Read is shorthand for Acquire(ctx, resources, nil).
@@ -416,17 +456,37 @@ func (p *Protocol) Release(t Token) error {
 	}
 	var firstErr error
 	for i := len(t.rest) - 1; i >= 0; i-- {
-		if err := t.rest[i].s.release(t.rest[i].id); err != nil && firstErr == nil {
+		err := t.rest[i].s.release(t.rest[i].id)
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+		if t.rest[i].wgate && err == nil {
+			t.rest[i].s.writerExit()
+		}
 	}
-	if err := t.s.release(t.id); err != nil && firstErr == nil {
+	if t.fastSeq != 0 {
+		if err := t.s.fastRelease(t); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+	err := t.s.release(t.id)
+	if err != nil && firstErr == nil {
 		firstErr = err
+	}
+	if t.wgate && err == nil {
+		// The write-capable request completed: its RSM locks are gone, so
+		// the writer gate reopens. A failed (double) release must not
+		// decrement again.
+		t.s.writerExit()
 	}
 	return firstErr
 }
 
 // Stats returns the protocol's activity counters, summed over all shards.
+// Reader-fast-path acquisitions never reach the RSM and are not counted
+// here; see the fastpath_* metrics (or WithoutFastPath to route every
+// acquisition through the RSM).
 func (p *Protocol) Stats() core.Stats {
 	var total core.Stats
 	for _, s := range p.shards {
@@ -457,7 +517,9 @@ type QueueState = core.QueueState
 // a consistent point-in-time view for debugging and instrumentation: all
 // shard locks are held (in ascending order, like the slow path) while the
 // queues are read. Request IDs match those inside Tokens, which are not
-// exposed; correlate via a tracer if needed.
+// exposed; correlate via a tracer if needed. Reader-fast-path holders do
+// not appear (they hold no RSM state); use WithoutFastPath when snapshots
+// must show every reader.
 func (p *Protocol) Snapshot() []QueueState {
 	for _, s := range p.shards {
 		s.mu.Lock()

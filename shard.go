@@ -79,6 +79,7 @@ type issueOp struct {
 type shard struct {
 	p   *Protocol
 	idx int
+	n   int // shard count (for globally unique fast-path event IDs)
 
 	mu      sync.Mutex
 	rsm     *core.RSM
@@ -89,6 +90,25 @@ type shard struct {
 
 	ops atomic.Pointer[issueOp] // combining stack; nil = empty
 
+	// Reader fast path (BRAVO-style; see fastpath.go). fastSlots is nil
+	// under WithoutFastPath, which disables every fast-path hook.
+	// fastWriters is the writer gate: the number of write-capable requests
+	// anywhere between writerEnter and writerExit; readers are admitted to
+	// the slots only while it is zero. fastRevoked latches after a drain
+	// exceeds its miss-streak budget and clears once fastGrace fast-eligible
+	// reads observe the component writer-free again. fastSurr maps a fast
+	// claim sequence to its migrated surrogate RSM request (guarded by mu);
+	// a fast read that is never migrated reaches neither the RSM nor the
+	// event stream (see fastpath.go).
+	fastSlots      []fastSlot
+	fastMask       int
+	fastWriters    atomic.Int64
+	fastRevoked    atomic.Bool
+	fastGrace      atomic.Int64
+	fastMissStreak atomic.Int64
+	fastSeq        atomic.Uint64
+	fastSurr       map[uint64]core.ReqID
+
 	// Observability (nil unless metrics): the ProtocolObserver instance is
 	// per shard (its pending map sees only this shard's strided IDs) but
 	// records into the Protocol's shared registry, so the protocol_* series
@@ -96,15 +116,20 @@ type shard struct {
 	metricsObs                              core.Observer
 	acquires, releases, contended, combined *obs.Counter
 	combineWait                             *obs.Histogram
+	fastHitC, fastMissC                     *obs.Counter
+	fastRevokedC, fastMigratedC             *obs.Counter
 }
 
 func newShard(p *Protocol, idx, n int) *shard {
-	s := &shard{p: p, idx: idx, waiters: make(map[core.ReqID]*waiter)}
+	s := &shard{p: p, idx: idx, n: n, waiters: make(map[core.ReqID]*waiter)}
 	s.rsm = core.NewRSM(p.spec, core.Options{
 		Placeholders: p.cfg.placeholders,
 		FirstID:      core.ReqID(idx),
 		IDStep:       core.ReqID(n),
 	})
+	if p.cfg.fastPath {
+		s.initFastPath()
+	}
 	if p.metrics != nil {
 		s.metricsObs = obs.NewProtocolObserver(p.metrics)
 		s.acquires = p.metrics.Counter(obs.ShardMetric(obs.MShardAcquires, idx))
@@ -112,6 +137,12 @@ func newShard(p *Protocol, idx, n int) *shard {
 		s.contended = p.metrics.Counter(obs.ShardMetric(obs.MShardContended, idx))
 		s.combined = p.metrics.Counter(obs.ShardMetric(obs.MShardCombined, idx))
 		s.combineWait = p.metrics.Histogram(obs.ShardMetric(obs.MShardCombineWaitNS, idx))
+		if p.cfg.fastPath {
+			s.fastHitC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathHit, idx))
+			s.fastMissC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathMiss, idx))
+			s.fastRevokedC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathRevoked, idx))
+			s.fastMigratedC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathMigrated, idx))
+		}
 	}
 	s.rsm.SetObserver(core.ObserverFunc(s.observe))
 	return s

@@ -38,6 +38,18 @@ type Upgradeable struct {
 	s       *shard
 	h       core.UpgradeHandle
 	reading bool
+	gate    bool // the pair holds its shard's writer gate (see fastpath.go)
+}
+
+// exitGate reopens the shard's writer gate once the pair can no longer
+// write-lock anything (completed, read-released, or withdrawn). Idempotent:
+// the several terminal paths of the pair's lifecycle may race only with
+// themselves (an Upgradeable is single-owner), so a plain flag suffices.
+func (u *Upgradeable) exitGate() {
+	if u.gate {
+		u.gate = false
+		u.s.writerExit()
+	}
 }
 
 // AcquireUpgradeable blocks until the upgradeable request holds either its
@@ -56,13 +68,23 @@ func (p *Protocol) AcquireUpgradeable(ctx context.Context, resources ...Resource
 		return nil, fmt.Errorf("%w: upgradeable footprint covers %d components", ErrCrossComponent, len(parts))
 	}
 	s := parts[0].s
+	// The pair's write half is write-capable from issuance on (it may win
+	// the race immediately), so the writer gate closes for the pair's whole
+	// lifetime.
+	gate := s.fastSlots != nil
+	if gate {
+		s.writerEnter()
+	}
 	s.mu.Lock()
 	h, err := s.rsm.IssueUpgradeable(s.tick(), resources, nil)
 	if err != nil {
 		s.unlock()
+		if gate {
+			s.writerExit()
+		}
 		return nil, err
 	}
-	u := &Upgradeable{s: s, h: h}
+	u := &Upgradeable{s: s, h: h, gate: gate}
 	for {
 		switch s.rsm.UpgradePhase(h) {
 		case core.UpgradeReading:
@@ -87,6 +109,7 @@ func (p *Protocol) AcquireUpgradeable(ctx context.Context, resources ...Resource
 				delete(s.waiters, h.ReadID)
 				return s.rsm.CancelUpgradeable(s.tick(), h)
 			}); err != nil {
+			u.exitGate()
 			return nil, err
 		}
 		s.mu.Lock()
@@ -123,7 +146,7 @@ func (u *Upgradeable) Upgrade(ctx context.Context) error {
 	s.waiters[u.h.WriteID] = w
 	s.selfCheck()
 	s.unlock()
-	return s.awaitCtx(ctx, w,
+	err := s.awaitCtx(ctx, w,
 		func() bool {
 			if s.rsm.UpgradePhase(u.h) == core.UpgradeWriting {
 				delete(s.waiters, u.h.WriteID)
@@ -135,6 +158,12 @@ func (u *Upgradeable) Upgrade(ctx context.Context) error {
 			delete(s.waiters, u.h.WriteID)
 			return s.rsm.CancelUpgradeable(s.tick(), u.h)
 		})
+	if err != nil {
+		// The pair is over: the read locks were released by FinishRead and
+		// the write half has been withdrawn.
+		u.exitGate()
+	}
+	return err
 }
 
 // ReleaseRead ends the read segment without upgrading: the write half is
@@ -150,6 +179,10 @@ func (u *Upgradeable) ReleaseRead() error {
 	err := s.rsm.FinishRead(s.tick(), u.h, false)
 	s.selfCheck()
 	s.unlock()
+	if err == nil {
+		// Write half canceled, read locks released: the pair is complete.
+		u.exitGate()
+	}
 	return err
 }
 
@@ -157,5 +190,9 @@ func (u *Upgradeable) ReleaseRead() error {
 // the race at acquisition). A second Release — or a Release after a
 // context-canceled Upgrade — returns ErrAlreadyReleased.
 func (u *Upgradeable) Release() error {
-	return u.s.release(u.h.WriteID)
+	err := u.s.release(u.h.WriteID)
+	if err == nil {
+		u.exitGate()
+	}
+	return err
 }
