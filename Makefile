@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci clean
+.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci obs-race flight-overhead soak clean
 
 all: build vet test
 
@@ -19,8 +19,34 @@ ci:
 	$(GO) run ./cmd/apicheck -check API.txt
 	$(GO) test ./...
 	$(GO) test -race -short ./...
+	$(MAKE) obs-race
 	$(GO) test -fuzz=FuzzRSMInvocations -fuzztime=15s ./internal/core
 	$(GO) run ./cmd/mccheck -stats -depth 14 ci
+
+# Observability plane under the race detector, explicitly and un-shortened:
+# attribution, flight recorder, watchdog, Prometheus exposition, and the
+# root-package regression tests that drive the sharded lock with the fast
+# path on while scraping the debug endpoints.
+obs-race:
+	$(GO) test -race -count=1 ./internal/obs
+	$(GO) test -race -count=1 -run 'TestShardedFastPathObservabilityConsistency|TestDebugEndpointsConcurrentWithWorkload|TestFastPathHitInvisibleToObservabilityPlane' .
+
+# Flight-recorder overhead gate: measure the BenchmarkAcquire ablation pair
+# in one run and fail if flight=on costs more than FLIGHT_THRESHOLD percent
+# over flight=off. (The flight=off variant IS the PR 4 baseline shape; the
+# disabled hook is a nil check, so off-vs-baseline drift shows up in the
+# regular bench-check gate instead.)
+FLIGHT_THRESHOLD ?= 100
+flight-overhead:
+	$(GO) test -bench 'BenchmarkAcquire/flight' -benchtime=0.3s -count=3 -run='^$$' . | $(GO) run ./cmd/benchjson -o flight_pair.json
+	$(GO) run ./cmd/benchjson pair -threshold $(FLIGHT_THRESHOLD) flight_pair.json 'BenchmarkAcquire/flight=off' 'BenchmarkAcquire/flight=on'
+	@rm -f flight_pair.json
+
+# Watchdog-armed stress soak (nightly): drive the sharded lock with the
+# stall watchdog enabled for RNLP_SOAK (default 5m) and fail on any firing.
+RNLP_SOAK ?= 5m
+soak:
+	RNLP_SOAK=$(RNLP_SOAK) $(GO) test -race -count=1 -timeout 30m -run TestWatchdogStressSoak -v .
 
 # Run staticcheck when available; no-op (with a notice) when it is not on
 # PATH so hermetic builds stay green.

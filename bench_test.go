@@ -704,3 +704,42 @@ func BenchmarkFastPathReadMostly(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Flight-recorder overhead (PR 5 acceptance)
+
+// BenchmarkAcquire prices the flight recorder on the slow (RSM) acquisition
+// path: write round trips with the recorder off (one nil pointer test per
+// protocol event) vs on (one lock-free ring record per event). The off
+// variant is the PR 4 baseline; the acceptance bar is that flight=off stays
+// within 2% of it, checked by `benchjson pair` in CI. Writes are used so
+// every acquisition actually traverses the RSM — the reader fast path would
+// hide the instrumentation entirely.
+func BenchmarkAcquire(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		b.Run("flight="+mode, func(b *testing.B) {
+			spec := rwrnlp.NewSpecBuilder(4)
+			if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
+				b.Fatal(err)
+			}
+			var opts []rwrnlp.Option
+			if mode == "on" {
+				opts = append(opts, rwrnlp.WithFlightRecorder(1024))
+			}
+			p := rwrnlp.New(spec.Build(), opts...)
+			var shared [2]int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tok, err := p.Write(bg, rwrnlp.ResourceID(i%2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				shared[i%2]++
+				if err := p.Release(tok); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,15 @@
 // exits 1 if any benchmark present in both files slowed down by more than
 // threshold percent (ns/op). Used by `make bench-check` and the CI perf
 // gate.
+//
+// A third mode compares two benchmarks within ONE snapshot — a same-run
+// ablation pair, immune to cross-run machine drift:
+//
+//	benchjson pair [-threshold 2] snapshot.json baseName variantName
+//
+// exits 1 if variant exceeds base by more than threshold percent (ns/op).
+// Used by the CI flight-recorder overhead gate
+// (BenchmarkAcquire/flight=off vs the PR 4 baseline shape).
 package main
 
 import (
@@ -35,8 +44,13 @@ type Result struct {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		os.Exit(compareMain(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "compare":
+			os.Exit(compareMain(os.Args[2:]))
+		case "pair":
+			os.Exit(pairMain(os.Args[2:]))
+		}
 	}
 	convertMain()
 }
@@ -235,4 +249,72 @@ func loadSnapshot(path string) (map[string]Result, error) {
 		m[r.Name] = r
 	}
 	return m, nil
+}
+
+// pairMain implements `benchjson pair [-threshold pct] snapshot.json base
+// variant`: both names are looked up in the same snapshot (exact match
+// first, then unique suffix match so pkg-qualified names need not be
+// spelled out) and the gate fails when variant is more than threshold
+// percent slower than base. Exit 0 ok, 1 past threshold, 2 on usage or
+// lookup errors.
+func pairMain(argv []string) int {
+	fs := flag.NewFlagSet("benchjson pair", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 2, "max allowed ns/op excess of variant over base, percent")
+	fs.Parse(argv)
+	if fs.NArg() != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson pair [-threshold pct] snapshot.json baseName variantName")
+		return 2
+	}
+	snap, err := loadSnapshot(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson pair:", err)
+		return 2
+	}
+	base, err := lookupResult(snap, fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson pair:", err)
+		return 2
+	}
+	variant, err := lookupResult(snap, fs.Arg(2))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson pair:", err)
+		return 2
+	}
+	if base.NsPerOp <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson pair: %s has no ns/op measurement\n", base.Name)
+		return 2
+	}
+	delta := (variant.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+	status := "ok"
+	if delta > *threshold {
+		status = "EXCEEDED"
+	}
+	fmt.Printf("%-9s %s %.1f ns/op vs %s %.1f ns/op  (%+.1f%%, threshold %+.1f%%)\n",
+		status, base.Name, base.NsPerOp, variant.Name, variant.NsPerOp, delta, *threshold)
+	if status != "ok" {
+		return 1
+	}
+	return 0
+}
+
+// lookupResult resolves a benchmark by exact name, falling back to a unique
+// suffix match over the pkg-qualified snapshot names.
+func lookupResult(snap map[string]Result, name string) (Result, error) {
+	if r, ok := snap[name]; ok {
+		return r, nil
+	}
+	var found []Result
+	for n, r := range snap {
+		if strings.HasSuffix(n, name) {
+			found = append(found, r)
+		}
+	}
+	switch len(found) {
+	case 1:
+		return found[0], nil
+	case 0:
+		return Result{}, fmt.Errorf("benchmark %q not in snapshot", name)
+	default:
+		return Result{}, fmt.Errorf("benchmark %q is ambiguous (%d suffix matches)", name, len(found))
+	}
 }

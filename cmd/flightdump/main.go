@@ -1,0 +1,157 @@
+// Command flightdump renders a flight-recorder dump into a human-readable
+// report. Dumps are produced by the /debug/rnlp/flight endpoint, by
+// rnlpsim -flight-out, or carried inside a stall-watchdog report; this tool
+// is the offline half of the loop — point it at the JSON and it answers
+// "who was blocking whom, and where did the wait go".
+//
+//	flightdump dump.json                  # summary + top blocking chains
+//	flightdump -top 20 dump.json          # deeper chain report
+//	flightdump -events dump.json          # also print the raw event timeline
+//	flightdump -perfetto out.json dump.json   # re-render as a Perfetto trace
+//	curl -s host:6060/debug/rnlp/flight | flightdump   # reads stdin
+//
+// The attribution report decomposes each delayed request's wait into the
+// paper-aligned components (entitled writer wait, reader behind entitled
+// writer, writer behind a read phase) and expands the blocker edges into
+// nested chains, exactly as the in-process Attributor would have.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/rtsync/rwrnlp/internal/obs"
+)
+
+func main() {
+	top := flag.Int("top", 10, "number of worst blocking chains to report")
+	perfetto := flag.String("perfetto", "", "also write the dump as a Perfetto/Chrome trace to this file")
+	events := flag.Bool("events", false, "print the raw event timeline after the report")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: flightdump [-top K] [-perfetto out.json] [-events] [dump.json]\n\nreads stdin when no file is given\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	src := "stdin"
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+		src = flag.Arg(0)
+	}
+
+	d, err := obs.ParseFlightDump(in)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", src, err))
+	}
+
+	summarize(os.Stdout, d)
+	fmt.Println()
+	fmt.Print(d.Attribution(*top).String())
+
+	if *events {
+		fmt.Println()
+		timeline(os.Stdout, d)
+	}
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fail(err)
+		}
+		if err := d.WritePerfetto(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote Perfetto trace to %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "flightdump:", err)
+	os.Exit(1)
+}
+
+// summarize prints the dump's shape: per-shard record counts, the time
+// window covered, and event-type totals.
+func summarize(w io.Writer, d obs.FlightDump) {
+	byShard := map[int]int{}
+	byType := map[string]int{}
+	var tMin, tMax int64
+	for i, r := range d.Records {
+		byShard[r.Shard]++
+		byType[r.Type]++
+		if i == 0 || r.T < tMin {
+			tMin = r.T
+		}
+		if i == 0 || r.T > tMax {
+			tMax = r.T
+		}
+	}
+	fmt.Fprintf(w, "flight dump v%d: %d records, %d shard(s)", d.Version, len(d.Records), d.Shards)
+	if len(d.Records) > 0 {
+		fmt.Fprintf(w, ", t=[%d, %d]", tMin, tMax)
+	}
+	fmt.Fprintln(w)
+
+	shards := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for _, s := range shards {
+		fmt.Fprintf(w, "  shard %d: %d records\n", s, byShard[s])
+	}
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Fprintf(w, "  %-12s %d\n", t, byType[t])
+	}
+}
+
+// timeline prints every record in sequence order, one line per event.
+func timeline(w io.Writer, d obs.FlightDump) {
+	fmt.Fprintln(w, "event timeline (seq order):")
+	for _, r := range d.Records {
+		var b strings.Builder
+		fmt.Fprintf(&b, "  [%6d] shard %d t=%-8d %-12s req %d %s", r.Seq, r.Shard, r.T, r.Type, r.Req, r.Kind)
+		if len(r.Resources) > 0 {
+			fmt.Fprintf(&b, " res=%v", r.Resources)
+		}
+		if len(r.Read) > 0 || len(r.Write) > 0 {
+			fmt.Fprintf(&b, " read=%v write=%v", r.Read, r.Write)
+		}
+		if r.Pair != 0 {
+			fmt.Fprintf(&b, " pair=%d", r.Pair)
+		}
+		if r.Incremental {
+			b.WriteString(" incremental")
+		}
+		if r.Tag != "" {
+			fmt.Fprintf(&b, " tag=%s", r.Tag)
+		}
+		if len(r.Blockers) > 0 {
+			fmt.Fprintf(&b, " blockers=%v", r.Blockers)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}

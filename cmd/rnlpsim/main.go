@@ -54,6 +54,11 @@ func main() {
 		metricsF = flag.Bool("metrics", false, "collect protocol metrics and print the snapshot")
 		traceOut = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON file (load in ui.perfetto.dev)")
 		httpAddr = flag.String("http", "", "serve the metrics/bounds debug endpoint on this address after the run")
+		attrTopK = flag.Int("attr", 0, "causal blocking attribution: keep the N worst blocking chains and print the report (0 = off)")
+		flightN  = flag.Int("flight", 0, "flight recorder: ring capacity in events (0 = off)")
+		flightO  = flag.String("flight-out", "", "write the flight-recorder dump (JSON) to this file after the run")
+		wdogF    = flag.Bool("watchdog", false, "arm the stall watchdog (analytic envelope for rw-rnlp, observed otherwise)")
+		wdSlack  = flag.Float64("watchdog-slack", obs.DefaultWatchdogSlack, "stall-watchdog envelope multiplier")
 	)
 	flag.Parse()
 
@@ -146,6 +151,33 @@ func main() {
 		tb = obs.NewTraceBuilder()
 		observers = append(observers, tb)
 	}
+	var attr *obs.Attributor
+	if *attrTopK > 0 {
+		if reg == nil {
+			reg = obs.NewMetrics()
+		}
+		attr = obs.NewAttributor(reg, *attrTopK)
+		observers = append(observers, attr)
+	}
+	var fl *obs.FlightRecorder
+	if *flightN > 0 || *flightO != "" {
+		fl = obs.NewFlightRecorder(1, *flightN) // the simulator runs one RSM
+		observers = append(observers, fl.ShardObserver(0))
+	}
+	var wd *obs.Watchdog
+	if *wdogF {
+		wd = obs.NewWatchdog(obs.WatchdogConfig{
+			M: sys.M, Slack: *wdSlack, Flight: fl,
+			OnStall: func(r obs.StallReport) {
+				fmt.Fprintf(os.Stderr, "watchdog: %s\n", r)
+			},
+		})
+		if proto == sim.ProtoRWRNLP && prog != sim.Inheritance {
+			ib := b.Inflate(simtime.Time(*ovInv), simtime.Time(*ovCtx))
+			wd.SetAnalytic(int64(ib.Lr), int64(ib.Lw))
+		}
+		observers = append(observers, wd)
+	}
 
 	s, err := sim.New(sim.Config{
 		System: sys, Policy: policy, Progress: prog, Protocol: proto,
@@ -231,12 +263,39 @@ func main() {
 		fmt.Println("\nmetrics snapshot (simulated ns):")
 		fmt.Print(reg.Snapshot().String())
 	}
+	if attr != nil {
+		fmt.Println()
+		fmt.Print(attr.Report().String())
+	}
 	boundsOK := true
 	if bm != nil {
 		rep := bm.Report()
 		fmt.Println()
 		fmt.Print(rep.String())
 		boundsOK = rep.Ok()
+	}
+	if wd != nil {
+		fmt.Printf("\nstall watchdog: %d firing(s)\n", wd.Firings())
+		for _, r := range wd.Reports() {
+			fmt.Printf("  %s\n", r)
+		}
+		if wd.Firings() > 0 {
+			boundsOK = false
+		}
+	}
+	if fl != nil && *flightO != "" {
+		f, err := os.Create(*flightO)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		d := fl.Dump()
+		if err := d.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nwrote flight dump (%d records) to %s (render with cmd/flightdump)\n", len(d.Records), *flightO)
 	}
 	if tb != nil {
 		tb.AddSchedule(res.Schedule)
@@ -256,8 +315,8 @@ func main() {
 		}
 	}
 	if *httpAddr != "" {
-		fmt.Printf("\nserving debug endpoint on http://%s (/metrics, /bounds, /healthz); Ctrl-C to stop\n", *httpAddr)
-		if err := http.ListenAndServe(*httpAddr, obs.DebugMux(reg, bm)); err != nil {
+		fmt.Printf("\nserving debug endpoint on http://%s (/metrics, /bounds, /debug/rnlp/flight, /debug/rnlp/watchdog, /debug/pprof, /healthz); Ctrl-C to stop\n", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, obs.DebugMux(reg, bm, fl, wd)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// collectBlockers runs a scenario and indexes the emitted blocker sets by
+// (request, event type).
+type blockerLog map[ReqID]map[EventType][]ReqID
+
+func attachBlockerLog(m *RSM) blockerLog {
+	log := blockerLog{}
+	m.SetObserver(ObserverFunc(func(e Event) {
+		if e.Type != EvIssued && e.Type != EvEntitled {
+			return
+		}
+		if log[e.Req] == nil {
+			log[e.Req] = map[EventType][]ReqID{}
+		}
+		log[e.Req][e.Type] = append([]ReqID(nil), e.Blockers...)
+	}))
+	return log
+}
+
+// TestBlockerSetsFig2 drives the paper's Fig. 2 situation — a reader issued
+// behind an entitled writer that is itself waiting out a read phase — and
+// checks the causal wait edges emitted on EvIssued/EvEntitled name exactly
+// the requests each one is waiting behind.
+func TestBlockerSetsFig2(t *testing.T) {
+	m := NewRSM(NewSpecBuilder(2).Build(), Options{})
+	log := attachBlockerLog(m)
+
+	// t=1: read A holds {0} (the read phase).
+	a, err := m.Issue(1, []ResourceID{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=2: write B wants {0}: blocked by A, becomes entitled behind it (W2).
+	b, err := m.Issue(2, nil, []ResourceID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=3: read C wants {0}: not satisfied (concedes to the entitled B, Def. 3).
+	c, err := m.Issue(3, []ResourceID{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st, _ := m.State(b); st != StateEntitled {
+		t.Fatalf("B state = %v, want entitled", st)
+	}
+	if st, _ := m.State(c); st != StateWaiting {
+		t.Fatalf("C state = %v, want waiting", st)
+	}
+
+	// B was issued behind (and is entitled behind) the satisfied reader A.
+	if got := log[b][EvIssued]; !reflect.DeepEqual(got, []ReqID{a}) {
+		t.Errorf("B issued blockers = %v, want [%d]", got, a)
+	}
+	if got := log[b][EvEntitled]; !reflect.DeepEqual(got, []ReqID{a}) {
+		t.Errorf("B entitled blockers = %v, want [%d]", got, a)
+	}
+	// C was issued behind the entitled writer B only: A is a fellow reader
+	// and never conflicts with C.
+	if got := log[c][EvIssued]; !reflect.DeepEqual(got, []ReqID{b}) {
+		t.Errorf("C issued blockers = %v, want [%d]", got, b)
+	}
+
+	// t=4: A completes — B is satisfied, and C becomes entitled behind B.
+	if err := m.Complete(4, a); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.State(b); st != StateSatisfied {
+		t.Fatalf("B state = %v, want satisfied", st)
+	}
+	if got := log[c][EvEntitled]; !reflect.DeepEqual(got, []ReqID{b}) {
+		t.Errorf("C entitled blockers = %v, want [%d]", got, b)
+	}
+
+	// t=5: B completes — C runs; its blocker sets are never rewritten.
+	if err := m.Complete(5, b); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.State(c); st != StateSatisfied {
+		t.Fatalf("C state = %v, want satisfied", st)
+	}
+}
+
+// TestBlockerSetsImmediateEmpty: a request satisfied at issuance reports no
+// blockers on EvIssued.
+func TestBlockerSetsImmediateEmpty(t *testing.T) {
+	m := NewRSM(NewSpecBuilder(1).Build(), Options{})
+	log := attachBlockerLog(m)
+	id, err := m.Issue(1, nil, []ResourceID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := log[id][EvIssued]; len(got) != 0 {
+		t.Errorf("immediately satisfied request has blockers %v, want none", got)
+	}
+}
+
+// TestBlockerSetsTimestampOrder: several holders are reported in timestamp
+// order.
+func TestBlockerSetsTimestampOrder(t *testing.T) {
+	m := NewRSM(NewSpecBuilder(2).Build(), Options{})
+	log := attachBlockerLog(m)
+	r1, _ := m.Issue(1, []ResourceID{0}, nil, nil)
+	r2, _ := m.Issue(2, []ResourceID{1}, nil, nil)
+	w, err := m.Issue(3, nil, []ResourceID{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := log[w][EvIssued], []ReqID{r1, r2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("W issued blockers = %v, want %v", got, want)
+	}
+}

@@ -77,6 +77,21 @@ type Event struct {
 	// therefore not an acquisition delay (use the cumulative ask delays).
 	Incremental bool
 	Tag         any // the request's caller-supplied tag
+	// Blockers names the requests this one is causally waiting behind, per
+	// the RSM's queue state at the instant of the event, in timestamp order:
+	//
+	//   - on EvIssued: the entitled and satisfied requests it conflicts with
+	//     (the blocking condition of Rules R1/W1 — why it was not satisfied
+	//     immediately). Empty when the request was satisfied at issuance.
+	//   - on EvEntitled: the satisfied requests in its blocking set B(R, t)
+	//     (Rules R2/W2 — for an entitled writer, the current read phase it
+	//     must outwait; for an entitled reader, the conflicting write holder).
+	//
+	// Nil on every other event type. Consumers (obs.Attributor, the flight
+	// recorder) chain these edges into causal blocking attributions: reader ←
+	// entitled writer ← read-phase holders is the paper's Fig. 2 situation.
+	// The slice is freshly allocated per event and owned by the consumer.
+	Blockers []ReqID
 }
 
 func (e Event) String() string {

@@ -178,7 +178,39 @@ func (m *RSM) emit(t Time, typ EventType, r *request, rs ResourceSet) {
 	if r.groupPeer != nil {
 		e.Pair = r.groupPeer.id
 	}
+	switch typ {
+	case EvIssued:
+		if r.state == StateWaiting {
+			e.Blockers = m.blockerIDs(r, false)
+		}
+	case EvEntitled:
+		e.Blockers = m.blockerIDs(r, true)
+	}
 	m.obs.Observe(e)
+}
+
+// blockerIDs lists the incomplete requests r is waiting behind, in timestamp
+// order: the conflicting satisfied requests and — unless holdersOnly — the
+// conflicting entitled ones too. This is the blocking condition of Rules
+// R1/W1 (holdersOnly=false, at issuance) and the blocking set B(R, t) of
+// Rules R2/W2 (holdersOnly=true, at entitlement). Only computed when an
+// observer is attached, so the unobserved invocation path never pays for it.
+func (m *RSM) blockerIDs(r *request, holdersOnly bool) []ReqID {
+	var ids []ReqID
+	for _, o := range m.incomplete {
+		if o == r {
+			continue
+		}
+		holding := o.state == StateSatisfied ||
+			(o.state == StateEntitled && (!holdersOnly || (o.incremental && !o.granted.Empty())))
+		if !holding {
+			continue
+		}
+		if r.conflictsWith(o) {
+			ids = append(ids, o.id)
+		}
+	}
+	return ids
 }
 
 func (m *RSM) checkTime(t Time) error {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"github.com/rtsync/rwrnlp/internal/core"
 	"github.com/rtsync/rwrnlp/internal/obs"
 )
 
@@ -196,23 +197,35 @@ func ParseReplay(r io.Reader) (*Scenario, []Action, error) {
 // to it, one logical step per time unit, so the violating interleaving can
 // be read on a timeline.
 func Replay(sc *Scenario, path []Action, traceOut io.Writer) (*Violation, error) {
+	if traceOut == nil {
+		return ReplayObserved(sc, path)
+	}
+	tb := obs.NewTraceBuilder()
+	tb.TimeDiv = 1 // logical steps render 1:1 as microseconds
+	v, err := ReplayObserved(sc, path, tb)
+	if err != nil {
+		return v, err
+	}
+	if _, werr := tb.WriteTo(traceOut); werr != nil {
+		return v, fmt.Errorf("mc: writing trace: %w", werr)
+	}
+	return v, nil
+}
+
+// ReplayObserved is Replay with arbitrary protocol observers attached to the
+// fresh RSM — e.g. an obs.FlightRecorder shard observer, so a model-checker
+// violation is captured as a flight dump and can be inspected offline with
+// the same tooling (cmd/flightdump, FlightDump.Attribution) as a production
+// stall. Event times are logical model-checker steps, not ticks.
+func ReplayObserved(sc *Scenario, path []Action, observers ...core.Observer) (*Violation, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	var tb *obs.TraceBuilder
-	var v *Violation
-	var r *runner
-	var err error
-	if traceOut != nil {
-		tb = obs.NewTraceBuilder()
-		tb.TimeDiv = 1 // logical steps render 1:1 as microseconds
-		r, err = newRunner(sc, tb)
-	} else {
-		r, err = newRunner(sc)
-	}
+	r, err := newRunner(sc, observers...)
 	if err != nil {
 		return nil, err
 	}
+	var v *Violation
 	for i, a := range path {
 		if err := r.apply(a); err != nil {
 			return nil, fmt.Errorf("mc: replay step %d (%s): %w", i+1, a, err)
@@ -233,11 +246,6 @@ func Replay(sc *Scenario, path []Action, traceOut io.Writer) (*Violation, error)
 				v = bv
 				v.attach(sc, path)
 			}
-		}
-	}
-	if tb != nil {
-		if _, werr := tb.WriteTo(traceOut); werr != nil {
-			return v, fmt.Errorf("mc: writing trace: %w", werr)
 		}
 	}
 	return v, nil

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// TestAttributorFig2 drives the acceptance scenario: a reader issued behind
+// an entitled writer that is itself blocked by a read phase (the paper's
+// Fig. 2). The attribution report must name the exact blocking request IDs,
+// and every chain's delay decomposition must sum to the measured wait.
+func TestAttributorFig2(t *testing.T) {
+	m := NewMetrics()
+	a := NewAttributor(m, 10)
+	rsm := core.NewRSM(core.NewSpecBuilder(2).Build(), core.Options{})
+	rsm.SetObserver(a)
+
+	// t=1: read A holds {0} — the read phase.
+	ra, err := rsm.Issue(1, []core.ResourceID{0}, nil, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=2: write B wants {0} — entitled behind A's read phase (Rule W2).
+	wb, err := rsm.Issue(2, nil, []core.ResourceID{0}, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=3: read C wants {0} — concedes to the entitled writer B (Def. 3).
+	rc, err := rsm.Issue(3, []core.ResourceID{0}, nil, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// t=6: A completes; B is satisfied after 4 ticks blocked by the read
+	// phase. t=9: B completes; C is satisfied after 6 ticks.
+	if err := rsm.Complete(6, ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := rsm.Complete(9, wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := rsm.Complete(10, rc); err != nil {
+		t.Fatal(err)
+	}
+
+	// A was satisfied at issuance.
+	if got := m.Counter(AttrImmediate).Value(); got != 1 {
+		t.Errorf("immediate count = %d, want 1 (request A)", got)
+	}
+
+	// Writer B: entitled at issue (t=2), satisfied t=6. The entire 4-tick
+	// delay is read-phase blocking (Lemmas 6–7), attributed to A exactly.
+	cb, ok := a.Chain(wb)
+	if !ok {
+		t.Fatalf("no chain recorded for B (req %d)", wb)
+	}
+	wantB := []DelayPart{{AttrWriterReadPhase, 4}}
+	if !reflect.DeepEqual(cb.Parts, wantB) {
+		t.Errorf("B parts = %v, want %v", cb.Parts, wantB)
+	}
+	if !reflect.DeepEqual(cb.IssueBlockers, []core.ReqID{ra}) {
+		t.Errorf("B issue blockers = %v, want [%d]", cb.IssueBlockers, ra)
+	}
+	if !reflect.DeepEqual(cb.EntitleBlockers, []core.ReqID{ra}) {
+		t.Errorf("B entitle blockers = %v, want [%d]", cb.EntitleBlockers, ra)
+	}
+
+	// Reader C: issued t=3, entitled t=6 (when B was satisfied), satisfied
+	// t=9. 3 ticks conceded to the entitled writer (Def. 3/Lemma 3) plus 3
+	// ticks of entitled wait (Lemma 2) — summing to the measured 6.
+	cc, ok := a.Chain(rc)
+	if !ok {
+		t.Fatalf("no chain recorded for C (req %d)", rc)
+	}
+	wantC := []DelayPart{{AttrReaderBehindWriter, 3}, {AttrReaderEntitledWait, 3}}
+	if !reflect.DeepEqual(cc.Parts, wantC) {
+		t.Errorf("C parts = %v, want %v", cc.Parts, wantC)
+	}
+	if cc.Delay != 6 {
+		t.Errorf("C delay = %d, want 6", cc.Delay)
+	}
+	var sum int64
+	for _, p := range cc.Parts {
+		sum += p.Span
+	}
+	if sum != cc.Delay {
+		t.Errorf("C decomposition sums to %d, want measured wait %d", sum, cc.Delay)
+	}
+	if !reflect.DeepEqual(cc.IssueBlockers, []core.ReqID{wb}) {
+		t.Errorf("C issue blockers = %v, want [%d]", cc.IssueBlockers, wb)
+	}
+	if !reflect.DeepEqual(cc.EntitleBlockers, []core.ReqID{wb}) {
+		t.Errorf("C entitle blockers = %v, want [%d]", cc.EntitleBlockers, wb)
+	}
+
+	// The report ranks C's 6-tick wait worst and renders the full causal
+	// chain C ← B ← A with the exact request IDs.
+	rep := a.Report()
+	if rep.Checked != 3 {
+		t.Errorf("checked = %d, want 3 (A immediate, B, C)", rep.Checked)
+	}
+	if len(rep.Top) == 0 || rep.Top[0].Req != rc {
+		t.Fatalf("top chain = %+v, want req %d first", rep.Top, rc)
+	}
+	s := rep.String()
+	for _, want := range []string{
+		"tag=C", "delay=6",
+		"reader_behind_entitled_writer:3", "reader_entitled_wait:3",
+		"writer_blocked_by_read_phase:4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	// The chain expansion must name B as C's blocker and A as B's.
+	ci := strings.Index(s, "tag=C")
+	bi := strings.Index(s[ci:], "tag=B")
+	if bi < 0 {
+		t.Errorf("report does not expand C's chain through B:\n%s", s)
+	}
+
+	// Component histograms landed in the shared registry.
+	if st := m.Histogram(AttrWriterReadPhase).Stats(); st.Count != 1 || st.Sum != 4 {
+		t.Errorf("writer read-phase hist = %+v, want count=1 sum=4", st)
+	}
+	if st := m.Histogram(AttrReaderBehindWriter).Stats(); st.Count != 1 || st.Sum != 3 {
+		t.Errorf("reader behind-writer hist = %+v, want count=1 sum=3", st)
+	}
+}
+
+// TestAttributorTopK keeps only the K worst chains, in descending delay
+// order.
+func TestAttributorTopK(t *testing.T) {
+	m := NewMetrics()
+	a := NewAttributor(m, 3)
+	rsm := core.NewRSM(core.NewSpecBuilder(1).Build(), core.Options{})
+	rsm.SetObserver(a)
+
+	// Six writers contend for resource 0 in sequence: later ones wait longer.
+	var ids []core.ReqID
+	for i := 0; i < 6; i++ {
+		id, err := rsm.Issue(core.Time(i+1), nil, []core.ResourceID{0}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		if err := rsm.Complete(core.Time(10*(i+1)), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep := a.Report()
+	if len(rep.Top) != 3 {
+		t.Fatalf("top size = %d, want 3", len(rep.Top))
+	}
+	for i := 1; i < len(rep.Top); i++ {
+		if rep.Top[i].Delay > rep.Top[i-1].Delay {
+			t.Errorf("top not in descending delay order: %+v", rep.Top)
+		}
+	}
+	// The worst chain is the last writer.
+	if rep.Top[0].Req != ids[5] {
+		t.Errorf("worst chain req = %d, want %d", rep.Top[0].Req, ids[5])
+	}
+}
+
+// TestAttributorUpgradeRestart: the write half of an upgradeable pair
+// restarts its wait clock when the read segment finishes, so its chain's
+// delay covers only the post-upgrade wait.
+func TestAttributorUpgradeRestart(t *testing.T) {
+	m := NewMetrics()
+	a := NewAttributor(m, 4)
+	rsm := core.NewRSM(core.NewSpecBuilder(1).Build(), core.Options{})
+	rsm.SetObserver(a)
+
+	// A plain reader holds the read phase first, so the write half cannot be
+	// satisfied as soon as the read segment finishes.
+	other, err := rsm.Issue(1, []core.ResourceID{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rsm.IssueUpgradeable(2, []core.ResourceID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=5: the read segment ends; the write half starts waiting for real.
+	if err := rsm.FinishRead(5, h, true); err != nil {
+		t.Fatal(err)
+	}
+	// t=8: the other reader leaves; the write half is satisfied.
+	if err := rsm.Complete(8, other); err != nil {
+		t.Fatal(err)
+	}
+	if err := rsm.Complete(9, h.WriteID); err != nil {
+		t.Fatal(err)
+	}
+
+	c, ok := a.Chain(h.WriteID)
+	if !ok {
+		t.Fatalf("no chain for write half %d", h.WriteID)
+	}
+	if c.Delay != 3 {
+		t.Errorf("write half delay = %d, want 3 (wait restarts at upgrade)", c.Delay)
+	}
+	var sum int64
+	for _, p := range c.Parts {
+		sum += p.Span
+	}
+	if sum != c.Delay {
+		t.Errorf("parts sum %d != delay %d", sum, c.Delay)
+	}
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// The flight recorder is the black box of the runtime lock: a bounded,
+// lock-free ring of the most recent protocol events per shard, kept flat and
+// JSON-serializable so a dump taken at an anomaly (stall-watchdog firing,
+// bound violation, operator request via /debug/rnlp/flight) can be stored,
+// round-tripped, and rendered offline — as a Perfetto trace or as a
+// top-blocking-chains report via cmd/flightdump.
+//
+// Concurrency contract: each shard ring has a single logical writer (the
+// shard delivers events under its mutex; the simulator is single-threaded),
+// while Dump may run concurrently from any goroutine. Records are therefore
+// published whole through atomic pointers — a reader sees either a complete
+// record or an older complete record, never a torn one. When the recorder is
+// disabled (nil), the hook on the event path is one pointer test.
+
+// FlightRecord is one recorded protocol event, flattened for JSON. Times are
+// in the emitting plane's units (shard ticks for the runtime lock, simulated
+// nanoseconds for the simulator). Tag is stringified so arbitrary caller
+// tags survive serialization.
+type FlightRecord struct {
+	Seq         uint64  `json:"seq"`
+	Shard       int     `json:"shard"`
+	T           int64   `json:"t"`
+	Type        string  `json:"type"`
+	Req         int64   `json:"req"`
+	Kind        string  `json:"kind"`
+	Resources   []int   `json:"resources,omitempty"`
+	Read        []int   `json:"read,omitempty"`
+	Write       []int   `json:"write,omitempty"`
+	Pair        int64   `json:"pair,omitempty"`
+	Incremental bool    `json:"incremental,omitempty"`
+	Tag         string  `json:"tag,omitempty"`
+	Blockers    []int64 `json:"blockers,omitempty"`
+}
+
+// flightEventTypes maps the stable EventType strings back to their values
+// for dump replay.
+var flightEventTypes = map[string]core.EventType{}
+
+func init() {
+	for t := core.EvIssued; t <= core.EvReadSegmentDone; t++ {
+		flightEventTypes[t.String()] = t
+	}
+}
+
+func setToInts(s core.ResourceSet) []int {
+	ids := s.IDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+func intsToSet(ids []int) core.ResourceSet {
+	rs := make([]core.ResourceID, len(ids))
+	for i, id := range ids {
+		rs[i] = core.ResourceID(id)
+	}
+	return core.NewResourceSet(rs...)
+}
+
+// Event reconstructs the core event this record captured. The Tag comes back
+// as its string rendering (or nil if the original had none).
+func (r FlightRecord) Event() core.Event {
+	e := core.Event{
+		T:           core.Time(r.T),
+		Type:        flightEventTypes[r.Type],
+		Req:         core.ReqID(r.Req),
+		Resources:   intsToSet(r.Resources),
+		Read:        intsToSet(r.Read),
+		Write:       intsToSet(r.Write),
+		Pair:        core.ReqID(r.Pair),
+		Incremental: r.Incremental,
+	}
+	if r.Kind == core.KindWrite.String() {
+		e.Kind = core.KindWrite
+	}
+	if r.Tag != "" {
+		e.Tag = r.Tag
+	}
+	if len(r.Blockers) > 0 {
+		e.Blockers = make([]core.ReqID, len(r.Blockers))
+		for i, b := range r.Blockers {
+			e.Blockers[i] = core.ReqID(b)
+		}
+	}
+	return e
+}
+
+// flightRing is one shard's bounded record ring.
+type flightRing struct {
+	slots []atomic.Pointer[FlightRecord]
+	next  atomic.Uint64 // next slot index to write (monotonic, mod len)
+}
+
+// DefaultFlightDepth is the per-shard ring capacity when none is given.
+const DefaultFlightDepth = 1024
+
+// FlightRecorder keeps the last perShard events of each shard. It is safe to
+// dump concurrently with recording; record delivery itself must be
+// serialized per shard (the shard's own lock already does this).
+type FlightRecorder struct {
+	rings []flightRing
+	gseq  atomic.Uint64
+	drops atomic.Uint64 // malformed deliveries (out-of-range shard)
+}
+
+// NewFlightRecorder creates a recorder for nshards shards with perShard ring
+// slots each (<= 0 selects DefaultFlightDepth).
+func NewFlightRecorder(nshards, perShard int) *FlightRecorder {
+	if nshards < 1 {
+		nshards = 1
+	}
+	if perShard <= 0 {
+		perShard = DefaultFlightDepth
+	}
+	f := &FlightRecorder{rings: make([]flightRing, nshards)}
+	for i := range f.rings {
+		f.rings[i].slots = make([]atomic.Pointer[FlightRecord], perShard)
+	}
+	return f
+}
+
+// Shards reports the number of shard rings.
+func (f *FlightRecorder) Shards() int { return len(f.rings) }
+
+// Record stores one event into the given shard's ring. Must be serialized
+// per shard by the caller.
+func (f *FlightRecorder) Record(shard int, e core.Event) {
+	if shard < 0 || shard >= len(f.rings) {
+		f.drops.Add(1)
+		return
+	}
+	rec := &FlightRecord{
+		Seq:         f.gseq.Add(1),
+		Shard:       shard,
+		T:           int64(e.T),
+		Type:        e.Type.String(),
+		Req:         int64(e.Req),
+		Kind:        e.Kind.String(),
+		Resources:   setToInts(e.Resources),
+		Read:        setToInts(e.Read),
+		Write:       setToInts(e.Write),
+		Pair:        int64(e.Pair),
+		Incremental: e.Incremental,
+	}
+	if e.Tag != nil {
+		rec.Tag = fmt.Sprint(e.Tag)
+	}
+	if len(e.Blockers) > 0 {
+		rec.Blockers = make([]int64, len(e.Blockers))
+		for i, b := range e.Blockers {
+			rec.Blockers[i] = int64(b)
+		}
+	}
+	ring := &f.rings[shard]
+	idx := ring.next.Add(1) - 1
+	ring.slots[idx%uint64(len(ring.slots))].Store(rec)
+}
+
+// ShardObserver adapts one shard's ring to core.Observer, for planes that
+// attach observers directly (simulator, model checker).
+func (f *FlightRecorder) ShardObserver(shard int) core.Observer {
+	return core.ObserverFunc(func(e core.Event) { f.Record(shard, e) })
+}
+
+// FlightDump is a stable snapshot of the recorder: all retained records in
+// global capture order.
+type FlightDump struct {
+	Version int            `json:"version"`
+	Shards  int            `json:"shards"`
+	Records []FlightRecord `json:"records"`
+}
+
+// flightDumpVersion identifies the dump schema.
+const flightDumpVersion = 1
+
+// Dump snapshots every retained record, ordered by capture sequence. Safe to
+// call concurrently with Record.
+func (f *FlightRecorder) Dump() FlightDump {
+	d := FlightDump{Version: flightDumpVersion, Shards: len(f.rings)}
+	for i := range f.rings {
+		for j := range f.rings[i].slots {
+			if rec := f.rings[i].slots[j].Load(); rec != nil {
+				d.Records = append(d.Records, *rec)
+			}
+		}
+	}
+	sort.Slice(d.Records, func(a, b int) bool { return d.Records[a].Seq < d.Records[b].Seq })
+	return d
+}
+
+// WriteJSON serializes the dump (one indented JSON document).
+func (d FlightDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// ParseFlightDump reads a dump produced by WriteJSON.
+func ParseFlightDump(r io.Reader) (FlightDump, error) {
+	var d FlightDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return FlightDump{}, fmt.Errorf("flight dump: %w", err)
+	}
+	if d.Version != flightDumpVersion {
+		return FlightDump{}, fmt.Errorf("flight dump: unsupported version %d", d.Version)
+	}
+	for i, rec := range d.Records {
+		if _, ok := flightEventTypes[rec.Type]; !ok {
+			return FlightDump{}, fmt.Errorf("flight dump: record %d has unknown event type %q", i, rec.Type)
+		}
+	}
+	return d, nil
+}
+
+// Events reconstructs the recorded core events in capture order.
+func (d FlightDump) Events() []core.Event {
+	evs := make([]core.Event, len(d.Records))
+	for i, rec := range d.Records {
+		evs[i] = rec.Event()
+	}
+	return evs
+}
+
+// WritePerfetto renders the dump as a Perfetto/Chrome trace. Record times
+// are used verbatim as microsecond timestamps (TimeDiv 1): for the runtime
+// plane these are shard ticks, which preserves ordering and relative spans.
+// A ring dump usually starts mid-lifecycle; slices whose begin fell off the
+// ring are dropped, and still-open slices are closed at the last record's
+// time (marked by the builder).
+func (d FlightDump) WritePerfetto(w io.Writer) error {
+	tb := NewTraceBuilder()
+	tb.TimeDiv = 1
+	for _, e := range d.Events() {
+		tb.Observe(e)
+	}
+	_, err := tb.WriteTo(w)
+	return err
+}
+
+// Attribution replays the dump through a fresh Attributor and returns its
+// report — the offline path used by cmd/flightdump. Requests whose issuance
+// fell off the ring are invisible to the attributor and are skipped.
+func (d FlightDump) Attribution(topK int) AttributionReport {
+	a := NewAttributor(NewMetrics(), topK)
+	for _, e := range d.Events() {
+		a.Observe(e)
+	}
+	return a.Report()
+}

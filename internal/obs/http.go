@@ -2,38 +2,98 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler serves the registry's snapshot: JSON by default (expvar-style),
-// plain text with ?format=text. A nil registry serves an empty snapshot.
+// plain text with ?format=text, Prometheus text exposition 0.0.4 with
+// ?format=prom. A nil registry serves an empty snapshot.
 func Handler(m *Metrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var s Snapshot
 		if m != nil {
 			s = m.Snapshot()
 		}
-		if r.URL.Query().Get("format") == "text" {
+		switch r.URL.Query().Get("format") {
+		case "text":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			_, _ = w.Write([]byte(s.String()))
+		case "prom":
+			w.Header().Set("Content-Type", PrometheusContentType)
+			_ = WritePrometheus(w, s)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(s)
+		}
+	})
+}
+
+// FlightHandler serves the flight recorder's current dump: JSON by default,
+// a Perfetto/Chrome trace with ?format=perfetto. A nil recorder serves an
+// empty dump.
+func FlightHandler(fl *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var d FlightDump
+		if fl != nil {
+			d = fl.Dump()
+		} else {
+			d.Version = flightDumpVersion
+		}
+		if r.URL.Query().Get("format") == "perfetto" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="rnlp-flight.trace.json"`)
+			_ = d.WritePerfetto(w)
 			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = d.WriteJSON(w)
+	})
+}
+
+// WatchdogHandler serves the stall watchdogs' firing counts and retained
+// reports as JSON (flight dumps are elided — fetch /debug/rnlp/flight for
+// the live rings).
+func WatchdogHandler(wds ...*Watchdog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var out struct {
+			Firings int64         `json:"firings"`
+			Reports []StallReport `json:"reports"`
+		}
+		for _, wd := range wds {
+			if wd == nil {
+				continue
+			}
+			out.Firings += wd.Firings()
+			for _, rep := range wd.Reports() {
+				rep.Dump = nil
+				rep.GoroutineProfile = nil
+				out.Reports = append(out.Reports, rep)
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(s)
+		_ = enc.Encode(out)
 	})
 }
 
 // DebugMux builds the debug endpoint for long-running users of the runtime
 // lock:
 //
-//	/metrics        JSON metrics snapshot (?format=text for a plain dump)
-//	/bounds         current bound-monitor report, plain text
-//	/healthz        "ok"
+//	/metrics              metrics snapshot (JSON; ?format=text|prom)
+//	/bounds               current bound-monitor report, plain text
+//	/debug/rnlp/flight    flight-recorder dump (JSON; ?format=perfetto)
+//	/debug/rnlp/watchdog  stall-watchdog firings and reports, JSON
+//	/debug/pprof/...      the standard net/http/pprof handlers
+//	/healthz              "ok"
 //
-// Either argument may be nil; the corresponding route serves empty data.
-func DebugMux(m *Metrics, bm *BoundMonitor) *http.ServeMux {
+// Any argument may be nil (or absent); the corresponding route serves empty
+// data.
+func DebugMux(m *Metrics, bm *BoundMonitor, fl *FlightRecorder, wds ...*Watchdog) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(m))
 	mux.HandleFunc("/bounds", func(w http.ResponseWriter, r *http.Request) {
@@ -44,9 +104,16 @@ func DebugMux(m *Metrics, bm *BoundMonitor) *http.ServeMux {
 		}
 		_, _ = w.Write([]byte(bm.Report().String()))
 	})
+	mux.Handle("/debug/rnlp/flight", FlightHandler(fl))
+	mux.Handle("/debug/rnlp/watchdog", WatchdogHandler(wds...))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ok\n"))
+		_, _ = fmt.Fprintln(w, "ok")
 	})
 	return mux
 }

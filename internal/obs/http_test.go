@@ -46,13 +46,21 @@ func TestHandlerNilMetrics(t *testing.T) {
 
 func TestDebugMux(t *testing.T) {
 	m := NewMetrics()
+	m.Counter("reqs").Add(1)
 	bm := NewBoundMonitor(4)
-	mux := DebugMux(m, bm)
+	fl := NewFlightRecorder(1, 16)
+	wd := NewWatchdog(WatchdogConfig{})
+	mux := DebugMux(m, bm, fl, wd)
 
 	for path, want := range map[string]string{
-		"/metrics": "{",
-		"/bounds":  "bound monitor",
-		"/healthz": "ok",
+		"/metrics":                       "{",
+		"/metrics?format=prom":           "# TYPE rwrnlp_reqs counter",
+		"/bounds":                        "bound monitor",
+		"/debug/rnlp/flight":             `"version"`,
+		"/debug/rnlp/watchdog":           `"firings"`,
+		"/debug/pprof/":                  "profiles",
+		"/debug/pprof/goroutine?debug=1": "goroutine",
+		"/healthz":                       "ok",
 	} {
 		rr := httptest.NewRecorder()
 		mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
@@ -65,8 +73,28 @@ func TestDebugMux(t *testing.T) {
 	}
 
 	rr := httptest.NewRecorder()
-	DebugMux(nil, nil).ServeHTTP(rr, httptest.NewRequest("GET", "/bounds", nil))
+	DebugMux(nil, nil, nil).ServeHTTP(rr, httptest.NewRequest("GET", "/bounds", nil))
 	if !strings.Contains(rr.Body.String(), "no bound monitor") {
 		t.Errorf("nil bounds body = %q", rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	DebugMux(nil, nil, nil).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/rnlp/flight", nil))
+	if rr.Code != 200 || !json.Valid(rr.Body.Bytes()) {
+		t.Errorf("nil flight route: status %d body %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestFlightHandlerPerfetto: the flight route renders a Perfetto trace with
+// ?format=perfetto.
+func TestFlightHandlerPerfetto(t *testing.T) {
+	fl := NewFlightRecorder(1, 64)
+	driveFig2(t, fl.ShardObserver(0))
+	rr := httptest.NewRecorder()
+	FlightHandler(fl).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/rnlp/flight?format=perfetto", nil))
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &tr); err != nil || len(tr.TraceEvents) == 0 {
+		t.Errorf("perfetto route invalid (err=%v, events=%d):\n%s", err, len(tr.TraceEvents), rr.Body.String())
 	}
 }

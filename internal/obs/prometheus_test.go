@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// promTestMetrics builds a registry with a fixed, deterministic population:
+// aggregate and shard-labeled counters, a gauge, and histograms with and
+// without a shard label.
+func promTestMetrics() *Metrics {
+	m := NewMetrics()
+	m.Counter(MIssued).Add(7)
+	m.Counter(ShardMetric(MShardAcquires, 0)).Add(3)
+	m.Counter(ShardMetric(MShardAcquires, 1)).Add(4)
+	m.Gauge(MInflight).Set(2)
+	h := m.Histogram(MAcqDelayRead)
+	for _, v := range []int64{1, 3, 17, 900} {
+		h.Observe(v)
+	}
+	sh := m.Histogram(ShardMetric(MShardCombineWaitNS, 1))
+	sh.Observe(64)
+	return m
+}
+
+// Golden test for the 0.0.4 text exposition: byte-exact output for a fixed
+// registry. Regenerate with go test ./internal/obs -run Prometheus -update.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, promTestMetrics().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from %s (run with -update after intentional changes):\n--- got\n%s--- want\n%s", golden, got, want)
+	}
+}
+
+// Structural properties that must hold regardless of the golden bytes:
+// deterministic repeat output, monotone cumulative buckets ending in the
+// exact count, and well-formed shard labels.
+func TestWritePrometheusStructure(t *testing.T) {
+	s := promTestMetrics().Snapshot()
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("exposition is not deterministic across calls")
+	}
+	out := a.String()
+
+	for _, want := range []string{
+		"# TYPE rwrnlp_protocol_issued counter\n",
+		"rwrnlp_protocol_issued 7\n",
+		`rwrnlp_shard_acquires{shard="0"} 3` + "\n",
+		`rwrnlp_shard_acquires{shard="1"} 4` + "\n",
+		"# TYPE rwrnlp_protocol_inflight gauge\n",
+		"# TYPE rwrnlp_acq_delay_read histogram\n",
+		`rwrnlp_acq_delay_read_bucket{le="+Inf"} 4` + "\n",
+		"rwrnlp_acq_delay_read_sum 921\n",
+		"rwrnlp_acq_delay_read_count 4\n",
+		`rwrnlp_shard_combine_wait_ns_bucket{shard="1",le="+Inf"} 1` + "\n",
+		`rwrnlp_shard_combine_wait_ns_count{shard="1"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Cumulative bucket counts must be non-decreasing within each series
+	// and each series must end at its _count.
+	var prev int64
+	var inBuckets bool
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "_bucket"):
+			var v int64
+			if _, err := fmtSscanLast(line, &v); err != nil {
+				t.Fatalf("unparsable bucket line %q: %v", line, err)
+			}
+			if inBuckets && v < prev {
+				t.Errorf("cumulative bucket decreased: %q after %d", line, prev)
+			}
+			prev, inBuckets = v, true
+		default:
+			inBuckets, prev = false, 0
+		}
+	}
+}
+
+// fmtSscanLast parses the final whitespace-separated field of a line.
+func fmtSscanLast(line string, v *int64) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return 0, os.ErrInvalid
+	}
+	var n int64
+	for _, c := range fields[len(fields)-1] {
+		if c < '0' || c > '9' {
+			return 0, os.ErrInvalid
+		}
+		n = n*10 + int64(c-'0')
+	}
+	*v = n
+	return 1, nil
+}

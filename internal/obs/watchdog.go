@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"strings"
+	"sync"
+
+	"github.com/rtsync/rwrnlp/internal/core"
+)
+
+// Watchdog fires when a request has been waiting longer than its Theorem 1/2
+// envelope times a configurable slack — a liveness alarm, complementing the
+// BoundMonitor (which verdicts only requests that DO get satisfied; a
+// stranded request never reaches it). On firing it captures a StallReport:
+// the stalled request, how long it waited versus its bound, and optionally a
+// flight-recorder dump plus a goroutine profile, so the stall can be
+// diagnosed post hoc.
+//
+// Envelope: like the BoundMonitor, the watchdog runs in observed-envelope
+// mode by default (L^r_max/L^w_max are the largest critical sections seen so
+// far; no checks fire until at least one CS completed) or in analytic mode
+// via SetAnalytic. A read's envelope is L^r+L^w (Theorem 1), a write's
+// (m−1)(L^r+L^w) (Theorem 2); m is the configured processor count, or — when
+// zero — the maximum number of concurrently incomplete requests observed,
+// which upper-bounds the paper's m for a system of pinned jobs.
+//
+// Checks run on every observed event against that event's time, and via
+// Poll(now) for callers with their own clock (the runtime lock's tick plane,
+// wall-clock timers). Each request fires at most once. Incremental requests
+// are exempt (their span includes hold phases, Sec. 3.7); the write half of
+// an upgradeable pair restarts its clock at EvReadSegmentDone (Sec. 3.6).
+//
+// The watchdog implements core.Observer; the OnStall callback is invoked
+// without internal locks held, so it may call back into the watchdog (but
+// must not call into the RSM, per the Observer contract).
+type Watchdog struct {
+	mu sync.Mutex
+
+	m        int
+	dynM     bool // m tracks max observed concurrency
+	slack    float64
+	analytic bool
+	lr, lw   int64 // analytic envelope
+
+	obsLr, obsLw int64 // observed per-kind max CS length
+
+	flight    *FlightRecorder
+	goroutine bool
+	onStall   func(StallReport)
+	keep      int
+
+	pending  map[core.ReqID]*wdPending
+	inflight int
+	now      core.Time // high-water mark of observed event times
+
+	fired   int64
+	reports []StallReport
+}
+
+type wdPending struct {
+	kind        core.Kind
+	incremental bool
+	tag         any
+	waitStart   core.Time
+	satisfied   bool
+	fired       bool
+}
+
+// WatchdogConfig configures a Watchdog. The zero value is usable: observed
+// envelope, dynamic m, slack 4, no capture sinks.
+type WatchdogConfig struct {
+	// M is the processor count for Theorem 2's (m−1) factor; 0 tracks the
+	// maximum observed concurrency instead.
+	M int
+	// Slack multiplies the envelope before comparison (values <= 0 mean 4).
+	// Slack absorbs charged overheads (queue maintenance, wakeup latency)
+	// that the pure-protocol bounds do not model.
+	Slack float64
+	// Flight, when set, is dumped into each StallReport.
+	Flight *FlightRecorder
+	// GoroutineProfile attaches a text goroutine profile to each report.
+	GoroutineProfile bool
+	// OnStall is called for each firing (after internal state is updated,
+	// no locks held). May be nil; reports are retained either way.
+	OnStall func(StallReport)
+	// Keep bounds the retained report list (<= 0 means 8).
+	Keep int
+}
+
+// DefaultWatchdogSlack is the envelope multiplier used when none is given.
+const DefaultWatchdogSlack = 4.0
+
+// NewWatchdog creates a watchdog; attach it to the event stream with
+// core.MultiObserver alongside other observers.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	w := &Watchdog{
+		m:         cfg.M,
+		dynM:      cfg.M <= 0,
+		slack:     cfg.Slack,
+		flight:    cfg.Flight,
+		goroutine: cfg.GoroutineProfile,
+		onStall:   cfg.OnStall,
+		keep:      cfg.Keep,
+		pending:   map[core.ReqID]*wdPending{},
+	}
+	if w.slack <= 0 {
+		w.slack = DefaultWatchdogSlack
+	}
+	if w.keep <= 0 {
+		w.keep = 8
+	}
+	return w
+}
+
+// SetAnalytic switches to a fixed a-priori envelope (see BoundMonitor).
+// Call before any events are observed.
+func (w *Watchdog) SetAnalytic(lr, lw int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.analytic, w.lr, w.lw = true, lr, lw
+}
+
+// StallReport describes one watchdog firing.
+type StallReport struct {
+	Req       core.ReqID `json:"req"`
+	Kind      core.Kind  `json:"kind"`
+	Tag       string     `json:"tag,omitempty"`
+	WaitStart core.Time  `json:"wait_start"`
+	Now       core.Time  `json:"now"`
+	Waited    int64      `json:"waited"`
+	Bound     int64      `json:"bound"` // envelope × slack at firing time
+	Analytic  bool       `json:"analytic"`
+	Lr        int64      `json:"lr"`
+	Lw        int64      `json:"lw"`
+	M         int        `json:"m"`
+	Slack     float64    `json:"slack"`
+	// Dump is the flight-recorder snapshot taken at firing, if a recorder
+	// was configured.
+	Dump *FlightDump `json:"dump,omitempty"`
+	// GoroutineProfile is the debug=1 text profile, if enabled.
+	GoroutineProfile []byte `json:"goroutine_profile,omitempty"`
+}
+
+func (r StallReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "STALL req=%d (%s)", r.Req, r.Kind)
+	if r.Tag != "" {
+		fmt.Fprintf(&b, " tag=%s", r.Tag)
+	}
+	mode := "observed"
+	if r.Analytic {
+		mode = "analytic"
+	}
+	fmt.Fprintf(&b, ": waited %d since t=%d (now %d) > bound %d (%s Lr=%d Lw=%d m=%d slack=%.1f)",
+		r.Waited, r.WaitStart, r.Now, r.Bound, mode, r.Lr, r.Lw, r.M, r.Slack)
+	return b.String()
+}
+
+// Observe implements core.Observer.
+func (w *Watchdog) Observe(e core.Event) {
+	w.mu.Lock()
+	switch e.Type {
+	case core.EvIssued:
+		w.pending[e.Req] = &wdPending{
+			kind:        e.Kind,
+			incremental: e.Incremental,
+			tag:         e.Tag,
+			waitStart:   e.T,
+		}
+		w.inflight++
+		if w.dynM && w.inflight > w.m {
+			w.m = w.inflight
+		}
+
+	case core.EvSatisfied:
+		if p := w.pending[e.Req]; p != nil {
+			p.satisfied = true
+			p.waitStart = e.T // now holding: reuse as CS start
+		}
+
+	case core.EvCompleted, core.EvReadSegmentDone:
+		if p := w.pending[e.Req]; p != nil {
+			if p.satisfied && !p.incremental {
+				cs := int64(e.T - p.waitStart)
+				if p.kind == core.KindRead {
+					if cs > w.obsLr {
+						w.obsLr = cs
+					}
+				} else if cs > w.obsLw {
+					w.obsLw = cs
+				}
+			}
+			delete(w.pending, e.Req)
+			w.inflight--
+		}
+		if e.Type == core.EvReadSegmentDone {
+			if peer := w.pending[e.Pair]; peer != nil && !peer.satisfied {
+				peer.waitStart = e.T
+			}
+		}
+
+	case core.EvCanceled:
+		if _, ok := w.pending[e.Req]; ok {
+			delete(w.pending, e.Req)
+			w.inflight--
+		}
+	}
+	if e.T > w.now {
+		w.now = e.T
+	}
+	fired := w.check(w.now)
+	w.mu.Unlock()
+	w.deliver(fired)
+}
+
+// Poll checks all pending requests against an external clock (shard ticks or
+// wall time, same units as the observed events) and returns the number of
+// new firings. now values behind the event high-water mark are ignored.
+func (w *Watchdog) Poll(now core.Time) int {
+	w.mu.Lock()
+	if now > w.now {
+		w.now = now
+	}
+	fired := w.check(w.now)
+	w.mu.Unlock()
+	w.deliver(fired)
+	return len(fired)
+}
+
+// check scans pending requests against now. Caller holds w.mu; returns the
+// reports to deliver after unlock.
+func (w *Watchdog) check(now core.Time) []StallReport {
+	lr, lw := w.lr, w.lw
+	if !w.analytic {
+		lr, lw = w.obsLr, w.obsLw
+		if lr+lw == 0 {
+			return nil // envelope not warmed up yet
+		}
+	}
+	var out []StallReport
+	for id, p := range w.pending {
+		if p.satisfied || p.fired || p.incremental {
+			continue
+		}
+		m := w.m
+		if m < 2 {
+			m = 2 // (m−1) ≥ 1: a solo writer still gets a finite envelope
+		}
+		env := lr + lw
+		if p.kind == core.KindWrite {
+			env = int64(m-1) * (lr + lw)
+		}
+		bound := int64(float64(env) * w.slack)
+		waited := int64(now - p.waitStart)
+		if waited <= bound {
+			continue
+		}
+		p.fired = true
+		w.fired++
+		r := StallReport{
+			Req:       id,
+			Kind:      p.kind,
+			WaitStart: p.waitStart,
+			Now:       now,
+			Waited:    waited,
+			Bound:     bound,
+			Analytic:  w.analytic,
+			Lr:        lr,
+			Lw:        lw,
+			M:         m,
+			Slack:     w.slack,
+		}
+		if p.tag != nil {
+			r.Tag = fmt.Sprint(p.tag)
+		}
+		if w.flight != nil {
+			d := w.flight.Dump()
+			r.Dump = &d
+		}
+		if w.goroutine {
+			var buf bytes.Buffer
+			if prof := pprof.Lookup("goroutine"); prof != nil {
+				_ = prof.WriteTo(&buf, 1)
+			}
+			r.GoroutineProfile = buf.Bytes()
+		}
+		w.reports = append(w.reports, r)
+		if len(w.reports) > w.keep {
+			w.reports = w.reports[len(w.reports)-w.keep:]
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// deliver invokes the callback outside the lock.
+func (w *Watchdog) deliver(reports []StallReport) {
+	if w.onStall == nil {
+		return
+	}
+	for _, r := range reports {
+		w.onStall(r)
+	}
+}
+
+// Firings reports how many stalls have fired so far.
+func (w *Watchdog) Firings() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fired
+}
+
+// Reports returns the retained stall reports, oldest first.
+func (w *Watchdog) Reports() []StallReport {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]StallReport(nil), w.reports...)
+}

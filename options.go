@@ -1,5 +1,7 @@
 package rwrnlp
 
+import "github.com/rtsync/rwrnlp/internal/obs"
+
 // config is the resolved configuration of a Protocol.
 type config struct {
 	placeholders bool
@@ -8,6 +10,11 @@ type config struct {
 	metrics      bool
 	sharding     bool
 	fastPath     bool
+
+	flightDepth int                 // per-shard flight ring slots; 0 disables
+	watchdog    *obs.WatchdogConfig // nil disables the stall watchdog
+	attrTopK    int                 // 0 disables causal attribution
+	profLabels  bool                // pprof labels + runtime/trace regions
 }
 
 func defaultConfig() config {
@@ -87,6 +94,66 @@ func WithoutSharding() Option {
 // counters), or when benchmarking the pure RSM path.
 func WithoutFastPath() Option {
 	return optionFunc(func(c *config) { c.fastPath = false })
+}
+
+// WithFlightRecorder enables the black-box flight recorder: every protocol
+// event (with its causal wait edges) is copied into a bounded lock-free ring
+// per shard, holding the perShard most recent events (values <= 0 select
+// obs.DefaultFlightDepth). Dump the rings any time with
+// Protocol.FlightRecorder().Dump() — or over HTTP via Protocol.DebugMux —
+// and render the dump with cmd/flightdump or as a Perfetto trace. The ring
+// write is a handful of stores per event; when disabled, the only cost on
+// the event path is a nil check. Reader-fast-path acquisitions bypass the
+// RSM and are recorded only if a writer migrated them (see WithoutFastPath).
+func WithFlightRecorder(perShard int) Option {
+	if perShard <= 0 {
+		perShard = obs.DefaultFlightDepth
+	}
+	return optionFunc(func(c *config) { c.flightDepth = perShard })
+}
+
+// WithStallWatchdog arms a per-shard stall watchdog: if a request waits
+// longer than its Theorem 1/2 envelope × cfg.Slack (in that shard's logical
+// ticks — one tick per shard invocation), the watchdog fires, retains a
+// StallReport, and invokes cfg.OnStall with a flight-recorder dump (when
+// WithFlightRecorder is also set and cfg.Flight is nil) and optionally a
+// goroutine profile. Each shard gets its own watchdog so tick clocks never
+// mix; firings and reports aggregate via Protocol.WatchdogFirings and
+// Protocol.StallReports. Checks are event-driven: a stall is detected when
+// the shard next processes any invocation. The OnStall callback must not
+// call back into the Protocol's acquisition paths.
+func WithStallWatchdog(cfg WatchdogConfig) Option {
+	return optionFunc(func(c *config) { c.watchdog = &cfg })
+}
+
+// WithAttribution enables causal blocking attribution: an obs.Attributor
+// consumes the event stream's wait edges and decomposes every acquisition
+// delay into the paper-aligned components (reader behind entitled writer /
+// entitled wait, writer queue wait / blocked by read phase), keeping the
+// topK worst blocking chains (<= 0 means 10). Retrieve the report with
+// Protocol.Attribution. With WithMetrics also set, the component histograms
+// land in the shared registry (attr_* series); otherwise they go to a
+// private one. The runtime-only components — cross-component slow path and
+// fast-path revocation penalty — are recorded as wall-clock histograms
+// (attr_slow_path_ns, attr_fastpath_revocation_ns).
+func WithAttribution(topK int) Option {
+	if topK <= 0 {
+		topK = 10
+	}
+	return optionFunc(func(c *config) { c.attrTopK = topK })
+}
+
+// WithProfilingLabels tags the acquisition path for the Go profiler and
+// execution tracer: Acquire runs under pprof labels (rnlp_mode=read|write,
+// plus rnlp_shard and rnlp_path=fast|slow once routing is known), so CPU
+// profiles of a contended system attribute spin/wait time per shard and
+// path; and when runtime/trace is active, each critical section becomes a
+// "rwrnlp.cs" trace region from acquisition to Release. Trace regions
+// require Release to be called from the acquiring goroutine (the
+// runtime/trace region contract); tokens handed across goroutines should
+// not use this option while tracing.
+func WithProfilingLabels() Option {
+	return optionFunc(func(c *config) { c.profLabels = true })
 }
 
 // Options is the v1 configuration struct.

@@ -53,7 +53,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/rtsync/rwrnlp/internal/core"
@@ -110,6 +113,15 @@ type Protocol struct {
 	wallAcqW  *obs.Histogram
 	wallBlock *obs.Histogram
 	wallCS    *obs.Histogram
+
+	// Causal attribution and black-box capture (each nil unless its option
+	// was set): one attributor and one flight recorder serve every shard;
+	// the watchdogs are per shard, so each one sees a single tick clock.
+	attr         *obs.Attributor
+	attrSlowNS   *obs.Histogram
+	attrRevokeNS *obs.Histogram
+	flight       *obs.FlightRecorder
+	wdogs        []*obs.Watchdog
 }
 
 // Metrics re-exports the obs registry type for the public API.
@@ -117,6 +129,25 @@ type Metrics = obs.Metrics
 
 // MetricsSnapshot re-exports the obs snapshot type for the public API.
 type MetricsSnapshot = obs.Snapshot
+
+// Attribution-layer re-exports (see WithAttribution, WithFlightRecorder,
+// WithStallWatchdog).
+type (
+	// AttributionReport is the causal-attribution summary: per-component
+	// delay totals plus the worst blocking chains.
+	AttributionReport = obs.AttributionReport
+	// BlockChain is one request's delay decomposition and wait edges.
+	BlockChain = obs.BlockChain
+	// FlightRecorder is the bounded per-shard ring of recent protocol
+	// events.
+	FlightRecorder = obs.FlightRecorder
+	// FlightDump is a serializable flight-recorder snapshot.
+	FlightDump = obs.FlightDump
+	// WatchdogConfig configures the stall watchdog (per shard).
+	WatchdogConfig = obs.WatchdogConfig
+	// StallReport describes one watchdog firing.
+	StallReport = obs.StallReport
+)
 
 // New creates a Protocol for the given resource system. With no options the
 // protocol runs sharded (one RSM per declared resource component), blocking
@@ -144,6 +175,28 @@ func New(spec *Spec, opts ...Option) *Protocol {
 		p.wallBlock = p.metrics.Histogram(obs.MWallBlockNS)
 		p.wallCS = p.metrics.Histogram(obs.MWallCSNS)
 	}
+	if cfg.attrTopK > 0 {
+		reg := p.metrics
+		if reg == nil {
+			reg = obs.NewMetrics()
+		}
+		p.attr = obs.NewAttributor(reg, cfg.attrTopK)
+		p.attrSlowNS = reg.Histogram(obs.AttrSlowPathNS)
+		p.attrRevokeNS = reg.Histogram(obs.AttrFastRevocationNS)
+	}
+	if cfg.flightDepth > 0 {
+		p.flight = obs.NewFlightRecorder(n, cfg.flightDepth)
+	}
+	if cfg.watchdog != nil {
+		wc := *cfg.watchdog
+		if wc.Flight == nil {
+			wc.Flight = p.flight // may still be nil: reports just carry no dump
+		}
+		p.wdogs = make([]*obs.Watchdog, n)
+		for i := range p.wdogs {
+			p.wdogs[i] = obs.NewWatchdog(wc)
+		}
+	}
 	p.shards = make([]*shard, n)
 	for i := range p.shards {
 		p.shards[i] = newShard(p, i, n)
@@ -169,10 +222,58 @@ func (p *Protocol) shardOf(a ResourceID) *shard {
 // the shard_* series carry a {shard=i} label.
 func (p *Protocol) Metrics() *Metrics { return p.metrics }
 
+// FlightRecorder returns the protocol's flight recorder, or nil when
+// WithFlightRecorder was not set. Dump() is safe at any time, concurrent
+// with the workload.
+func (p *Protocol) FlightRecorder() *FlightRecorder { return p.flight }
+
+// Attribution reports the causal blocking attribution gathered so far: the
+// per-component delay decomposition and the worst blocking chains, with
+// spans in logical shard ticks. The zero report is returned when
+// WithAttribution was not set (check Checked == 0).
+func (p *Protocol) Attribution() AttributionReport {
+	if p.attr == nil {
+		return AttributionReport{}
+	}
+	return p.attr.Report()
+}
+
+// WatchdogFirings reports how many stall-watchdog firings have occurred
+// across all shards (0 when WithStallWatchdog was not set).
+func (p *Protocol) WatchdogFirings() int64 {
+	var total int64
+	for _, w := range p.wdogs {
+		total += w.Firings()
+	}
+	return total
+}
+
+// StallReports returns the retained stall reports of every shard watchdog.
+func (p *Protocol) StallReports() []StallReport {
+	var out []StallReport
+	for _, w := range p.wdogs {
+		out = append(out, w.Reports()...)
+	}
+	return out
+}
+
 // DebugHandler serves the metrics snapshot over HTTP (JSON; ?format=text
 // for a plain dump) — mount it on a debug mux in long-running services. It
 // serves an empty snapshot when metrics are disabled.
 func (p *Protocol) DebugHandler() http.Handler { return obs.Handler(p.metrics) }
+
+// DebugMux serves the full observability surface of this protocol instance:
+//
+//	/metrics              metrics snapshot (JSON; ?format=text|prom)
+//	/debug/rnlp/flight    flight-recorder dump (JSON; ?format=perfetto)
+//	/debug/rnlp/watchdog  stall-watchdog firings and reports
+//	/debug/pprof/...      the standard pprof handlers
+//	/healthz              "ok"
+//
+// Routes whose subsystem is disabled serve empty data.
+func (p *Protocol) DebugMux() http.Handler {
+	return obs.DebugMux(p.metrics, nil, p.flight, p.wdogs...)
+}
 
 // SetTracer installs a secondary observer receiving every protocol event —
 // feed it a trace.Recorder to machine-check an execution against the
@@ -201,10 +302,11 @@ func (p *Protocol) AddObserver(o core.Observer) {
 	}
 }
 
-// nowNS reads the wall clock only when metrics are enabled, keeping the
-// disabled acquisition path free of time syscalls.
+// nowNS reads the wall clock only when some consumer (metrics, the
+// attribution wall-clock components) needs it, keeping the fully disabled
+// acquisition path free of time syscalls.
 func (p *Protocol) nowNS() int64 {
-	if p.metrics == nil {
+	if p.metrics == nil && p.attr == nil {
 		return 0
 	}
 	return time.Now().UnixNano()
@@ -256,6 +358,10 @@ type Token struct {
 	// (fastSeq != 0): the claim sequence and slot to CAS free.
 	fastSeq  uint64
 	fastSlot int32
+	// region is the critical section's runtime/trace region (nil unless
+	// WithProfilingLabels and tracing were active at acquisition); Release
+	// ends it.
+	region *trace.Region
 }
 
 // part is one component's slice of a request footprint.
@@ -347,6 +453,32 @@ func (p *Protocol) split(read, write []ResourceID) ([]part, error) {
 // component order, piecewise rather than atomically — see the package
 // documentation.
 func (p *Protocol) Acquire(ctx context.Context, read, write []ResourceID) (Token, error) {
+	if !p.cfg.profLabels {
+		return p.acquire(ctx, read, write)
+	}
+	c := ctx
+	if c == nil {
+		c = context.Background()
+	}
+	mode := "read"
+	if len(write) > 0 {
+		mode = "write"
+	}
+	var tok Token
+	var err error
+	pprof.Do(c, pprof.Labels("rnlp_mode", mode), func(c context.Context) {
+		tok, err = p.acquire(c, read, write)
+	})
+	if err == nil && trace.IsEnabled() {
+		// The critical section becomes a trace region, ended by Release (which
+		// must then run on this goroutine — see WithProfilingLabels).
+		tok.region = trace.StartRegion(c, "rwrnlp.cs")
+	}
+	return tok, err
+}
+
+// acquire is the unlabeled acquisition path behind Acquire.
+func (p *Protocol) acquire(ctx context.Context, read, write []ResourceID) (Token, error) {
 	start := p.nowNS()
 	parts, err := p.split(read, write)
 	if err != nil {
@@ -355,6 +487,7 @@ func (p *Protocol) Acquire(ctx context.Context, read, write []ResourceID) (Token
 	isWrite := len(write) > 0
 	if len(parts) == 1 {
 		s := parts[0].s
+		fastMissed := false
 		if !isWrite && s.fastSlots != nil {
 			if tok, ok := s.fastAcquire(read); ok {
 				if p.metrics != nil {
@@ -364,6 +497,17 @@ func (p *Protocol) Acquire(ctx context.Context, read, write []ResourceID) (Token
 				}
 				return tok, nil
 			}
+			fastMissed = true
+		}
+		if p.cfg.profLabels {
+			// A fast hit returned above already (its samples carry the outer
+			// rnlp_mode label); what reaches here is the RSM path.
+			path := "slow"
+			if fastMissed {
+				path = "fast-miss"
+			}
+			pprof.SetGoroutineLabels(pprof.WithLabels(ctx,
+				pprof.Labels("rnlp_shard", strconv.Itoa(s.idx), "rnlp_path", path)))
 		}
 		wgate := isWrite && s.fastSlots != nil
 		if wgate {
@@ -386,7 +530,13 @@ func (p *Protocol) Acquire(ctx context.Context, read, write []ResourceID) (Token
 				return Token{}, err
 			}
 		}
-		return p.finishAcquire(s, id, start, blockStart, isWrite, wgate, nil), nil
+		tok := p.finishAcquire(s, id, start, blockStart, isWrite, wgate, nil)
+		if fastMissed && p.attrRevokeNS != nil && start != 0 {
+			// Revocation penalty: the wall-clock cost this fast-eligible read
+			// paid for being routed through the RSM.
+			p.attrRevokeNS.Observe(time.Now().UnixNano() - start)
+		}
+		return tok, nil
 	}
 
 	// Slow path: ascending component order; on failure release what is held
@@ -423,7 +573,13 @@ func (p *Protocol) Acquire(ctx context.Context, read, write []ResourceID) (Token
 		held = append(held, tokenPart{s: pt.s, id: id, wgate: wgate})
 	}
 	first := held[0]
-	return p.finishAcquire(first.s, first.id, start, blockStart, isWrite, first.wgate, held[1:]), nil
+	tok := p.finishAcquire(first.s, first.id, start, blockStart, isWrite, first.wgate, held[1:])
+	if p.attrSlowNS != nil && start != 0 {
+		// Cross-component slow path: piecewise acquisition time, outside any
+		// per-component Theorem 1/2 bound.
+		p.attrSlowNS.Observe(time.Now().UnixNano() - start)
+	}
+	return tok, nil
 }
 
 // Read is shorthand for Acquire(ctx, resources, nil).
@@ -450,6 +606,9 @@ func (p *Protocol) AcquireContext(ctx context.Context, read, write []ResourceID)
 func (p *Protocol) Release(t Token) error {
 	if t.s == nil {
 		return ErrAlreadyReleased
+	}
+	if t.region != nil {
+		t.region.End()
 	}
 	if t.acqNS != 0 && p.wallCS != nil {
 		p.wallCS.Observe(time.Now().UnixNano() - t.acqNS)

@@ -118,6 +118,14 @@ type shard struct {
 	combineWait                             *obs.Histogram
 	fastHitC, fastMissC                     *obs.Counter
 	fastRevokedC, fastMigratedC             *obs.Counter
+
+	// Attribution/black-box hooks (each nil unless its option was set):
+	// flight and attr are the Protocol-wide instances, wd is this shard's
+	// watchdog (one per shard so tick clocks never mix). All three cost one
+	// nil check per event when disabled.
+	flight *obs.FlightRecorder
+	attr   *obs.Attributor
+	wd     *obs.Watchdog
 }
 
 func newShard(p *Protocol, idx, n int) *shard {
@@ -144,6 +152,11 @@ func newShard(p *Protocol, idx, n int) *shard {
 			s.fastMigratedC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathMigrated, idx))
 		}
 	}
+	s.flight = p.flight
+	s.attr = p.attr
+	if p.wdogs != nil {
+		s.wd = p.wdogs[idx]
+	}
 	s.rsm.SetObserver(core.ObserverFunc(s.observe))
 	return s
 }
@@ -168,6 +181,15 @@ func (s *shard) observe(e core.Event) {
 	}
 	if s.metricsObs != nil {
 		s.metricsObs.Observe(e)
+	}
+	if s.flight != nil {
+		s.flight.Record(s.idx, e)
+	}
+	if s.attr != nil {
+		s.attr.Observe(e)
+	}
+	if s.wd != nil {
+		s.wd.Observe(e)
 	}
 	if s.tracer != nil {
 		s.tracer.Observe(e)

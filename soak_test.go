@@ -1,0 +1,85 @@
+package rwrnlp
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatchdogStressSoak is the nightly watchdog soak (make soak): a mixed
+// read/write/cross-component workload drives the sharded lock with the
+// stall watchdog armed at its default slack for the duration in RNLP_SOAK.
+// Any firing fails the run and prints the full stall reports — on a healthy
+// build the Theorem 1/2 envelope (times slack) must never be exceeded, so a
+// firing is either a liveness regression or an attribution/envelope bug,
+// both of which this soak exists to catch. Skipped unless RNLP_SOAK is set
+// (e.g. RNLP_SOAK=5m); per-push CI stays fast, the nightly pipeline sets it.
+func TestWatchdogStressSoak(t *testing.T) {
+	durStr := os.Getenv("RNLP_SOAK")
+	if durStr == "" {
+		t.Skip("set RNLP_SOAK (e.g. 5m) to run the watchdog soak")
+	}
+	dur, err := time.ParseDuration(durStr)
+	if err != nil {
+		t.Fatalf("bad RNLP_SOAK %q: %v", durStr, err)
+	}
+
+	b := NewSpecBuilder(6)
+	for _, g := range [][]ResourceID{{0, 1}, {2, 3}, {4, 5}} {
+		if err := b.DeclareRequest(g, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(b.Build(), WithMetrics(), WithFlightRecorder(1024), WithAttribution(8),
+		WithStallWatchdog(WatchdogConfig{}))
+
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	var ops int64
+	var mu sync.Mutex
+	for g := 0; g < 12; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			comp := g % 3
+			r0, r1 := ResourceID(2*comp), ResourceID(2*comp+1)
+			local := int64(0)
+			for i := 0; time.Now().Before(deadline); i++ {
+				var tok Token
+				var err error
+				switch {
+				case i%97 == 0:
+					// Cross-component slow path.
+					tok, err = p.Read(bg, r0, ResourceID((2*comp+2)%6))
+				case i%7 == 0:
+					tok, err = p.Write(bg, r0, r1)
+				default:
+					tok, err = p.Read(bg, r0)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Release(tok); err != nil {
+					t.Error(err)
+					return
+				}
+				local++
+			}
+			mu.Lock()
+			ops += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	t.Logf("soak: %s, %d acquire/release round trips", dur, ops)
+	if n := p.WatchdogFirings(); n != 0 {
+		for _, rep := range p.StallReports() {
+			t.Logf("stall report:\n%s", rep.String())
+		}
+		t.Fatalf("stall watchdog fired %d time(s) during the soak", n)
+	}
+}
