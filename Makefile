@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci obs-race flight-overhead soak clean
+.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci obs-race telemetry-race flight-overhead hdr-overhead soak clean
 
 all: build vet test
 
@@ -10,8 +10,10 @@ all: build vet test
 # surface gate, the race detector across the whole module, a fuzz smoke pass
 # on the RSM invocation fuzzer, and a bounded-depth model-checking gate
 # (every mc preset, both placeholder modes; non-zero exit on any violation).
-# staticcheck runs only where the binary is installed (it cannot be fetched
-# in hermetic environments) and is skipped gracefully elsewhere.
+# staticcheck is skipped gracefully on machines where it is not installed
+# (it cannot be fetched in hermetic environments) but is mandatory when CI=1
+# — the workflow installs a pinned version, so a missing binary there is a
+# pipeline bug, not an environment quirk.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -20,6 +22,7 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race -short ./...
 	$(MAKE) obs-race
+	$(MAKE) telemetry-race
 	$(GO) test -fuzz=FuzzRSMInvocations -fuzztime=15s ./internal/core
 	$(GO) run ./cmd/mccheck -stats -depth 14 ci
 
@@ -31,16 +34,37 @@ obs-race:
 	$(GO) test -race -count=1 ./internal/obs
 	$(GO) test -race -count=1 -run 'TestShardedFastPathObservabilityConsistency|TestDebugEndpointsConcurrentWithWorkload|TestFastPathHitInvisibleToObservabilityPlane' .
 
+# Continuous-telemetry loop under the race detector: the end-to-end exemplar
+# resolution test (workload → OpenMetrics scrape → flight_seq → blocking
+# chain), concurrent timeseries/OpenMetrics/attr scrapes against a live
+# workload, and the rnlptop cockpit smoke test against its in-process demo.
+telemetry-race:
+	$(GO) test -race -count=1 -run 'TestExemplarLoopEndToEnd|TestTelemetryEndpointsConcurrentWithWorkload' .
+	$(GO) test -race -count=1 ./cmd/rnlptop
+
 # Flight-recorder overhead gate: measure the BenchmarkAcquire ablation pair
 # in one run and fail if flight=on costs more than FLIGHT_THRESHOLD percent
 # over flight=off. (The flight=off variant IS the PR 4 baseline shape; the
 # disabled hook is a nil check, so off-vs-baseline drift shows up in the
-# regular bench-check gate instead.)
+# regular bench-check gate instead.) -count=5 and benchjson's min-merge make
+# each side the minimum of five interleaved runs — single-run pairs on shared
+# runners have shown inversions larger than the real effect (see the pair
+# protocol note atop cmd/benchjson).
 FLIGHT_THRESHOLD ?= 100
 flight-overhead:
-	$(GO) test -bench 'BenchmarkAcquire/flight' -benchtime=0.3s -count=3 -run='^$$' . | $(GO) run ./cmd/benchjson -o flight_pair.json
+	$(GO) test -bench 'BenchmarkAcquire/flight' -benchtime=0.3s -count=5 -run='^$$' . | $(GO) run ./cmd/benchjson -o flight_pair.json
 	$(GO) run ./cmd/benchjson pair -threshold $(FLIGHT_THRESHOLD) flight_pair.json 'BenchmarkAcquire/flight=off' 'BenchmarkAcquire/flight=on'
 	@rm -f flight_pair.json
+
+# HDR-histogram overhead gate: same-run ablation of the metrics plane (HDR
+# log-linear histograms + sharded counters on every protocol event) against
+# the uninstrumented write round trip. The threshold prices the whole metrics
+# plane, not just the histogram delta, hence wider than flight's.
+HDR_THRESHOLD ?= 150
+hdr-overhead:
+	$(GO) test -bench 'BenchmarkAcquire/hdr' -benchtime=0.3s -count=5 -run='^$$' . | $(GO) run ./cmd/benchjson -o hdr_pair.json
+	$(GO) run ./cmd/benchjson pair -threshold $(HDR_THRESHOLD) hdr_pair.json 'BenchmarkAcquire/hdr=off' 'BenchmarkAcquire/hdr=on'
+	@rm -f hdr_pair.json
 
 # Watchdog-armed stress soak (nightly): drive the sharded lock with the
 # stall watchdog enabled for RNLP_SOAK (default 5m) and fail on any firing.
@@ -48,11 +72,16 @@ RNLP_SOAK ?= 5m
 soak:
 	RNLP_SOAK=$(RNLP_SOAK) $(GO) test -race -count=1 -timeout 30m -run TestWatchdogStressSoak -v .
 
-# Run staticcheck when available; no-op (with a notice) when it is not on
-# PATH so hermetic builds stay green.
+# Run staticcheck when available. Locally a missing binary is a notice and a
+# skip (hermetic builds stay green); under CI=1 it is an error — the workflow
+# installs a pinned version, so absence means the pipeline is broken and the
+# lint gate would silently stop gating.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "staticcheck: required in CI but not on PATH (workflow must install it)" >&2; \
+		exit 1; \
 	else \
 		echo "staticcheck not installed; skipping"; \
 	fi

@@ -742,4 +742,36 @@ func BenchmarkAcquire(b *testing.B) {
 			}
 		})
 	}
+
+	// hdr prices the metrics plane with its HDR log-linear histograms on the
+	// same write round trip: every protocol event feeds the sharded counters
+	// and the per-event histogram records (sum + bucket + min/max + exemplar
+	// slot). The off variant is the same shape with a nil registry; the pair
+	// is compared same-run by `make hdr-overhead`, so machine drift cancels.
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		b.Run("hdr="+mode, func(b *testing.B) {
+			spec := rwrnlp.NewSpecBuilder(4)
+			if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
+				b.Fatal(err)
+			}
+			var opts []rwrnlp.Option
+			if mode == "on" {
+				opts = append(opts, rwrnlp.WithMetrics())
+			}
+			p := rwrnlp.New(spec.Build(), opts...)
+			var shared [2]int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tok, err := p.Write(bg, rwrnlp.ResourceID(i%2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				shared[i%2]++
+				if err := p.Release(tok); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -18,8 +18,19 @@
 //	benchjson pair [-threshold 2] snapshot.json baseName variantName
 //
 // exits 1 if variant exceeds base by more than threshold percent (ns/op).
-// Used by the CI flight-recorder overhead gate
-// (BenchmarkAcquire/flight=off vs the PR 4 baseline shape).
+// Used by the CI overhead gates (BenchmarkAcquire/flight=off vs =on,
+// BenchmarkAcquire/hdr=off vs =on).
+//
+// Pair-gate protocol: run both sides with `go test -count=5` in a single
+// invocation. The converter merges repeated lines by MINIMUM ns/op, so each
+// side of the pair is the min of five interleaved runs. This matters: a
+// single-run pair on a shared machine routinely inverts (a 2026-08-06
+// snapshot recorded the observed variant at 467 ns/op against a 577 ns/op
+// uninstrumented baseline — a -19% "overhead" that was pure scheduler
+// noise). Minima cancel one-sided interference, and interleaving cancels
+// thermal/frequency drift between the sides; what remains is the real
+// effect, so thresholds encode tolerance for the instrument's true cost,
+// not for measurement noise.
 package main
 
 import (

@@ -7,6 +7,7 @@
 //	flightdump dump.json                  # summary + top blocking chains
 //	flightdump -top 20 dump.json          # deeper chain report
 //	flightdump -events dump.json          # also print the raw event timeline
+//	flightdump -seq 1337 dump.json        # resolve one metric exemplar's flight_seq
 //	flightdump -perfetto out.json dump.json   # re-render as a Perfetto trace
 //	curl -s host:6060/debug/rnlp/flight | flightdump   # reads stdin
 //
@@ -14,6 +15,11 @@
 // paper-aligned components (entitled writer wait, reader behind entitled
 // writer, writer behind a read phase) and expands the blocker edges into
 // nested chains, exactly as the in-process Attributor would have.
+//
+// -seq closes the exemplar loop: an OpenMetrics tail bucket carries
+// `# {req="R",flight_seq="S"}`; resolving S against a dump of the same
+// process prints the recorded event and the full blocking chain of the
+// request that produced that tail sample.
 package main
 
 import (
@@ -31,9 +37,10 @@ func main() {
 	top := flag.Int("top", 10, "number of worst blocking chains to report")
 	perfetto := flag.String("perfetto", "", "also write the dump as a Perfetto/Chrome trace to this file")
 	events := flag.Bool("events", false, "print the raw event timeline after the report")
+	seqF := flag.Uint64("seq", 0, "resolve this flight sequence number (a metric exemplar's flight_seq) into its record and blocking chain, instead of the full report")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: flightdump [-top K] [-perfetto out.json] [-events] [dump.json]\n\nreads stdin when no file is given\n\n")
+			"usage: flightdump [-top K] [-seq N] [-perfetto out.json] [-events] [dump.json]\n\nreads stdin when no file is given\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,6 +64,17 @@ func main() {
 	d, err := obs.ParseFlightDump(in)
 	if err != nil {
 		fail(fmt.Errorf("%s: %w", src, err))
+	}
+
+	if *seqF != 0 {
+		rec, chain, err := d.ResolveSeq(*seqF)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("flight seq %d: shard %d t=%d %s req %d %s\n\n",
+			rec.Seq, rec.Shard, rec.T, rec.Type, rec.Req, rec.Kind)
+		fmt.Print(chain.String())
+		return
 	}
 
 	summarize(os.Stdout, d)

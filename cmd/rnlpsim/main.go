@@ -59,6 +59,7 @@ func main() {
 		flightO  = flag.String("flight-out", "", "write the flight-recorder dump (JSON) to this file after the run")
 		wdogF    = flag.Bool("watchdog", false, "arm the stall watchdog (analytic envelope for rw-rnlp, observed otherwise)")
 		wdSlack  = flag.Float64("watchdog-slack", obs.DefaultWatchdogSlack, "stall-watchdog envelope multiplier")
+		tsF      = flag.Duration("timeseries", 0, "continuous telemetry: capture a metrics snapshot at this interval while -http serves (implies -metrics; 0 = off)")
 	)
 	flag.Parse()
 
@@ -134,10 +135,23 @@ func main() {
 	// bounds — RW-RNLP under a P1/P2 progress mechanism), and the Perfetto
 	// trace builder.
 	var observers []core.Observer
+	// The flight recorder is attached first so each event's record is already
+	// in the ring when the metrics observer tags acquisition-delay exemplars
+	// with LastSeqOf — the exemplar's flight_seq then names the satisfaction
+	// event itself.
+	var fl *obs.FlightRecorder
+	if *flightN > 0 || *flightO != "" {
+		fl = obs.NewFlightRecorder(1, *flightN) // the simulator runs one RSM
+		observers = append(observers, fl.ShardObserver(0))
+	}
 	var reg *obs.Metrics
-	if *metricsF {
+	if *metricsF || *tsF > 0 {
 		reg = obs.NewMetrics()
-		observers = append(observers, obs.NewProtocolObserver(reg))
+		po := obs.NewProtocolObserver(reg)
+		if fl != nil {
+			po.SetExemplarSource(fl, 0)
+		}
+		observers = append(observers, po)
 	}
 	var bm *obs.BoundMonitor
 	if proto == sim.ProtoRWRNLP && prog != sim.Inheritance {
@@ -158,11 +172,6 @@ func main() {
 		}
 		attr = obs.NewAttributor(reg, *attrTopK)
 		observers = append(observers, attr)
-	}
-	var fl *obs.FlightRecorder
-	if *flightN > 0 || *flightO != "" {
-		fl = obs.NewFlightRecorder(1, *flightN) // the simulator runs one RSM
-		observers = append(observers, fl.ShardObserver(0))
 	}
 	var wd *obs.Watchdog
 	if *wdogF {
@@ -315,8 +324,21 @@ func main() {
 		}
 	}
 	if *httpAddr != "" {
-		fmt.Printf("\nserving debug endpoint on http://%s (/metrics, /bounds, /debug/rnlp/flight, /debug/rnlp/watchdog, /debug/pprof, /healthz); Ctrl-C to stop\n", *httpAddr)
-		if err := http.ListenAndServe(*httpAddr, obs.DebugMux(reg, bm, fl, wd)); err != nil {
+		var ts *obs.TimeSeries
+		if *tsF > 0 && reg != nil {
+			// The run is already over, so the ring mostly re-captures the final
+			// cumulative snapshot; scrapes still get windowed views and the
+			// endpoint shape is live for cockpit clients (rnlptop).
+			ts = obs.NewTimeSeries(reg, *tsF, 0)
+			ts.Start()
+			defer ts.Stop()
+		}
+		cfg := obs.DebugMuxConfig{Metrics: reg, Bounds: bm, Flight: fl, Series: ts, Watchdogs: []*obs.Watchdog{wd}}
+		if attr != nil {
+			cfg.Attribution = attr.Report
+		}
+		fmt.Printf("\nserving debug endpoint on http://%s (/metrics, /bounds, /debug/rnlp/flight, /debug/rnlp/watchdog, /debug/rnlp/timeseries, /debug/rnlp/attr, /debug/pprof, /healthz); Ctrl-C to stop\n", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, obs.NewDebugMux(cfg)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

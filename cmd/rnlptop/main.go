@@ -1,0 +1,167 @@
+// Command rnlptop is a top-like cockpit for a running rwrnlp protocol. It
+// polls the protocol's DebugMux — the time-series, watchdog, and attribution
+// routes — and redraws one screen per interval: throughput, windowed tail
+// latencies per histogram, per-shard fast-path economy, Theorem 1/2 bound
+// utilization, watchdog state, and the worst blocking chains.
+//
+//	rnlptop -url http://localhost:6060            # watch a live process
+//	rnlptop -window 10s -interval 500ms ...       # tighter view
+//	rnlptop -demo                                 # self-contained: in-process workload
+//	rnlptop -demo -frames 3 -plain                # scripted (CI smoke test)
+//
+// The target must serve a DebugMux with WithTimeSeries enabled (the
+// timeseries route refreshes itself on scrape, so even a stopped capture
+// goroutine yields current data). Watchdog and attribution sections appear
+// when those options are armed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/rtsync/rwrnlp"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:6060", "base URL of a rwrnlp DebugMux")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		window   = flag.Duration("window", 30*time.Second, "rate/quantile window")
+		frames   = flag.Int("frames", 0, "exit after N frames (0 = run until interrupted)")
+		topK     = flag.Int("top", 5, "blocking chains to show")
+		plain    = flag.Bool("plain", false, "append frames instead of redrawing the screen (for logs and tests)")
+		demo     = flag.Bool("demo", false, "ignore -url: run an in-process contended workload and watch it")
+	)
+	flag.Parse()
+
+	if *demo {
+		stop, addr, err := startDemo()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rnlptop:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		*url = "http://" + addr
+		// Let the first capture interval elapse so frame one has a window.
+		time.Sleep(300 * time.Millisecond)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	cfg := renderConfig{URL: *url, Window: *window, Interval: *interval, Plain: *plain, TopK: *topK}
+	for n := 0; *frames == 0 || n < *frames; n++ {
+		if n > 0 {
+			time.Sleep(*interval)
+		}
+		f := fetchFrame(client, *url, *window)
+		cfg.Now = time.Now()
+		render(os.Stdout, f, cfg)
+	}
+}
+
+// fetchFrame pulls one refresh worth of state. Endpoint failures are folded
+// into the frame (shown in the header) so a cockpit pointed at a half-enabled
+// process degrades instead of dying.
+func fetchFrame(c *http.Client, base string, window time.Duration) frameData {
+	var f frameData
+	if err := getJSON(c, fmt.Sprintf("%s/debug/rnlp/timeseries?window=%s", base, window), &f.TS); err != nil {
+		f.Errs = append(f.Errs, "timeseries: "+err.Error())
+	}
+	if err := getJSON(c, base+"/debug/rnlp/watchdog", &f.WD); err != nil {
+		f.Errs = append(f.Errs, "watchdog: "+err.Error())
+	}
+	if err := getJSON(c, base+"/debug/rnlp/attr", &f.Attr); err != nil {
+		f.Errs = append(f.Errs, "attr: "+err.Error())
+	}
+	return f
+}
+
+func getJSON(c *http.Client, url string, v any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// startDemo builds a fully instrumented protocol, keeps a contended
+// read-mostly workload running against it, and serves its DebugMux on a
+// loopback port. It returns a stop function and the listen address.
+func startDemo() (func(), string, error) {
+	const nres = 8
+	sb := rwrnlp.NewSpecBuilder(nres)
+	for i := 0; i < nres; i++ {
+		a, b := rwrnlp.ResourceID(i), rwrnlp.ResourceID((i+1)%nres)
+		if err := sb.DeclareRequest([]rwrnlp.ResourceID{a, b}, nil); err != nil {
+			return nil, "", err
+		}
+		if err := sb.DeclareRequest(nil, []rwrnlp.ResourceID{a}); err != nil {
+			return nil, "", err
+		}
+	}
+	p := rwrnlp.New(sb.Build(),
+		rwrnlp.WithPlaceholders(),
+		rwrnlp.WithTimeSeries(250*time.Millisecond, 0),
+		rwrnlp.WithFlightRecorder(0),
+		rwrnlp.WithAttribution(10),
+		rwrnlp.WithStallWatchdog(rwrnlp.WatchdogConfig{}),
+	)
+
+	done := make(chan struct{})
+	work := func(seed int64, write bool) {
+		rng := rand.New(rand.NewSource(seed))
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			r := rwrnlp.ResourceID(rng.Intn(nres))
+			var tok rwrnlp.Token
+			var err error
+			if write {
+				tok, err = p.Write(context.Background(), r)
+			} else {
+				tok, err = p.Read(context.Background(), r, rwrnlp.ResourceID((int(r)+1)%nres))
+			}
+			if err != nil {
+				return
+			}
+			time.Sleep(time.Duration(50+rng.Intn(200)) * time.Microsecond)
+			if p.Release(tok) != nil {
+				return
+			}
+		}
+	}
+	for i := 0; i < 6; i++ {
+		go work(int64(i), false)
+	}
+	for i := 0; i < 2; i++ {
+		go work(int64(100+i), true)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		close(done)
+		_ = p.Close()
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: p.DebugMux()}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		close(done)
+		_ = srv.Close()
+		_ = p.Close()
+	}
+	return stop, ln.Addr().String(), nil
+}

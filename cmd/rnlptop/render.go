@@ -1,0 +1,232 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/rtsync/rwrnlp/internal/obs"
+)
+
+// frameData is everything one refresh pulled from the debug endpoint. Any
+// section may be zero (endpoint absent or subsystem disabled); render skips
+// what is empty.
+type frameData struct {
+	TS   obs.TimeSeriesReport
+	WD   wdStatus
+	Attr obs.AttributionReport
+	Errs []string // per-endpoint fetch failures, shown in the header
+}
+
+// wdStatus mirrors the /debug/rnlp/watchdog JSON body.
+type wdStatus struct {
+	Firings int64             `json:"firings"`
+	Reports []obs.StallReport `json:"reports"`
+}
+
+// renderConfig is the static context of a frame.
+type renderConfig struct {
+	URL      string
+	Window   time.Duration
+	Interval time.Duration
+	Now      time.Time
+	Plain    bool // no ANSI clear between frames
+	TopK     int  // blocking chains to show
+}
+
+// histOrder is the preferred row order of the quantile table; remaining
+// non-shard histograms follow alphabetically.
+var histOrder = []string{
+	obs.MAcqDelayRead, obs.MAcqDelayWrite, obs.MAcqDelayIncremental,
+	obs.MEntitlementWait,
+	obs.MWallAcqReadNS, obs.MWallAcqWriteNS, obs.MWallBlockNS, obs.MWallCSNS,
+	obs.MCSLengthRead, obs.MCSLengthWrite, obs.MQueueDepth,
+}
+
+const maxHistRows = 14
+
+// shardOf splits a shard-labeled instrument name, e.g.
+// "fastpath_hit{shard=2}" into ("fastpath_hit", 2, true).
+func shardOf(name string) (string, int, bool) {
+	i := strings.Index(name, "{shard=")
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, 0, false
+	}
+	n, err := strconv.Atoi(name[i+len("{shard=") : len(name)-1])
+	if err != nil {
+		return name, 0, false
+	}
+	return name[:i], n, true
+}
+
+// render writes one full cockpit frame. It is pure: everything it shows comes
+// from f and cfg, so tests can drive it with canned data.
+func render(w io.Writer, f frameData, cfg renderConfig) {
+	if !cfg.Plain {
+		fmt.Fprint(w, "\x1b[H\x1b[2J") // cursor home + clear screen
+	}
+	fmt.Fprintf(w, "rnlptop — %s  window %s  interval %s  %s\n",
+		cfg.URL, cfg.Window, cfg.Interval, cfg.Now.Format("15:04:05"))
+	fmt.Fprintf(w, "samples %d  span %.1fs\n",
+		f.TS.Samples, float64(f.TS.WindowNS)/1e9)
+	for _, e := range f.Errs {
+		fmt.Fprintf(w, "! %s\n", e)
+	}
+	fmt.Fprintln(w)
+
+	renderThroughput(w, f.TS)
+	renderHists(w, f.TS)
+	renderShards(w, f.TS)
+	renderBound(w, f.TS.Bound)
+	renderWatchdog(w, f.WD)
+	renderChains(w, f.Attr, cfg.TopK)
+}
+
+func renderThroughput(w io.Writer, ts obs.TimeSeriesReport) {
+	if len(ts.Rates) == 0 && len(ts.Gauges) == 0 {
+		fmt.Fprintln(w, "(no metrics in window — is the workload running and WithTimeSeries set?)")
+		return
+	}
+	fmt.Fprintf(w, "throughput  issued %s/s  satisfied %s/s  completed %s/s  canceled %s/s  slow-path %s/s\n",
+		rate(ts.Rates, obs.MIssued), rate(ts.Rates, obs.MSatisfied),
+		rate(ts.Rates, obs.MCompleted), rate(ts.Rates, obs.MCanceled),
+		rate(ts.Rates, obs.MSlowPath))
+	fmt.Fprintf(w, "gauges      inflight %d  holders %d\n\n",
+		ts.Gauges[obs.MInflight], ts.Gauges[obs.MHolders])
+}
+
+func rate(rates map[string]float64, name string) string {
+	return fmt.Sprintf("%.1f", rates[name])
+}
+
+func renderHists(w io.Writer, ts obs.TimeSeriesReport) {
+	rows := make([]string, 0, len(ts.Hists))
+	seen := map[string]bool{}
+	for _, name := range histOrder {
+		if _, ok := ts.Hists[name]; ok {
+			rows = append(rows, name)
+			seen[name] = true
+		}
+	}
+	var rest []string
+	for name := range ts.Hists {
+		if _, _, sharded := shardOf(name); !sharded && !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	rows = append(rows, rest...)
+	if len(rows) == 0 {
+		return
+	}
+	if len(rows) > maxHistRows {
+		rows = rows[:maxHistRows]
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "histogram\trate/s\tp50\tp90\tp99\tp999\tmax\t")
+	for _, name := range rows {
+		h := ts.Hists[name]
+		fmt.Fprintf(tw, "%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t\n",
+			name, h.Rate, h.P50, h.P90, h.P99, h.P999, h.Max)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// renderShards aggregates the shard-labeled counters into one row per shard:
+// acquisition traffic and the reader fast path's hit/miss/migration economy.
+func renderShards(w io.Writer, ts obs.TimeSeriesReport) {
+	type shardRow struct{ acq, rel, cont, hit, miss, migr, revoked float64 }
+	rows := map[int]*shardRow{}
+	get := func(i int) *shardRow {
+		if rows[i] == nil {
+			rows[i] = &shardRow{}
+		}
+		return rows[i]
+	}
+	for name, v := range ts.Rates {
+		base, i, ok := shardOf(name)
+		if !ok {
+			continue
+		}
+		switch base {
+		case obs.MShardAcquires:
+			get(i).acq = v
+		case obs.MShardReleases:
+			get(i).rel = v
+		case obs.MShardContended:
+			get(i).cont = v
+		case obs.MFastPathHit:
+			get(i).hit = v
+		case obs.MFastPathMiss:
+			get(i).miss = v
+		case obs.MFastPathMigrated:
+			get(i).migr = v
+		case obs.MFastPathRevoked:
+			get(i).revoked = v
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(rows))
+	for i := range rows {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "shard\tacq/s\trel/s\tcontended/s\tfast hit/s\tmiss/s\tmigrated/s\trevoked/s\thit%\t")
+	for _, i := range ids {
+		r := rows[i]
+		hitPct := 0.0
+		if r.hit+r.miss > 0 {
+			hitPct = 100 * r.hit / (r.hit + r.miss)
+		}
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
+			i, r.acq, r.rel, r.cont, r.hit, r.miss, r.migr, r.revoked, hitPct)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func renderBound(w io.Writer, b obs.BoundUtilization) {
+	if b.ReadBound == 0 && b.WriteBound == 0 {
+		return
+	}
+	src := "observed"
+	if b.Analytic {
+		src = "analytic"
+	}
+	fmt.Fprintf(w, "bounds (%s, Lr=%d Lw=%d m=%d)  read p999 %d / %d (%.0f%%)  write p999 %d / %d (%.0f%%)\n\n",
+		src, b.Lr, b.Lw, b.M,
+		b.ReadP999, b.ReadBound, 100*b.ReadUtil,
+		b.WriteP999, b.WriteBound, 100*b.WriteUtil)
+}
+
+func renderWatchdog(w io.Writer, wd wdStatus) {
+	fmt.Fprintf(w, "watchdog    %d firing(s)\n", wd.Firings)
+	if n := len(wd.Reports); n > 0 {
+		fmt.Fprintf(w, "  last: %s\n", wd.Reports[n-1].String())
+	}
+	fmt.Fprintln(w)
+}
+
+func renderChains(w io.Writer, attr obs.AttributionReport, topK int) {
+	if len(attr.Top) == 0 {
+		return
+	}
+	if topK <= 0 {
+		topK = 5
+	}
+	fmt.Fprintf(w, "top blocking chains (of %d attributed):\n", attr.Checked)
+	for i, c := range attr.Top {
+		if i >= topK {
+			break
+		}
+		fmt.Fprintf(w, "  %s\n", c.String())
+	}
+}

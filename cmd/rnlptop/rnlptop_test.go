@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rtsync/rwrnlp/internal/obs"
+)
+
+// TestRenderFrame drives the renderer with canned data and checks every
+// section appears with the expected values — the deterministic half of the
+// cockpit's coverage.
+func TestRenderFrame(t *testing.T) {
+	f := frameData{
+		TS: obs.TimeSeriesReport{
+			Samples:  7,
+			WindowNS: int64(6 * time.Second),
+			Rates: map[string]float64{
+				obs.MIssued:               1500,
+				obs.MSatisfied:            1499.5,
+				obs.MCompleted:            1498,
+				"shard_acquires{shard=0}": 900,
+				"shard_acquires{shard=1}": 600,
+				"fastpath_hit{shard=0}":   810,
+				"fastpath_miss{shard=0}":  90,
+			},
+			Gauges: map[string]int64{obs.MInflight: 4, obs.MHolders: 2},
+			Hists: map[string]obs.WindowStats{
+				obs.MAcqDelayRead: {Count: 9000, Rate: 1500, P50: 10, P90: 40, P99: 80, P999: 120, Max: 127},
+			},
+			Bound: obs.BoundUtilization{
+				Lr: 30, Lw: 50, M: 8,
+				ReadBound: 80, WriteBound: 560,
+				ReadP999: 60, WriteP999: 280,
+				ReadUtil: 0.75, WriteUtil: 0.5,
+			},
+		},
+		WD: wdStatus{Firings: 2},
+		Attr: obs.AttributionReport{
+			Checked: 9000,
+			Top: []obs.BlockChain{{
+				Req: 17, Delay: 42,
+				Parts: []obs.DelayPart{{Component: obs.AttrWriterQueueWait, Span: 42}},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	render(&buf, f, renderConfig{
+		URL: "http://example:6060", Window: 30 * time.Second,
+		Interval: time.Second, Now: time.Unix(0, 0).UTC(), Plain: true, TopK: 5,
+	})
+	out := buf.String()
+
+	for _, want := range []string{
+		"rnlptop — http://example:6060",
+		"samples 7  span 6.0s",
+		"issued 1500.0/s",
+		"inflight 4  holders 2",
+		"acq_delay_read",
+		"120", // p999
+		"read p999 60 / 80 (75%)",
+		"write p999 280 / 560 (50%)",
+		"watchdog    2 firing(s)",
+		"top blocking chains (of 9000 attributed):",
+		"req=17",
+		"writer_queue_wait:42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Errorf("plain frame contains ANSI escapes:\n%s", out)
+	}
+
+	// Per-shard table: both shards present, hit ratio computed.
+	if !strings.Contains(out, "90.0") {
+		t.Errorf("shard 0 hit%% (90.0) missing:\n%s", out)
+	}
+}
+
+// TestRenderEmptyFrame: a cockpit pointed at a dead or bare endpoint must
+// still produce a frame (header + hints), not panic or emit garbage.
+func TestRenderEmptyFrame(t *testing.T) {
+	var buf bytes.Buffer
+	render(&buf, frameData{Errs: []string{"timeseries: connection refused"}}, renderConfig{
+		URL: "http://down:1", Window: time.Minute, Interval: time.Second,
+		Now: time.Unix(0, 0).UTC(), Plain: true,
+	})
+	out := buf.String()
+	if !strings.Contains(out, "! timeseries: connection refused") {
+		t.Errorf("fetch error not surfaced:\n%s", out)
+	}
+	if !strings.Contains(out, "no metrics in window") {
+		t.Errorf("empty-window hint missing:\n%s", out)
+	}
+}
+
+// TestCockpitLiveSmoke is the acceptance check: start the in-process demo
+// (real protocol, real contended workload, real DebugMux over loopback),
+// poll it exactly as main does, and require at least one full frame with
+// live numbers in it.
+func TestCockpitLiveSmoke(t *testing.T) {
+	stop, addr, err := startDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		time.Sleep(300 * time.Millisecond)
+		f := fetchFrame(client, base, 10*time.Second)
+		if len(f.Errs) > 0 {
+			t.Fatalf("fetch errors: %v", f.Errs)
+		}
+		if f.TS.Samples >= 2 && f.TS.Rates[obs.MIssued] > 0 {
+			var buf bytes.Buffer
+			render(&buf, f, renderConfig{
+				URL: base, Window: 10 * time.Second, Interval: time.Second,
+				Now: time.Now(), Plain: true, TopK: 3,
+			})
+			out := buf.String()
+			for _, want := range []string{"rnlptop — ", "throughput", "acq_delay_read", "watchdog", "shard"} {
+				if !strings.Contains(out, want) {
+					t.Fatalf("live frame missing %q:\n%s", want, out)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no live frame within deadline; last: samples=%d rates=%v",
+				f.TS.Samples, f.TS.Rates)
+		}
+	}
+}

@@ -106,6 +106,7 @@ func (r FlightRecord) Event() core.Event {
 type flightRing struct {
 	slots []atomic.Pointer[FlightRecord]
 	next  atomic.Uint64 // next slot index to write (monotonic, mod len)
+	last  atomic.Uint64 // global Seq of the most recent record in this ring
 }
 
 // DefaultFlightDepth is the per-shard ring capacity when none is given.
@@ -171,6 +172,19 @@ func (f *FlightRecorder) Record(shard int, e core.Event) {
 	ring := &f.rings[shard]
 	idx := ring.next.Add(1) - 1
 	ring.slots[idx%uint64(len(ring.slots))].Store(rec)
+	ring.last.Store(rec.Seq)
+}
+
+// LastSeqOf returns the global sequence number of the most recent record in
+// the given shard's ring (0 if none). Under the per-shard serialization
+// contract, an observer running after Record in the same delivery sees the
+// sequence of exactly that event — the hook metric exemplars use to link a
+// tail sample to its flight-recorder window.
+func (f *FlightRecorder) LastSeqOf(shard int) uint64 {
+	if shard < 0 || shard >= len(f.rings) {
+		return 0
+	}
+	return f.rings[shard].last.Load()
 }
 
 // ShardObserver adapts one shard's ring to core.Observer, for planes that
@@ -263,4 +277,35 @@ func (d FlightDump) Attribution(topK int) AttributionReport {
 		a.Observe(e)
 	}
 	return a.Report()
+}
+
+// ResolveSeq resolves a flight sequence number — as carried by a metric
+// exemplar — into the record it names and the blocking chain of that
+// record's request, reconstructed by replaying the dump through a fresh
+// Attributor. This is the exemplar → attribution leg of the telemetry loop:
+// scrape OpenMetrics, take a tail bucket's flight_seq, resolve it here (or
+// via `flightdump -seq`).
+//
+// It fails if the sequence is no longer retained (the ring wrapped) or if
+// the request's lifecycle is too truncated in the dump to attribute.
+func (d FlightDump) ResolveSeq(seq uint64) (FlightRecord, BlockChain, error) {
+	var rec *FlightRecord
+	for i := range d.Records {
+		if d.Records[i].Seq == seq {
+			rec = &d.Records[i]
+			break
+		}
+	}
+	if rec == nil {
+		return FlightRecord{}, BlockChain{}, fmt.Errorf("flight seq %d not retained (ring wrapped or recorder restarted)", seq)
+	}
+	a := NewAttributor(NewMetrics(), 1)
+	for _, e := range d.Events() {
+		a.Observe(e)
+	}
+	chain, ok := a.Chain(core.ReqID(rec.Req))
+	if !ok {
+		return *rec, BlockChain{}, fmt.Errorf("flight seq %d: request %d has no attributable chain in the dump (lifecycle truncated by the ring)", seq, rec.Req)
+	}
+	return *rec, chain, nil
 }

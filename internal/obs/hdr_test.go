@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// The log-linear layout must tile [0, 2^63) exactly: every value lands in a
+// bucket whose bounds contain it, indexes are monotone in the value, and no
+// bucket is wider than 2^-histSubBits of its lower bound.
+func TestBucketLayout(t *testing.T) {
+	vals := []int64{}
+	for v := int64(0); v < 1<<12; v++ {
+		vals = append(vals, v)
+	}
+	for e := 12; e < 63; e++ {
+		p := int64(1) << e
+		vals = append(vals, p-1, p, p+1, p+p/3, 2*p-1)
+	}
+	vals = append(vals, minSentinel) // math.MaxInt64
+	prevIdx := -1
+	for _, v := range vals {
+		if v < 0 {
+			continue
+		}
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, i, histBuckets)
+		}
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d mapped to bucket %d = [%d,%d]", v, i, lo, hi)
+		}
+		if lo >= int64(histSubBuckets) && (hi-lo)*histSubBuckets > lo {
+			t.Fatalf("bucket %d = [%d,%d] wider than lo/%d", i, lo, hi, histSubBuckets)
+		}
+		if i < prevIdx {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prevIdx)
+		}
+		prevIdx = i
+	}
+	// Adjacent buckets must tile with no gaps or overlaps.
+	for i := 0; i < histBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if lo != hi+1 {
+			t.Fatalf("gap between bucket %d (hi=%d) and %d (lo=%d)", i, hi, i+1, lo)
+		}
+	}
+}
+
+// checkQuantiles asserts the histogram's quantile estimates against the exact
+// sorted-sample quantiles: the estimate is never below the true sample and
+// exceeds it by at most HistMaxRelError (samples < 2^histSubBits are exact).
+func checkQuantiles(t *testing.T, name string, samples []int64) {
+	t.Helper()
+	h := newHistogram()
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := h.Stats()
+	if s.Count != int64(len(samples)) {
+		t.Fatalf("%s: count = %d, want %d", name, s.Count, len(samples))
+	}
+	for _, tc := range []struct {
+		p   float64
+		est int64
+	}{
+		{0.50, s.P50}, {0.90, s.P90}, {0.95, s.P95}, {0.99, s.P99}, {0.999, s.P999},
+	} {
+		exact := sorted[int64(tc.p*float64(len(sorted)-1))]
+		if tc.est < exact {
+			t.Errorf("%s: p%g = %d under-reports exact %d", name, tc.p*100, tc.est, exact)
+		}
+		// One-sided relative error bound: (est-exact) ≤ exact/histSubBuckets.
+		if (tc.est-exact)*histSubBuckets > exact {
+			t.Errorf("%s: p%g = %d vs exact %d exceeds %.2f%% relative error",
+				name, tc.p*100, tc.est, exact, 100*HistMaxRelError)
+		}
+		if exact < histSubBuckets && tc.est != exact {
+			t.Errorf("%s: p%g = %d, want exact %d (sub-%d region is exact)",
+				name, tc.p*100, tc.est, exact, histSubBuckets)
+		}
+	}
+}
+
+// Property test over known distributions (satellite: HDR quantile accuracy).
+func TestHistogramQuantileProperty(t *testing.T) {
+	const n = 20000
+	rng := rand.New(rand.NewSource(42))
+
+	uniform := make([]int64, n)
+	for i := range uniform {
+		uniform[i] = rng.Int63n(1_000_000)
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	exponential := make([]int64, n)
+	for i := range exponential {
+		exponential[i] = int64(rng.ExpFloat64() * 50_000)
+	}
+	checkQuantiles(t, "exponential", exponential)
+
+	bimodal := make([]int64, n)
+	for i := range bimodal {
+		if rng.Float64() < 0.9 {
+			bimodal[i] = 500 + rng.Int63n(1000) // fast mode
+		} else {
+			bimodal[i] = 1_000_000 + rng.Int63n(200_000) // stalled mode
+		}
+	}
+	checkQuantiles(t, "bimodal", bimodal)
+}
+
+// Concurrent recording must lose nothing: bucket adds and the sharded sum are
+// atomic, so count and sum are exact after quiescence. Run with -race.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveTagged(int64(w*per+i), int64(i), uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Stats()
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	want := int64(workers*per) * int64(workers*per-1) / 2
+	if s.Sum != want {
+		t.Errorf("sum = %d, want %d", s.Sum, want)
+	}
+	if s.Min != 0 || s.Max != workers*per-1 {
+		t.Errorf("min/max = %d/%d, want 0/%d", s.Min, s.Max, workers*per-1)
+	}
+}
+
+// Exemplars: one slot per octave, latest tagged sample wins, sorted by value
+// in Stats, and untagged histograms report none.
+func TestHistogramExemplars(t *testing.T) {
+	h := newHistogram()
+	h.Observe(100)
+	if got := h.Stats().Exemplars; len(got) != 0 {
+		t.Fatalf("untagged histogram has exemplars: %+v", got)
+	}
+	h.ObserveTagged(70, 1, 10)
+	h.ObserveTagged(100, 2, 20) // same octave [64,128): replaces req 1
+	h.ObserveTagged(5000, 3, 30)
+	ex := h.Stats().Exemplars
+	if len(ex) != 2 {
+		t.Fatalf("exemplars = %+v, want 2 (one per octave)", ex)
+	}
+	if ex[0].Value != 100 || ex[0].Req != 2 || ex[0].Seq != 20 {
+		t.Errorf("octave exemplar = %+v, want latest (value 100, req 2, seq 20)", ex[0])
+	}
+	if ex[1].Value != 5000 || ex[1].Req != 3 || ex[1].Seq != 30 {
+		t.Errorf("tail exemplar = %+v", ex[1])
+	}
+}
+
+// Regression for pre-HDR callers: the HistStats surface the log2 histogram
+// exposed (Count/Sum/Min/Max/Mean/P50/P95/P99/Buckets) must keep compiling
+// and keep its semantics — cumulative Buckets in increasing le order with the
+// total matching Count.
+func TestHistStatsBackCompat(t *testing.T) {
+	h := newHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Stats()
+	var total int64
+	prevLe := int64(-1)
+	for _, b := range s.Buckets {
+		if b.Le <= prevLe {
+			t.Fatalf("bucket les not increasing: %d after %d", b.Le, prevLe)
+		}
+		prevLe = b.Le
+		total += b.N
+	}
+	if total != s.Count {
+		t.Errorf("bucket total %d != count %d", total, s.Count)
+	}
+	_ = []int64{s.Count, s.Sum, s.Min, s.Max, s.P50, s.P90, s.P95, s.P99, s.P999}
+	_ = s.Mean
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}

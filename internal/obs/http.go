@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler serves the registry's snapshot: JSON by default (expvar-style),
 // plain text with ?format=text, Prometheus text exposition 0.0.4 with
-// ?format=prom. A nil registry serves an empty snapshot.
+// ?format=prom, OpenMetrics 1.0.0 (with _created series and exemplars) with
+// ?format=openmetrics. A nil registry serves an empty snapshot.
 func Handler(m *Metrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var s Snapshot
@@ -23,12 +25,74 @@ func Handler(m *Metrics) http.Handler {
 		case "prom":
 			w.Header().Set("Content-Type", PrometheusContentType)
 			_ = WritePrometheus(w, s)
+		case "openmetrics":
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			_ = WriteOpenMetrics(w, s)
 		default:
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			_ = enc.Encode(s)
 		}
+	})
+}
+
+// TimeSeriesHandler serves windowed time-series reports as JSON. The window
+// defaults to 60s and is set with ?window=30s (Go duration syntax); ?raw=1
+// additionally includes the retained samples. Each request refreshes the ring
+// if its head sample is stale, so scrapes see current data even when the
+// capture goroutine was never started. A nil series serves an empty report.
+func TimeSeriesHandler(ts *TimeSeries) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if ts == nil {
+			_ = enc.Encode(struct {
+				Error string `json:"error"`
+			}{"no time series attached"})
+			return
+		}
+		window := 60 * time.Second
+		if q := r.URL.Query().Get("window"); q != "" {
+			if d, err := time.ParseDuration(q); err == nil && d > 0 {
+				window = d
+			} else {
+				http.Error(w, "bad window (want a Go duration, e.g. 30s)", http.StatusBadRequest)
+				return
+			}
+		}
+		ts.ensureFresh()
+		rep := ts.Query(window)
+		if r.URL.Query().Get("raw") == "1" {
+			_ = enc.Encode(struct {
+				Report  TimeSeriesReport `json:"report"`
+				Samples []Snapshot       `json:"samples"`
+			}{rep, ts.Samples()})
+			return
+		}
+		_ = enc.Encode(rep)
+	})
+}
+
+// AttributionHandler serves the causal blocking-attribution report as JSON
+// (?format=text for the human rendering). report is called per request; a
+// nil func serves an empty report.
+func AttributionHandler(report func() AttributionReport) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var rep AttributionReport
+		if report != nil {
+			rep = report()
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(rep.String()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
 	})
 }
 
@@ -81,31 +145,44 @@ func WatchdogHandler(wds ...*Watchdog) http.Handler {
 	})
 }
 
-// DebugMux builds the debug endpoint for long-running users of the runtime
-// lock:
+// DebugMuxConfig selects what NewDebugMux serves. Any field may be nil; the
+// corresponding route serves empty data.
+type DebugMuxConfig struct {
+	Metrics *Metrics
+	Bounds  *BoundMonitor
+	Flight  *FlightRecorder
+	Series  *TimeSeries
+	// Attribution is called per request to /debug/rnlp/attr.
+	Attribution func() AttributionReport
+	Watchdogs   []*Watchdog
+}
+
+// NewDebugMux builds the debug endpoint for long-running users of the
+// runtime lock:
 //
-//	/metrics              metrics snapshot (JSON; ?format=text|prom)
-//	/bounds               current bound-monitor report, plain text
-//	/debug/rnlp/flight    flight-recorder dump (JSON; ?format=perfetto)
-//	/debug/rnlp/watchdog  stall-watchdog firings and reports, JSON
-//	/debug/pprof/...      the standard net/http/pprof handlers
-//	/healthz              "ok"
-//
-// Any argument may be nil (or absent); the corresponding route serves empty
-// data.
-func DebugMux(m *Metrics, bm *BoundMonitor, fl *FlightRecorder, wds ...*Watchdog) *http.ServeMux {
+//	/metrics                 metrics snapshot (JSON; ?format=text|prom|openmetrics)
+//	/bounds                  current bound-monitor report, plain text
+//	/debug/rnlp/flight       flight-recorder dump (JSON; ?format=perfetto)
+//	/debug/rnlp/watchdog     stall-watchdog firings and reports, JSON
+//	/debug/rnlp/timeseries   windowed rates/quantiles/bound-utilization (JSON; ?window=30s&raw=1)
+//	/debug/rnlp/attr         causal blocking attribution (JSON; ?format=text)
+//	/debug/pprof/...         the standard net/http/pprof handlers
+//	/healthz                 "ok"
+func NewDebugMux(cfg DebugMuxConfig) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", Handler(m))
+	mux.Handle("/metrics", Handler(cfg.Metrics))
 	mux.HandleFunc("/bounds", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if bm == nil {
+		if cfg.Bounds == nil {
 			_, _ = w.Write([]byte("(no bound monitor attached)\n"))
 			return
 		}
-		_, _ = w.Write([]byte(bm.Report().String()))
+		_, _ = w.Write([]byte(cfg.Bounds.Report().String()))
 	})
-	mux.Handle("/debug/rnlp/flight", FlightHandler(fl))
-	mux.Handle("/debug/rnlp/watchdog", WatchdogHandler(wds...))
+	mux.Handle("/debug/rnlp/flight", FlightHandler(cfg.Flight))
+	mux.Handle("/debug/rnlp/watchdog", WatchdogHandler(cfg.Watchdogs...))
+	mux.Handle("/debug/rnlp/timeseries", TimeSeriesHandler(cfg.Series))
+	mux.Handle("/debug/rnlp/attr", AttributionHandler(cfg.Attribution))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -116,4 +193,12 @@ func DebugMux(m *Metrics, bm *BoundMonitor, fl *FlightRecorder, wds ...*Watchdog
 		_, _ = fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// DebugMux is NewDebugMux for the pre-timeseries positional signature.
+//
+// Deprecated: use NewDebugMux, which also serves /debug/rnlp/timeseries and
+// /debug/rnlp/attr.
+func DebugMux(m *Metrics, bm *BoundMonitor, fl *FlightRecorder, wds ...*Watchdog) *http.ServeMux {
+	return NewDebugMux(DebugMuxConfig{Metrics: m, Bounds: bm, Flight: fl, Watchdogs: wds})
 }

@@ -1,14 +1,16 @@
 // Package obs is the repository's observability layer: low-overhead protocol
-// metrics (sharded atomic counters, gauges, and fixed-bucket log2
-// histograms), an event-driven metrics observer for the RSM's protocol event
-// stream, an online Theorem 1/2 bound monitor, a Perfetto/Chrome trace-event
-// exporter, and an HTTP debug endpoint.
+// metrics (sharded atomic counters, gauges, and HDR-style log-linear
+// histograms with exemplars), an event-driven metrics observer for the RSM's
+// protocol event stream, an online Theorem 1/2 bound monitor, a bounded
+// time-series ring for windowed rates and quantiles, a Perfetto/Chrome
+// trace-event exporter, and an HTTP debug endpoint.
 //
 // The metrics primitives are lock-free on the hot path: counters stripe
 // increments across cache-line-padded shards keyed by goroutine stack
-// address, histograms bucket by bit length with one atomic add per
-// observation, and no instrument ever blocks. Registration (name lookup) is
-// mutex-guarded but off the hot path — observers cache instrument pointers.
+// address, histograms index a log-linear bucket array with one atomic add per
+// observation (sum striped like a Counter), and no instrument ever blocks.
+// Registration (name lookup) is mutex-guarded but off the hot path —
+// observers cache instrument pointers.
 //
 // Time units are whatever the producing plane uses: the simulator reports
 // nanoseconds of simulated time, the runtime lock reports wall-clock
@@ -24,6 +26,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 )
 
@@ -84,21 +87,82 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// histBuckets is one bucket per possible bit length of a non-negative int64
-// (bucket i holds values v with bits.Len64(v) == i; bucket 0 holds v == 0),
-// so Observe never range-checks and the whole histogram is a fixed ~1 KiB.
-const histBuckets = 64
+// Log-linear ("HDR-style") bucket layout. Values below 2^histSubBits get one
+// bucket each (exact); every higher power-of-two octave [2^e, 2^(e+1)) is
+// split into histSubBuckets equal-width sub-buckets. A bucket's width is then
+// at most 2^-histSubBits of its lower bound, so reporting any point inside
+// the bucket — this package reports the upper bound, clamped to the observed
+// min/max — over-estimates the true sample by at most HistMaxRelError.
+const (
+	histSubBits    = 4
+	histSubBuckets = 1 << histSubBits // 16 sub-buckets per octave
+	// Octaves cover exponents histSubBits..62 (bits.Len64 of a positive
+	// int64 is at most 63), after the exact region [0, histSubBuckets).
+	histBuckets = histSubBuckets + (63-histSubBits)*histSubBuckets // 960
+)
 
-// Histogram is a fixed-bucket log2 histogram of non-negative int64 samples
-// (durations, depths). Recording is one atomic add per observation plus
-// max/min maintenance; quantiles are extracted from the bucket counts at
-// snapshot time with bucket-upper-bound resolution (≤ 2× relative error),
-// with the true max tracked exactly.
+// HistMaxRelError is the documented worst-case relative quantile error: the
+// reported value is never below the true sample and exceeds it by at most
+// this fraction (6.25%). Samples below 2^histSubBits are exact.
+const HistMaxRelError = 1.0 / float64(histSubBuckets)
+
+// bucketIndex maps a non-negative sample to its log-linear bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	e := uint(bits.Len64(u)) - 1
+	sub := int((u >> (e - histSubBits)) & (histSubBuckets - 1))
+	return histSubBuckets + (int(e)-histSubBits)*histSubBuckets + sub
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < histSubBuckets {
+		return int64(i), int64(i)
+	}
+	j := i - histSubBuckets
+	e := uint(histSubBits + j/histSubBuckets)
+	sub := int64(j % histSubBuckets)
+	width := int64(1) << (e - histSubBits)
+	lo = int64(1)<<e + sub*width
+	return lo, lo + width - 1
+}
+
+// bucketUpper is the largest value bucket i can hold.
+func bucketUpper(i int) int64 {
+	_, hi := bucketBounds(i)
+	return hi
+}
+
+// Histogram is a fixed-size log-linear (HDR-style) histogram of non-negative
+// int64 samples (durations, depths). Recording is one atomic add into the
+// bucket array plus a sharded sum add (Counter-style striping keeps hot sums
+// off a single cache line) and max/min maintenance; quantiles are extracted
+// from the bucket counts at snapshot time with ≤ HistMaxRelError one-sided
+// relative error, with the true max and min tracked exactly.
+//
+// Each octave additionally retains one exemplar slot — the most recent tagged
+// sample (request ID + flight-recorder sequence) that landed there via
+// ObserveTagged — so a tail bucket in a scrape can be traced back to the
+// exact flight-recorder window that produced it.
 type Histogram struct {
-	buckets [histBuckets]atomic.Int64
-	sum     atomic.Int64
-	max     atomic.Int64
-	min     atomic.Int64 // stores minSentinel when empty
+	buckets   [histBuckets]atomic.Int64
+	sum       Counter
+	max       atomic.Int64
+	min       atomic.Int64 // stores minSentinel when empty
+	exemplars [64]atomic.Pointer[Exemplar]
+}
+
+// Exemplar tags one recorded sample with its origin: the protocol request ID
+// and the flight-recorder sequence number current when it was recorded (0
+// when no flight recorder was attached). Resolve Seq with
+// FlightDump.ResolveSeq or `flightdump -seq`.
+type Exemplar struct {
+	Value int64  `json:"value"`
+	Req   int64  `json:"req"`
+	Seq   uint64 `json:"flight_seq,omitempty"`
 }
 
 const minSentinel = int64(^uint64(0) >> 1) // math.MaxInt64
@@ -114,7 +178,7 @@ func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.buckets[bits.Len64(uint64(v))&(histBuckets-1)].Add(1)
+	h.buckets[bucketIndex(v)].Add(1)
 	h.sum.Add(v)
 	for {
 		cur := h.max.Load()
@@ -130,7 +194,19 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
-// HistStats is a point-in-time summary of a histogram.
+// ObserveTagged records one sample and stores an exemplar for its octave:
+// the request ID and flight-recorder sequence that produced it.
+func (h *Histogram) ObserveTagged(v int64, req int64, seq uint64) {
+	h.Observe(v)
+	if v < 0 {
+		v = 0
+	}
+	h.exemplars[bits.Len64(uint64(v))].Store(&Exemplar{Value: v, Req: req, Seq: seq})
+}
+
+// HistStats is a point-in-time summary of a histogram. Quantiles are bucket
+// upper bounds clamped to [Min, Max]: never below the true sample, above it
+// by at most HistMaxRelError.
 type HistStats struct {
 	Count int64
 	Sum   int64
@@ -138,74 +214,90 @@ type HistStats struct {
 	Max   int64
 	Mean  float64
 	P50   int64
+	P90   int64
 	P95   int64
 	P99   int64
+	P999  int64
 	// Buckets lists the non-empty buckets as (upper bound, count) pairs.
 	Buckets []Bucket
+	// Exemplars lists the retained per-octave exemplars in increasing value
+	// order (at most one per octave; empty unless ObserveTagged was used).
+	Exemplars []Exemplar `json:",omitempty"`
 }
 
-// Bucket is one non-empty log2 bucket: Count samples ≤ Le.
+// Bucket is one non-empty log-linear bucket: N samples in (prev bucket, Le].
 type Bucket struct {
 	Le int64 `json:"le"`
 	N  int64 `json:"n"`
 }
 
-// bucketUpper is the largest value bucket i can hold.
-func bucketUpper(i int) int64 {
-	if i == 0 {
+// Quantile estimates the p-quantile (p in [0, 1]) from the recorded bucket
+// counts: the upper bound of the bucket holding the rank-p sample, clamped
+// to [Min, Max]. One-sided error ≤ HistMaxRelError. See HistStats for a
+// full summary; this exists for callers that need a single extra quantile.
+func (s HistStats) Quantile(p float64) int64 {
+	if s.Count == 0 {
 		return 0
 	}
-	return int64(1)<<i - 1
+	rank := int64(p * float64(s.Count-1))
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum > rank {
+			v := b.Le
+			if v > s.Max {
+				v = s.Max
+			}
+			if v < s.Min {
+				v = s.Min
+			}
+			return v
+		}
+	}
+	return s.Max
 }
 
 // Stats summarizes the histogram.
 func (h *Histogram) Stats() HistStats {
 	var s HistStats
-	counts := make([]int64, histBuckets)
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-		s.Count += counts[i]
-		if counts[i] > 0 {
-			s.Buckets = append(s.Buckets, Bucket{Le: bucketUpper(i), N: counts[i]})
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			s.Count += c
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketUpper(i), N: c})
 		}
 	}
 	if s.Count == 0 {
 		return s
 	}
-	s.Sum = h.sum.Load()
+	s.Sum = h.sum.Value()
 	s.Max = h.max.Load()
 	s.Min = h.min.Load()
 	s.Mean = float64(s.Sum) / float64(s.Count)
-	q := func(p float64) int64 {
-		rank := int64(p * float64(s.Count-1))
-		var cum int64
-		for i, c := range counts {
-			cum += c
-			if c > 0 && cum > rank {
-				v := bucketUpper(i)
-				if v > s.Max {
-					v = s.Max
-				}
-				if v < s.Min {
-					v = s.Min
-				}
-				return v
-			}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			s.Exemplars = append(s.Exemplars, *ex)
 		}
-		return s.Max
 	}
-	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	sort.Slice(s.Exemplars, func(i, j int) bool { return s.Exemplars[i].Value < s.Exemplars[j].Value })
 	return s
 }
 
 // Metrics is a named registry of counters, gauges, and histograms.
 // Instrument lookup is get-or-create and safe for concurrent use; hot paths
-// should look up once and cache the returned pointer.
+// should look up once and cache the returned pointer. The registry records
+// each instrument's creation time for OpenMetrics _created semantics.
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	created  map[string]int64 // instrument name -> creation time, unix nanos
+	nowNS    func() int64     // swappable for deterministic tests
 }
 
 // NewMetrics creates an empty registry.
@@ -214,7 +306,18 @@ func NewMetrics() *Metrics {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		created:  map[string]int64{},
+		nowNS:    func() int64 { return time.Now().UnixNano() },
 	}
+}
+
+// SetClock replaces the registry's creation-time source (unix nanos). It only
+// affects instruments created afterwards; use it before registering anything
+// when deterministic _created values are needed (golden tests).
+func (m *Metrics) SetClock(nowNS func() int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nowNS = nowNS
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -225,6 +328,7 @@ func (m *Metrics) Counter(name string) *Counter {
 	if c == nil {
 		c = &Counter{}
 		m.counters[name] = c
+		m.created[name] = m.nowNS()
 	}
 	return c
 }
@@ -237,6 +341,7 @@ func (m *Metrics) Gauge(name string) *Gauge {
 	if g == nil {
 		g = &Gauge{}
 		m.gauges[name] = g
+		m.created[name] = m.nowNS()
 	}
 	return g
 }
@@ -249,6 +354,7 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	if h == nil {
 		h = newHistogram()
 		m.hists[name] = h
+		m.created[name] = m.nowNS()
 	}
 	return h
 }
@@ -260,6 +366,12 @@ type Snapshot struct {
 	Counters map[string]int64     `json:"counters"`
 	Gauges   map[string]int64     `json:"gauges"`
 	Hists    map[string]HistStats `json:"histograms"`
+	// Created maps instrument names to their registration time (unix nanos),
+	// for OpenMetrics _created series.
+	Created map[string]int64 `json:"created,omitempty"`
+	// TakenNS is the time the snapshot was captured (unix nanos per the
+	// registry clock), used by TimeSeries for rate denominators.
+	TakenNS int64 `json:"taken_ns,omitempty"`
 }
 
 // Snapshot captures all registered instruments.
@@ -270,6 +382,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Counters: make(map[string]int64, len(m.counters)),
 		Gauges:   make(map[string]int64, len(m.gauges)),
 		Hists:    make(map[string]HistStats, len(m.hists)),
+		Created:  make(map[string]int64, len(m.created)),
+		TakenNS:  m.nowNS(),
 	}
 	for n, c := range m.counters {
 		s.Counters[n] = c.Value()
@@ -279,6 +393,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for n, h := range m.hists {
 		s.Hists[n] = h.Stats()
+	}
+	for n, t := range m.created {
+		s.Created[n] = t
 	}
 	return s
 }
@@ -318,8 +435,8 @@ func (s Snapshot) String() string {
 		sort.Strings(ns)
 		for _, n := range ns {
 			h := s.Hists[n]
-			fmt.Fprintf(&b, "  %-32s n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d\n",
-				n, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%.1f p50=%d p95=%d p99=%d p999=%d max=%d\n",
+				n, h.Count, h.Mean, h.P50, h.P95, h.P99, h.P999, h.Max)
 		}
 	}
 	if b.Len() == 0 {

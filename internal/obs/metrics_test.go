@@ -47,7 +47,7 @@ func TestHistogramStats(t *testing.T) {
 	if s.Sum != 5050 || s.Mean != 50.5 {
 		t.Errorf("sum/mean = %d/%.1f, want 5050/50.5", s.Sum, s.Mean)
 	}
-	// log2 buckets: quantiles resolve to bucket upper bounds (≤2× error).
+	// Quantiles resolve to log-linear bucket upper bounds (≤6.25% error).
 	if s.P50 < 50 || s.P50 > 127 {
 		t.Errorf("P50 = %d, want within [50, 127]", s.P50)
 	}

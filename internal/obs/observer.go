@@ -109,8 +109,25 @@ type ProtocolObserver struct {
 	acqRead, acqWrite, acqInc, entWait                   *Histogram
 	csRead, csWrite, queueDepth                          *Histogram
 
+	// Exemplar source (see SetExemplarSource): when set, acquisition-delay
+	// samples are tagged with the request ID and the flight recorder's most
+	// recent sequence for exShard, linking scraped tail buckets to the flight
+	// window that produced them.
+	exFlight *FlightRecorder
+	exShard  int
+
 	mu      sync.Mutex
 	pending map[core.ReqID]*pendingReq
+}
+
+// SetExemplarSource tags future acquisition-delay samples with exemplars
+// resolving into fl's ring for the given shard. For the flight sequence to
+// name the satisfaction event itself, the flight recorder must receive each
+// event before this observer does (the runtime lock's shards and the
+// simulator both order their observer lists that way). Call before events
+// flow.
+func (po *ProtocolObserver) SetExemplarSource(fl *FlightRecorder, shard int) {
+	po.exFlight, po.exShard = fl, shard
 }
 
 // NewProtocolObserver creates an observer recording into m.
@@ -176,16 +193,20 @@ func (po *ProtocolObserver) Observe(e core.Event) {
 		if delay == 0 {
 			po.immediate.Inc()
 		}
+		var seq uint64
+		if po.exFlight != nil {
+			seq = po.exFlight.LastSeqOf(po.exShard)
+		}
 		switch {
 		case p.incremental:
 			// Issue-to-full-satisfaction of an incremental request spans
 			// hold phases between grants; it is not an acquisition delay in
 			// the Theorem 1/2 sense, so it gets its own histogram.
-			po.acqInc.Observe(delay)
+			po.acqInc.ObserveTagged(delay, int64(e.Req), seq)
 		case p.kind == core.KindRead:
-			po.acqRead.Observe(delay)
+			po.acqRead.ObserveTagged(delay, int64(e.Req), seq)
 		default:
-			po.acqWrite.Observe(delay)
+			po.acqWrite.ObserveTagged(delay, int64(e.Req), seq)
 		}
 		if p.entitled {
 			po.entWait.Observe(int64(e.T - p.entitleT))

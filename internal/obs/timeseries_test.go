@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// tsTestMetrics returns a registry whose snapshot clock advances one second
+// per capture, so windows and rates are deterministic.
+func tsTestMetrics() *Metrics {
+	m := NewMetrics()
+	var now int64 = 1700000000_000000000
+	m.SetClock(func() int64 { now += int64(time.Second); return now })
+	return m
+}
+
+func TestTimeSeriesRatesAndWindowedQuantiles(t *testing.T) {
+	m := tsTestMetrics()
+	ts := NewTimeSeries(m, time.Second, 16)
+	c := m.Counter(MIssued)
+	h := m.Histogram(MAcqDelayRead)
+
+	// t0: quiet baseline. t1: +10 counts, fast samples. t2: +20 counts, a
+	// handful of tail samples (enough to pull rank-p999 past the fast mode).
+	ts.Capture()
+	c.Add(10)
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	ts.Capture()
+	c.Add(20)
+	for i := 0; i < 5; i++ {
+		h.Observe(100_000)
+	}
+	ts.Capture()
+
+	// Whole history (2s window): 30 counts over 2s.
+	rep := ts.Query(10 * time.Second)
+	if rep.Samples != 3 || rep.WindowNS != 2*int64(time.Second) {
+		t.Fatalf("samples/window = %d/%d, want 3/2s", rep.Samples, rep.WindowNS)
+	}
+	if got := rep.Rates[MIssued]; got != 15 {
+		t.Errorf("issued rate = %v, want 15/s over the full window", got)
+	}
+	ws := rep.Hists[MAcqDelayRead]
+	if ws.Count != 105 {
+		t.Fatalf("windowed count = %d, want 105", ws.Count)
+	}
+	if ws.P50 != 10 {
+		t.Errorf("windowed p50 = %d, want 10 (exact sub-16 bucket)", ws.P50)
+	}
+	if ws.P999 < 100_000 || float64(ws.P999) > 100_000*(1+HistMaxRelError)+1 {
+		t.Errorf("windowed p999 = %d, want ~100000 within %.2f%%", ws.P999, 100*HistMaxRelError)
+	}
+
+	// 1s window: only the last capture's movement (20 counts, 1 observation).
+	rep = ts.Query(time.Second)
+	if got := rep.Rates[MIssued]; got != 20 {
+		t.Errorf("issued rate over 1s window = %v, want 20/s", got)
+	}
+	ws = rep.Hists[MAcqDelayRead]
+	if ws.Count != 5 || ws.P50 < 100_000 {
+		t.Errorf("1s window stats = %+v, want only the tail samples", ws)
+	}
+	// The fast samples fell out of the window, so p50 must be the tail value,
+	// not 10 — the whole point of windowed quantiles.
+	if ws.P50 == 10 {
+		t.Error("windowed p50 leaked cumulative history")
+	}
+}
+
+func TestTimeSeriesEviction(t *testing.T) {
+	m := tsTestMetrics()
+	ts := NewTimeSeries(m, time.Second, 3)
+	for i := 0; i < 5; i++ {
+		ts.Capture()
+	}
+	got := ts.Samples()
+	if len(got) != 3 {
+		t.Fatalf("retained %d samples, want capacity 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].TakenNS <= got[i-1].TakenNS {
+			t.Fatalf("samples out of order after eviction: %d then %d", got[i-1].TakenNS, got[i].TakenNS)
+		}
+	}
+}
+
+func TestTimeSeriesBoundUtilization(t *testing.T) {
+	m := tsTestMetrics()
+	ts := NewTimeSeries(m, time.Second, 8)
+	m.Histogram(MCSLengthRead).Observe(3)  // observed Lr
+	m.Histogram(MCSLengthWrite).Observe(5) // observed Lw
+	m.Gauge(MInflight).Set(4)              // dynamic m
+	ts.Capture()
+	m.Histogram(MAcqDelayRead).Observe(6)
+	m.Histogram(MAcqDelayWrite).Observe(15)
+	ts.Capture()
+
+	b := ts.Query(10 * time.Second).Bound
+	if b.Analytic {
+		t.Error("bound mode = analytic, want observed")
+	}
+	if b.Lr != 3 || b.Lw != 5 || b.M != 4 {
+		t.Fatalf("Lr/Lw/M = %d/%d/%d, want 3/5/4", b.Lr, b.Lw, b.M)
+	}
+	if b.ReadBound != 8 || b.WriteBound != 24 {
+		t.Fatalf("bounds = %d/%d, want 8 (Lr+Lw) and 24 ((m-1)(Lr+Lw))", b.ReadBound, b.WriteBound)
+	}
+	if b.ReadP999 != 6 || b.ReadUtil != 6.0/8 {
+		t.Errorf("read p999/util = %d/%v, want 6 and 0.75", b.ReadP999, b.ReadUtil)
+	}
+	if b.WriteP999 != 15 || b.WriteUtil != 15.0/24 {
+		t.Errorf("write p999/util = %d/%v, want 15 and 0.625", b.WriteP999, b.WriteUtil)
+	}
+
+	// Analytic override: fixed envelope regardless of observed CS lengths.
+	ts.SetAnalytic(10, 10, 3)
+	b = ts.Query(10 * time.Second).Bound
+	if !b.Analytic || b.ReadBound != 20 || b.WriteBound != 40 {
+		t.Errorf("analytic bounds = %+v, want Lr+Lw=20, (3-1)*20=40", b)
+	}
+}
+
+func TestTimeSeriesEmptyAndSingleSample(t *testing.T) {
+	m := tsTestMetrics()
+	ts := NewTimeSeries(m, time.Second, 4)
+	rep := ts.Query(time.Minute)
+	if rep.Samples != 0 || len(rep.Rates) != 0 || len(rep.Hists) != 0 {
+		t.Errorf("empty ring report = %+v", rep)
+	}
+	m.Counter(MIssued).Add(5)
+	ts.Capture()
+	rep = ts.Query(time.Minute)
+	if rep.Samples != 1 || rep.WindowNS != 0 {
+		t.Fatalf("single-sample report = %+v", rep)
+	}
+	if got := rep.Rates[MIssued]; got != 0 {
+		t.Errorf("rate with zero-width window = %v, want 0", got)
+	}
+}
+
+func TestTimeSeriesStartStop(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(MIssued).Inc()
+	ts := NewTimeSeries(m, 5*time.Millisecond, 64)
+	ts.Start()
+	ts.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for len(ts.Samples()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts.Stop()
+	ts.Stop() // idempotent
+	n := len(ts.Samples())
+	if n < 2 {
+		t.Fatalf("capture goroutine produced %d samples, want >= 2", n)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := len(ts.Samples()); got != n {
+		t.Errorf("samples kept arriving after Stop: %d -> %d", n, got)
+	}
+}
+
+func TestTimeSeriesHandler(t *testing.T) {
+	m := tsTestMetrics()
+	ts := NewTimeSeries(m, time.Second, 8)
+	m.Counter(MIssued).Add(3)
+	m.Histogram(MAcqDelayRead).Observe(42)
+	ts.Capture()
+	m.Counter(MIssued).Add(3)
+	ts.Capture()
+	h := TimeSeriesHandler(ts)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/rnlp/timeseries?window=30s", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var rep TimeSeriesReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("response is not a TimeSeriesReport: %v\n%s", err, rr.Body.String())
+	}
+	if rep.Samples < 2 || rep.Rates[MIssued] <= 0 {
+		t.Errorf("report = %+v, want >=2 samples and a positive issued rate", rep)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/rnlp/timeseries?window=banana", nil))
+	if rr.Code != 400 {
+		t.Errorf("bad window: status = %d, want 400", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/rnlp/timeseries?raw=1", nil))
+	var raw struct {
+		Report  TimeSeriesReport `json:"report"`
+		Samples []Snapshot       `json:"samples"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &raw); err != nil {
+		t.Fatalf("raw response: %v", err)
+	}
+	if len(raw.Samples) < 2 {
+		t.Errorf("raw samples = %d, want >= 2", len(raw.Samples))
+	}
+
+	rr = httptest.NewRecorder()
+	TimeSeriesHandler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/rnlp/timeseries", nil))
+	if rr.Code != 200 {
+		t.Errorf("nil series: status = %d, want 200 with an error body", rr.Code)
+	}
+}

@@ -1,6 +1,10 @@
 package rwrnlp
 
-import "github.com/rtsync/rwrnlp/internal/obs"
+import (
+	"time"
+
+	"github.com/rtsync/rwrnlp/internal/obs"
+)
 
 // config is the resolved configuration of a Protocol.
 type config struct {
@@ -15,6 +19,8 @@ type config struct {
 	watchdog    *obs.WatchdogConfig // nil disables the stall watchdog
 	attrTopK    int                 // 0 disables causal attribution
 	profLabels  bool                // pprof labels + runtime/trace regions
+	tsInterval  time.Duration       // time-series capture interval; 0 disables
+	tsCapacity  int                 // time-series ring capacity; 0 = default
 }
 
 func defaultConfig() config {
@@ -141,6 +147,25 @@ func WithAttribution(topK int) Option {
 		topK = 10
 	}
 	return optionFunc(func(c *config) { c.attrTopK = topK })
+}
+
+// WithTimeSeries enables continuous telemetry (implies WithMetrics): a
+// bounded obs.TimeSeries ring captures a metrics snapshot every interval
+// (<= 0 selects one second), retaining capacity samples (<= 0 selects
+// obs.DefaultTimeSeriesCapacity), so rates, windowed tail quantiles, and
+// Theorem 1/2 bound utilization are queryable over "the last N seconds" —
+// via Protocol.TimeSeries or the /debug/rnlp/timeseries route of
+// Protocol.DebugMux. The capture goroutine starts with the Protocol; call
+// Protocol.Close to stop it.
+func WithTimeSeries(interval time.Duration, capacity int) Option {
+	return optionFunc(func(c *config) {
+		c.metrics = true
+		if interval <= 0 {
+			interval = time.Second
+		}
+		c.tsInterval = interval
+		c.tsCapacity = capacity
+	})
 }
 
 // WithProfilingLabels tags the acquisition path for the Go profiler and

@@ -122,6 +122,10 @@ type Protocol struct {
 	attrRevokeNS *obs.Histogram
 	flight       *obs.FlightRecorder
 	wdogs        []*obs.Watchdog
+
+	// Continuous telemetry (nil unless WithTimeSeries): a bounded snapshot
+	// ring whose capture goroutine runs from New until Close.
+	ts *obs.TimeSeries
 }
 
 // Metrics re-exports the obs registry type for the public API.
@@ -147,6 +151,10 @@ type (
 	WatchdogConfig = obs.WatchdogConfig
 	// StallReport describes one watchdog firing.
 	StallReport = obs.StallReport
+	// TimeSeries is the bounded snapshot ring behind WithTimeSeries.
+	TimeSeries = obs.TimeSeries
+	// TimeSeriesReport is a windowed rates/quantiles/bound-utilization query.
+	TimeSeriesReport = obs.TimeSeriesReport
 )
 
 // New creates a Protocol for the given resource system. With no options the
@@ -201,7 +209,28 @@ func New(spec *Spec, opts ...Option) *Protocol {
 	for i := range p.shards {
 		p.shards[i] = newShard(p, i, n)
 	}
+	if cfg.tsInterval > 0 {
+		p.ts = obs.NewTimeSeries(p.metrics, cfg.tsInterval, cfg.tsCapacity)
+		p.ts.Start()
+	}
 	return p
+}
+
+// TimeSeries returns the protocol's telemetry ring, or nil when
+// WithTimeSeries was not set. Query it for windowed rates, tail quantiles,
+// and bound utilization; it is also served at /debug/rnlp/timeseries by
+// DebugMux.
+func (p *Protocol) TimeSeries() *TimeSeries { return p.ts }
+
+// Close releases the protocol's background resources — today the
+// WithTimeSeries capture goroutine; tokens and shard state need no cleanup.
+// The protocol remains usable for acquisitions after Close (telemetry simply
+// stops accumulating history). Safe to call multiple times; always nil.
+func (p *Protocol) Close() error {
+	if p.ts != nil {
+		p.ts.Stop()
+	}
+	return nil
 }
 
 // NumShards reports how many independent RSM shards the protocol runs — the
@@ -264,15 +293,26 @@ func (p *Protocol) DebugHandler() http.Handler { return obs.Handler(p.metrics) }
 
 // DebugMux serves the full observability surface of this protocol instance:
 //
-//	/metrics              metrics snapshot (JSON; ?format=text|prom)
-//	/debug/rnlp/flight    flight-recorder dump (JSON; ?format=perfetto)
-//	/debug/rnlp/watchdog  stall-watchdog firings and reports
-//	/debug/pprof/...      the standard pprof handlers
-//	/healthz              "ok"
+//	/metrics                metrics snapshot (JSON; ?format=text|prom|openmetrics)
+//	/debug/rnlp/flight      flight-recorder dump (JSON; ?format=perfetto)
+//	/debug/rnlp/watchdog    stall-watchdog firings and reports
+//	/debug/rnlp/timeseries  windowed rates/quantiles/bound utilization (?window=30s)
+//	/debug/rnlp/attr        causal blocking attribution (JSON; ?format=text)
+//	/debug/pprof/...        the standard pprof handlers
+//	/healthz                "ok"
 //
 // Routes whose subsystem is disabled serve empty data.
 func (p *Protocol) DebugMux() http.Handler {
-	return obs.DebugMux(p.metrics, nil, p.flight, p.wdogs...)
+	cfg := obs.DebugMuxConfig{
+		Metrics:   p.metrics,
+		Flight:    p.flight,
+		Series:    p.ts,
+		Watchdogs: p.wdogs,
+	}
+	if p.attr != nil {
+		cfg.Attribution = p.Attribution
+	}
+	return obs.NewDebugMux(cfg)
 }
 
 // SetTracer installs a secondary observer receiving every protocol event —

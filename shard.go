@@ -139,7 +139,11 @@ func newShard(p *Protocol, idx, n int) *shard {
 		s.initFastPath()
 	}
 	if p.metrics != nil {
-		s.metricsObs = obs.NewProtocolObserver(p.metrics)
+		po := obs.NewProtocolObserver(p.metrics)
+		if p.flight != nil {
+			po.SetExemplarSource(p.flight, idx)
+		}
+		s.metricsObs = po
 		s.acquires = p.metrics.Counter(obs.ShardMetric(obs.MShardAcquires, idx))
 		s.releases = p.metrics.Counter(obs.ShardMetric(obs.MShardReleases, idx))
 		s.contended = p.metrics.Counter(obs.ShardMetric(obs.MShardContended, idx))
@@ -179,11 +183,14 @@ func (s *shard) observe(e core.Event) {
 			s.signals = append(s.signals, w)
 		}
 	}
-	if s.metricsObs != nil {
-		s.metricsObs.Observe(e)
-	}
+	// The flight recorder runs before the metrics observer so that when the
+	// observer tags an acquisition-delay exemplar with LastSeqOf, the
+	// sequence names exactly this event's record.
 	if s.flight != nil {
 		s.flight.Record(s.idx, e)
+	}
+	if s.metricsObs != nil {
+		s.metricsObs.Observe(e)
 	}
 	if s.attr != nil {
 		s.attr.Observe(e)

@@ -1,0 +1,283 @@
+package rwrnlp
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rtsync/rwrnlp/internal/obs"
+)
+
+// omExemplarRe matches one OpenMetrics histogram bucket line carrying an
+// exemplar, capturing (req, flight_seq, value).
+var omExemplarRe = regexp.MustCompile(
+	`rwrnlp_acq_delay_write_bucket\{le="[^"]+"\} \d+ # \{req="(\d+)",flight_seq="(\d+)"\} (\d+)`)
+
+// TestExemplarLoopEndToEnd closes the telemetry loop the way an operator
+// would: run a contended workload, scrape the OpenMetrics endpoint, take the
+// tail exemplar off the write-delay histogram, resolve its flight_seq
+// against a flight dump scraped from the same process, and check the
+// resulting blocking chain names the request that actually held the lock.
+func TestExemplarLoopEndToEnd(t *testing.T) {
+	spec := NewSpecBuilder(1)
+	if err := spec.DeclareRequest([]ResourceID{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.DeclareRequest(nil, []ResourceID{0}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(spec.Build(), WithMetrics(), WithFlightRecorder(4096), WithAttribution(10))
+	ctx := context.Background()
+
+	// W1 takes the write lock and sits on it. It is the very first request on
+	// the only shard, and shard IDs run FirstID+IDStep, FirstID+2·IDStep, …
+	// (FirstID=0, IDStep=1 for a single component), so W1 is request 1.
+	w1, err := p.Write(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w1ID = 1
+
+	// A pack of readers queues behind W1's write phase; each issuance ticks
+	// the shard clock, so the eventual write delay is well off zero.
+	const readers = 20
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tok, err := p.Read(ctx, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_ = p.Release(tok)
+		}()
+	}
+	waitIssued(t, p, 1+readers)
+
+	// W2 queues after the readers: it must wait out W1's hold and the read
+	// phase, accruing the delay whose exemplar the scrape below picks up.
+	w2done := make(chan error, 1)
+	go func() {
+		tok, err := p.Write(ctx, 0)
+		if err != nil {
+			w2done <- err
+			return
+		}
+		w2done <- p.Release(tok)
+	}()
+	waitIssued(t, p, 2+readers)
+
+	if err := p.Release(w1); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := <-w2done; err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(p.DebugMux())
+	defer srv.Close()
+
+	// Leg 1: scrape OpenMetrics, keep the largest-valued write-delay exemplar.
+	om := httpGet(t, srv.URL+"/metrics?format=openmetrics")
+	matches := omExemplarRe.FindAllStringSubmatch(om, -1)
+	if len(matches) == 0 {
+		t.Fatalf("no write-delay exemplars in scrape:\n%s", om)
+	}
+	var req int64
+	var seq uint64
+	var val int64 = -1
+	for _, m := range matches {
+		v, _ := strconv.ParseInt(m[3], 10, 64)
+		if v > val {
+			val = v
+			req, _ = strconv.ParseInt(m[1], 10, 64)
+			seq, _ = strconv.ParseUint(m[2], 10, 64)
+		}
+	}
+	if val <= 0 {
+		t.Fatalf("tail exemplar value = %d, want > 0 (W2 should have waited)", val)
+	}
+	if seq == 0 {
+		t.Fatal("tail exemplar has no flight_seq (exemplar source not wired?)")
+	}
+
+	// Leg 2: scrape the flight dump and resolve the sequence — the same path
+	// `flightdump -seq` takes offline.
+	dump, err := obs.ParseFlightDump(strings.NewReader(httpGet(t, srv.URL+"/debug/rnlp/flight")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, chain, err := dump.ResolveSeq(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Req != req {
+		t.Errorf("flight seq %d names req %d, exemplar says %d", seq, rec.Req, req)
+	}
+	if rec.Type != "satisfied" {
+		t.Errorf("flight seq %d is a %q record, want the satisfaction event", seq, rec.Type)
+	}
+	if int64(chain.Req) != req {
+		t.Errorf("chain is for req %d, want %d", chain.Req, req)
+	}
+	if chain.Delay != val {
+		t.Errorf("chain delay %d != exemplar value %d", chain.Delay, val)
+	}
+
+	// The chain must name the actual blocker: W1, the writer that held the
+	// lock when W2 issued.
+	found := false
+	for _, b := range chain.IssueBlockers {
+		if int64(b) == w1ID {
+			found = true
+		}
+	}
+	for _, b := range chain.EntitleBlockers {
+		if int64(b) == w1ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("blocking chain (issue=%v entitle=%v) does not name W1 (req %d)",
+			chain.IssueBlockers, chain.EntitleBlockers, w1ID)
+	}
+}
+
+// TestTelemetryEndpointsConcurrentWithWorkload scrapes the new telemetry
+// surface — timeseries, OpenMetrics exemplars, and live exemplar resolution
+// — while a contended workload runs, under -race via the telemetry-race make
+// target. Resolution against a live ring may legitimately miss (the ring
+// wraps); it must never tear or panic.
+func TestTelemetryEndpointsConcurrentWithWorkload(t *testing.T) {
+	spec := NewSpecBuilder(4)
+	for i := 0; i < 4; i++ {
+		if err := spec.DeclareRequest([]ResourceID{ResourceID(i), ResourceID((i + 1) % 4)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.DeclareRequest(nil, []ResourceID{ResourceID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(spec.Build(),
+		WithTimeSeries(20*time.Millisecond, 0),
+		WithFlightRecorder(512),
+		WithAttribution(5),
+		WithStallWatchdog(WatchdogConfig{}),
+	)
+	defer p.Close()
+	srv := httptest.NewServer(p.DebugMux())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var tok Token
+				var err error
+				if g%3 == 0 {
+					tok, err = p.Write(ctx, ResourceID(i%4))
+				} else {
+					tok, err = p.Read(ctx, ResourceID(i%4), ResourceID((i+1)%4))
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Release(tok); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	deadline := time.Now().Add(800 * time.Millisecond)
+	sawSamples := false
+	for time.Now().Before(deadline) {
+		ts := httpGet(t, srv.URL+"/debug/rnlp/timeseries?window=5s")
+		if strings.Contains(ts, `"samples"`) && !strings.Contains(ts, `"samples": 0`) {
+			sawSamples = true
+		}
+		om := httpGet(t, srv.URL+"/metrics?format=openmetrics")
+		if !strings.HasSuffix(om, "# EOF\n") {
+			t.Fatalf("openmetrics scrape not terminated:\n...%s", om[max(0, len(om)-200):])
+		}
+		// Resolve whatever exemplar the scrape carries against a concurrently
+		// captured dump; a wrap-induced miss is fine, a panic or race is not.
+		if m := omExemplarRe.FindStringSubmatch(om); m != nil {
+			seq, _ := strconv.ParseUint(m[2], 10, 64)
+			if seq != 0 {
+				dump, err := obs.ParseFlightDump(strings.NewReader(httpGet(t, srv.URL+"/debug/rnlp/flight")))
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, _, _ = dump.ResolveSeq(seq)
+			}
+		}
+		httpGet(t, srv.URL+"/debug/rnlp/attr")
+		httpGet(t, srv.URL+"/debug/rnlp/watchdog")
+	}
+	close(stop)
+	wg.Wait()
+	if !sawSamples {
+		t.Error("timeseries endpoint never served a non-empty window during the workload")
+	}
+
+	// The ring kept capturing throughout; the final report must price the
+	// workload's tails against the Theorem 1/2 envelope.
+	rep := p.TimeSeries().Query(5 * time.Second)
+	if rep.Bound.ReadBound <= 0 {
+		t.Errorf("bound utilization absent from final report: %+v", rep.Bound)
+	}
+}
+
+// waitIssued polls the registry until the protocol has issued n requests.
+func waitIssued(t *testing.T, p *Protocol, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if c, ok := p.Metrics().Snapshot().Counters[obs.MIssued]; ok && c >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %d issued requests", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}
