@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci obs-race telemetry-race flight-overhead hdr-overhead soak clean
+.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci obs-race telemetry-race flight-overhead hdr-overhead net-overhead rnlpd-integration soak clean
 
 all: build vet test
 
@@ -66,6 +66,28 @@ hdr-overhead:
 	$(GO) run ./cmd/benchjson pair -threshold $(HDR_THRESHOLD) hdr_pair.json 'BenchmarkAcquire/hdr=off' 'BenchmarkAcquire/hdr=on'
 	@rm -f hdr_pair.json
 
+# Network-tier overhead gate: the rnlpd service plane driven directly
+# in-process (net=off) versus through the client package over loopback HTTP
+# (net=on). Both sides run identical session/lease/fencing bookkeeping, so
+# the pair prices exactly the JSON codec + HTTP round trip. That cost is
+# structurally large — ~30x in-process on the reference runner — so the
+# threshold is not a "small overhead" bound like flight's: it pins the tier
+# at no more than ~60x in-process, which catches step regressions such as a
+# second blocking round trip per acquire (~2x the RTT) or losing HTTP
+# keep-alive (a TCP handshake per request), while riding out loopback noise.
+NET_THRESHOLD ?= 6000
+net-overhead:
+	$(GO) test -bench 'BenchmarkAcquireRelease/net' -benchtime=0.3s -count=5 -run='^$$' ./internal/service | $(GO) run ./cmd/benchjson -o net_pair.json
+	$(GO) run ./cmd/benchjson pair -threshold $(NET_THRESHOLD) net_pair.json 'BenchmarkAcquireRelease/net=off' 'BenchmarkAcquireRelease/net=on'
+	@rm -f net_pair.json
+
+# Service-tier integration gate: build the real rnlpd binary, boot it on an
+# ephemeral port, run a multi-client smoke workload under -race, SIGKILL one
+# client mid-hold and prove its footprint auto-releases within the lease TTL
+# with strictly newer fencing tokens, then scrape every debug endpoint.
+rnlpd-integration:
+	$(GO) test -race -count=1 -timeout 5m -run TestRNLPDIntegration ./internal/service -v
+
 # Watchdog-armed stress soak (nightly): drive the sharded lock with the
 # stall watchdog enabled for RNLP_SOAK (default 5m) and fail on any firing.
 RNLP_SOAK ?= 5m
@@ -86,14 +108,16 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-# Re-record the exported API baseline (do this in the same commit as an
-# intentional API change so the delta is visible in review).
+# Re-record the exported API baseline — root package plus the rnlpd client
+# package (do this in the same commit as an intentional API change so the
+# delta is visible in review).
 api:
-	$(GO) run ./cmd/apicheck -o API.txt
+	$(GO) run ./cmd/apicheck -dir . -dir client -o API.txt
 
-# Fail if the exported API surface of the root package drifted from API.txt.
+# Fail if the exported surface of any pinned public package drifted from
+# API.txt.
 api-check:
-	$(GO) run ./cmd/apicheck -check API.txt
+	$(GO) run ./cmd/apicheck -dir . -dir client -check API.txt
 
 build:
 	$(GO) build ./...

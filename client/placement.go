@@ -1,0 +1,86 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per physical node when a config
+// leaves it zero: enough to spread components within a few percent of even
+// for small clusters without making the ring lookup table large.
+const DefaultVNodes = 64
+
+// Placement maps resource components onto nodes by consistent hashing:
+// every node is hashed onto a ring at VNodes points, and a component is
+// owned by the first node clockwise of its own hash. Both rnlpd and the
+// client construct a Placement from the same static (Nodes, VNodes) pair,
+// so they agree on ownership without any coordination; adding or removing
+// a node moves only the components that hashed near it.
+type Placement struct {
+	nodes  []string
+	vnodes int
+	ring   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewPlacement builds the ring for the given static node map. vnodes <= 0
+// selects DefaultVNodes. An empty node list yields a placement whose Owner
+// always returns "" (callers treat that as "everything is local").
+func NewPlacement(nodes []string, vnodes int) *Placement {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	p := &Placement{nodes: append([]string(nil), nodes...), vnodes: vnodes}
+	for _, n := range p.nodes {
+		for v := 0; v < vnodes; v++ {
+			p.ring = append(p.ring, ringPoint{fnv1a(fmt.Sprintf("%s#%d", n, v)), n})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool {
+		if p.ring[i].hash != p.ring[j].hash {
+			return p.ring[i].hash < p.ring[j].hash
+		}
+		// Ties (vanishingly rare) break by name so every ring is identical.
+		return p.ring[i].node < p.ring[j].node
+	})
+	return p
+}
+
+// Nodes returns the static node map the ring was built from.
+func (p *Placement) Nodes() []string { return append([]string(nil), p.nodes...) }
+
+// VNodes returns the virtual-node count per node.
+func (p *Placement) VNodes() int { return p.vnodes }
+
+// Owner returns the node owning the given resource component, or "" when
+// the placement has no nodes.
+func (p *Placement) Owner(component int) string {
+	if len(p.ring) == 0 {
+		return ""
+	}
+	h := fnv1a(fmt.Sprintf("component/%d", component))
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
+	if i == len(p.ring) {
+		i = 0
+	}
+	return p.ring[i].node
+}
+
+// fnv1a is the 64-bit FNV-1a hash — dependency-free and stable across
+// processes, which is all a static ring needs.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

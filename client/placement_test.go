@@ -1,0 +1,67 @@
+package client
+
+import (
+	"testing"
+)
+
+// Two independently-built rings over the same static map must agree on
+// every owner — that is the whole coordination-free placement contract.
+func TestPlacementDeterministic(t *testing.T) {
+	nodes := []string{"http://a:6060", "http://b:6060", "http://c:6060"}
+	p1 := NewPlacement(nodes, 0)
+	p2 := NewPlacement(nodes, 0)
+	for comp := 0; comp < 1000; comp++ {
+		if o1, o2 := p1.Owner(comp), p2.Owner(comp); o1 != o2 {
+			t.Fatalf("component %d: %q vs %q", comp, o1, o2)
+		}
+	}
+}
+
+// The ring spreads components across nodes within a reasonable factor of
+// even, and every component has exactly one owner from the map.
+func TestPlacementBalance(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	p := NewPlacement(nodes, 0)
+	counts := map[string]int{}
+	const comps = 4000
+	for c := 0; c < comps; c++ {
+		o := p.Owner(c)
+		found := false
+		for _, n := range nodes {
+			if n == o {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("component %d owned by unknown node %q", c, o)
+		}
+		counts[o]++
+	}
+	want := comps / len(nodes)
+	for n, got := range counts {
+		if got < want/3 || got > want*3 {
+			t.Fatalf("node %s owns %d of %d components (expected near %d)", n, got, comps, want)
+		}
+	}
+}
+
+// Removing a node only moves the components it owned: everything else
+// keeps its owner (the consistent in consistent hashing).
+func TestPlacementStabilityUnderNodeRemoval(t *testing.T) {
+	before := NewPlacement([]string{"n0", "n1", "n2"}, 0)
+	after := NewPlacement([]string{"n0", "n1"}, 0)
+	for c := 0; c < 2000; c++ {
+		was := before.Owner(c)
+		now := after.Owner(c)
+		if was != "n2" && was != now {
+			t.Fatalf("component %d moved %q→%q though its owner survived", c, was, now)
+		}
+	}
+}
+
+func TestPlacementEmpty(t *testing.T) {
+	p := NewPlacement(nil, 0)
+	if o := p.Owner(0); o != "" {
+		t.Fatalf("empty placement owner = %q, want \"\"", o)
+	}
+}

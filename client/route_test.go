@@ -1,0 +1,84 @@
+package client
+
+import (
+	"testing"
+)
+
+// buildTestClient constructs a Client without a network: 6 resources in 4
+// components ({0,1}, {2,3}, {4}, {5}) spread over two nodes.
+func buildTestClient(t *testing.T) *Client {
+	t.Helper()
+	c := &Client{
+		spec: SpecInfo{
+			Resources:  6,
+			Components: [][]ResourceID{{0, 1}, {2, 3}, {4}, {5}},
+			Nodes:      []string{"A", "B"},
+		},
+	}
+	c.place = NewPlacement(c.spec.Nodes, 0)
+	c.compOf = make([]ResourceID, c.spec.Resources)
+	for ci, rs := range c.spec.Components {
+		for _, r := range rs {
+			c.compOf[r] = ci
+		}
+	}
+	return c
+}
+
+// route must emit slices in ascending component order — the cluster-wide
+// deadlock-freedom discipline — coalescing only consecutive same-node runs.
+func TestRouteAscendingComponents(t *testing.T) {
+	c := buildTestClient(t)
+	slices, err := c.route([]ResourceID{5, 0}, []ResourceID{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastComp := -1
+	for _, sl := range slices {
+		for _, r := range append(append([]ResourceID{}, sl.read...), sl.write...) {
+			comp := c.ComponentOf(r)
+			if comp < lastComp {
+				t.Fatalf("slice order violates ascending components: %v", slices)
+			}
+			if owner := c.place.Owner(comp); owner != sl.node {
+				t.Fatalf("resource %d routed to %q, owner is %q", r, sl.node, owner)
+			}
+		}
+		// Advance to the slice's max component.
+		for _, r := range append(append([]ResourceID{}, sl.read...), sl.write...) {
+			if comp := c.ComponentOf(r); comp > lastComp {
+				lastComp = comp
+			}
+		}
+	}
+	// All four components must be covered.
+	total := 0
+	for _, sl := range slices {
+		total += len(sl.read) + len(sl.write)
+	}
+	if total != 4 {
+		t.Fatalf("routed %d resources, want 4: %v", total, slices)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	c := buildTestClient(t)
+	if _, err := c.route(nil, nil); err == nil {
+		t.Fatal("empty footprint accepted")
+	}
+	if _, err := c.route([]ResourceID{99}, nil); err == nil {
+		t.Fatal("unknown resource accepted")
+	}
+}
+
+func TestComponentOf(t *testing.T) {
+	c := buildTestClient(t)
+	for r, want := range map[ResourceID]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 3} {
+		if got := c.ComponentOf(r); got != want {
+			t.Fatalf("ComponentOf(%d) = %d, want %d", r, got, want)
+		}
+	}
+	if got := c.ComponentOf(-1); got != -1 {
+		t.Fatalf("ComponentOf(-1) = %d, want -1", got)
+	}
+}

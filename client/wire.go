@@ -1,0 +1,198 @@
+// Package client is the Go client for rnlpd, the distributed lock-service
+// tier over the R/W RNLP runtime lock (cmd/rnlpd). It speaks the service's
+// JSON-over-HTTP wire protocol: sessions with leases (heartbeat-renewed;
+// a crashed client's entire footprint is auto-released on lease expiry),
+// acquisitions with the v2 protocol semantics, and a monotonic fencing
+// token per resource component on every grant.
+//
+// Usage:
+//
+//	c, _ := client.New(ctx, []string{"http://127.0.0.1:6060"})
+//	s, _ := c.OpenSession(ctx)
+//	defer s.Close()
+//
+//	g, _ := s.Write(ctx, 0, 1)      // blocks like Protocol.Acquire
+//	tok, _ := g.Token(0)            // fencing token for component of resource 0
+//	// ... guard downstream effects with tok (see Client.Fence) ...
+//	_ = s.Release(g)
+//
+// Placement: the cluster's resource components are assigned to nodes by
+// consistent hashing over a static node map (see Placement); the client
+// routes each acquisition to the owning node, and a footprint spanning
+// several nodes is acquired slice-by-slice in ascending component order —
+// the same discipline the in-process slow path uses — so cross-node
+// acquisition stays deadlock-free.
+package client
+
+import "errors"
+
+// ResourceID identifies a shared resource, as in package rwrnlp.
+type ResourceID = int
+
+// Wire error codes, carried in ErrorBody.Code. The client maps them onto
+// the sentinel errors below; servers treat them as the stable protocol
+// surface (HTTP status codes are advisory).
+const (
+	CodeBadRequest      = "bad_request"      // malformed JSON, bad field values
+	CodeEmptyRequest    = "empty_request"    // acquisition names no resources
+	CodeUnknownResource = "unknown_resource" // resource ID outside [0, q)
+	CodeSessionNotFound = "session_not_found"
+	CodeLeaseExpired    = "lease_expired"
+	CodeAlreadyReleased = "already_released"
+	CodeStaleToken      = "stale_token"
+	CodeWrongNode       = "wrong_node" // component not placed on this node
+	CodeCanceled        = "canceled"   // request context ended before grant
+	CodeShuttingDown    = "shutting_down"
+)
+
+// Sentinel errors of the client API. Compare with errors.Is.
+var (
+	// ErrSessionNotFound reports an operation on a session id the node does
+	// not know — never created there, or already expired and reaped.
+	ErrSessionNotFound = errors.New("rnlp client: session not found")
+
+	// ErrLeaseExpired reports that the session's lease ran out: the server
+	// auto-released the session's entire footprint, so held grants are gone
+	// and pending acquisitions were withdrawn.
+	ErrLeaseExpired = errors.New("rnlp client: lease expired")
+
+	// ErrAlreadyReleased reports a second Release of the same grant.
+	ErrAlreadyReleased = errors.New("rnlp client: already released")
+
+	// ErrStaleToken reports a fencing check that lost: the token is not an
+	// active grant's token, or a newer token was already presented for the
+	// component.
+	ErrStaleToken = errors.New("rnlp client: stale fencing token")
+
+	// ErrWrongNode reports an acquisition routed to a node that does not own
+	// one of its components; the error detail names the owner. Seen only
+	// when client and server placement maps disagree.
+	ErrWrongNode = errors.New("rnlp client: component not placed on this node")
+
+	// ErrEmptyRequest and ErrUnknownResource mirror the rwrnlp sentinels.
+	ErrEmptyRequest    = errors.New("rnlp client: empty request")
+	ErrUnknownResource = errors.New("rnlp client: unknown resource")
+
+	// ErrShuttingDown reports a server that is draining.
+	ErrShuttingDown = errors.New("rnlp client: server shutting down")
+
+	// ErrSessionClosed reports use of a Session after Close.
+	ErrSessionClosed = errors.New("rnlp client: session closed")
+)
+
+// codeErr maps a wire code to its sentinel (nil for unknown codes).
+func codeErr(code string) error {
+	switch code {
+	case CodeSessionNotFound:
+		return ErrSessionNotFound
+	case CodeLeaseExpired:
+		return ErrLeaseExpired
+	case CodeAlreadyReleased:
+		return ErrAlreadyReleased
+	case CodeStaleToken:
+		return ErrStaleToken
+	case CodeWrongNode:
+		return ErrWrongNode
+	case CodeEmptyRequest:
+		return ErrEmptyRequest
+	case CodeUnknownResource:
+		return ErrUnknownResource
+	case CodeShuttingDown:
+		return ErrShuttingDown
+	default:
+		return nil
+	}
+}
+
+// ErrorBody is the JSON error payload of every non-2xx service response.
+type ErrorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+	// Owner names the owning node on CodeWrongNode responses.
+	Owner string `json:"owner,omitempty"`
+}
+
+// SpecInfo describes the cluster's resource system and static node map,
+// served at GET /v1/spec by every node.
+type SpecInfo struct {
+	// Resources is q, the number of resources (IDs are [0, q)).
+	Resources int `json:"resources"`
+	// Components lists each resource component's member resources,
+	// ascending; components are the service's placement and fencing unit.
+	Components [][]ResourceID `json:"components"`
+	// Node is the serving node's identity in Nodes.
+	Node string `json:"node"`
+	// Nodes is the static cluster map (every node serves the same one).
+	Nodes []string `json:"nodes"`
+	// VNodes is the consistent-hash ring's virtual nodes per node.
+	VNodes int `json:"vnodes"`
+	// LeaseTTLMS is the default session lease, milliseconds.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// MaxLeaseTTLMS caps client-requested leases, milliseconds.
+	MaxLeaseTTLMS int64 `json:"max_lease_ttl_ms"`
+}
+
+// OpenSessionRequest opens a session (POST /v1/session).
+type OpenSessionRequest struct {
+	// TTLMS requests a lease length in milliseconds; 0 takes the server
+	// default, values past the server cap are clamped.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+}
+
+// SessionInfo is the server's view of a session lease, returned by open,
+// heartbeat, and close.
+type SessionInfo struct {
+	ID    string `json:"id"`
+	TTLMS int64  `json:"ttl_ms"`
+	// DeadlineUnixMS is the lease expiry instant (server clock, Unix ms).
+	DeadlineUnixMS int64 `json:"deadline_unix_ms"`
+}
+
+// HeartbeatRequest renews a session lease (POST /v1/heartbeat).
+type HeartbeatRequest struct {
+	SessionID string `json:"session_id"`
+}
+
+// CloseSessionRequest ends a session, releasing its footprint
+// (POST /v1/close).
+type CloseSessionRequest struct {
+	SessionID string `json:"session_id"`
+}
+
+// AcquireRequest acquires read/write access (POST /v1/acquire). The handler
+// blocks until the grant, the request context's end, or lease expiry.
+type AcquireRequest struct {
+	SessionID string       `json:"session_id"`
+	Read      []ResourceID `json:"read,omitempty"`
+	Write     []ResourceID `json:"write,omitempty"`
+}
+
+// ComponentToken is one component's fencing token on a grant: tokens are
+// minted from a per-component counter under one lock, so they are strictly
+// monotonic per component across all grants that touch it.
+type ComponentToken struct {
+	Component int    `json:"component"`
+	Token     uint64 `json:"token"`
+}
+
+// GrantInfo is a successful acquisition: the release handle plus one
+// fencing token per component the footprint touches (ascending component).
+type GrantInfo struct {
+	Handle  string           `json:"handle"`
+	Fencing []ComponentToken `json:"fencing"`
+}
+
+// ReleaseRequest releases a grant by handle (POST /v1/release).
+type ReleaseRequest struct {
+	SessionID string `json:"session_id"`
+	Handle    string `json:"handle"`
+}
+
+// FenceRequest checks a fencing token (POST /v1/fence): it succeeds iff the
+// token belongs to a currently-held grant on the component AND no newer
+// token has been presented for it; success advances the component's
+// high-water mark to the token. A rejected check returns CodeStaleToken.
+type FenceRequest struct {
+	Component int    `json:"component"`
+	Token     uint64 `json:"token"`
+}

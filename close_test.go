@@ -1,0 +1,85 @@
+package rwrnlp
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression: Protocol.Close must be idempotent and safe to call
+// concurrently — with itself and with in-flight Acquires/Releases. The
+// rnlpd service tier calls Close from session-teardown and shutdown paths
+// that overlap with live traffic.
+func TestCloseIdempotentConcurrentWithAcquires(t *testing.T) {
+	b := NewSpecBuilder(4)
+	if err := b.DeclareRequest([]ResourceID{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	p := New(b.Build(), WithPlaceholders(), WithTimeSeries(time.Millisecond, 16), WithSelfCheck())
+
+	const workers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var (
+					tok Token
+					err error
+				)
+				if i%2 == 0 {
+					tok, err = p.Write(ctx, ResourceID(i%4))
+				} else {
+					tok, err = p.Read(ctx, 0, 1)
+				}
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if err := p.Release(tok); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Hammer Close from several goroutines while the workload runs.
+	var cg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for j := 0; j < 10; j++ {
+				if err := p.Close(); err != nil {
+					t.Errorf("Close: %v", err)
+				}
+			}
+		}()
+	}
+	cg.Wait()
+
+	// The protocol must remain usable after Close.
+	tok, err := p.Write(context.Background(), 2)
+	if err != nil {
+		t.Fatalf("acquire after Close: %v", err)
+	}
+	if err := p.Release(tok); err != nil {
+		t.Fatalf("release after Close: %v", err)
+	}
+
+	close(stop)
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatalf("final Close: %v", err)
+	}
+}

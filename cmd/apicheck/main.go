@@ -1,11 +1,18 @@
 // Command apicheck records and verifies the exported API surface of the
-// repository's public package (the module root). It is a dependency-free
-// stand-in for golang.org/x/exp/apidiff: a deterministic textual dump of
-// every exported declaration — functions, methods, types, struct fields,
-// interface methods, consts and vars — diffed against a committed baseline.
+// repository's public packages (the module root and, via repeated -dir
+// flags, any other public package such as ./client). It is a
+// dependency-free stand-in for golang.org/x/exp/apidiff: a deterministic
+// textual dump of every exported declaration — functions, methods, types,
+// struct fields, interface methods, consts and vars — diffed against a
+// committed baseline.
 //
-//	go run ./cmd/apicheck -o API.txt          # (re)record the baseline
-//	go run ./cmd/apicheck -check API.txt      # CI gate: non-zero on any delta
+//	go run ./cmd/apicheck -dir . -dir client -o API.txt      # (re)record
+//	go run ./cmd/apicheck -dir . -dir client -check API.txt  # CI gate
+//
+// Lines from the module root are unprefixed (baseline compatibility);
+// lines from any other -dir carry a "<pkg>: " prefix, where <pkg> is the
+// directory's base name, so same-named declarations in different packages
+// stay distinct.
 //
 // A failing check prints the delta as +added/-removed lines. Intentional API
 // changes are accepted by re-recording the baseline in the same commit, which
@@ -21,22 +28,47 @@ import (
 	"go/printer"
 	"go/token"
 	"os"
+	"path"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strings"
 )
 
+// dirList is a repeatable -dir flag.
+type dirList []string
+
+func (d *dirList) String() string     { return strings.Join(*d, ",") }
+func (d *dirList) Set(v string) error { *d = append(*d, v); return nil }
+
 func main() {
-	dir := flag.String("dir", ".", "directory of the package to dump")
+	var dirs dirList
+	flag.Var(&dirs, "dir", "directory of a package to dump (repeatable; default \".\")")
 	out := flag.String("o", "", "write the API dump to this file")
 	check := flag.String("check", "", "compare the dump against this baseline and exit non-zero on any difference")
 	flag.Parse()
-
-	lines, err := dumpAPI(*dir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "apicheck:", err)
-		os.Exit(2)
+	if len(dirs) == 0 {
+		dirs = dirList{"."}
 	}
+
+	var lines []string
+	for _, dir := range dirs {
+		dl, err := dumpAPI(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(2)
+		}
+		// Root package lines stay bare for baseline compatibility; other
+		// packages are prefixed so their surfaces cannot collide.
+		if clean := strings.Trim(dir, "./"); clean != "" {
+			prefix := path.Base(filepath.ToSlash(clean)) + ": "
+			for i := range dl {
+				dl[i] = prefix + dl[i]
+			}
+		}
+		lines = append(lines, dl...)
+	}
+	sort.Strings(lines)
 	dump := strings.Join(lines, "\n") + "\n"
 
 	switch {
@@ -64,7 +96,11 @@ func main() {
 		for _, l := range added {
 			fmt.Fprintln(os.Stderr, "  +", l)
 		}
-		fmt.Fprintln(os.Stderr, "apicheck: if intentional, re-record with: go run ./cmd/apicheck -o", *check)
+		dirFlags := ""
+		for _, d := range dirs {
+			dirFlags += " -dir " + d
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: if intentional, re-record with: go run ./cmd/apicheck%s -o %s\n", dirFlags, *check)
 		os.Exit(1)
 	default:
 		fmt.Print(dump)

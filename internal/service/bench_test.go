@@ -1,0 +1,75 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/rtsync/rwrnlp/client"
+)
+
+// BenchmarkAcquireRelease prices the network tier as a same-run ablation
+// pair. Both variants run the identical service plane — session lookup,
+// lease check, fencing mint/retire, and the underlying protocol acquire —
+// so the delta is exactly what rnlpd adds over embedding the library:
+//
+//	net=off  direct Server method calls in-process
+//	net=on   client package → JSON over loopback HTTP → same Server
+//
+// Gated by `make net-overhead` (see NET_THRESHOLD in the Makefile).
+func BenchmarkAcquireRelease(b *testing.B) {
+	ctx := context.Background()
+
+	b.Run("net=off", func(b *testing.B) {
+		srv, err := NewServer(Config{Spec: testSpec(b, 4), LeaseTTL: time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		info, err := srv.OpenSession(time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := []client.ResourceID{0, 1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := srv.Acquire(ctx, info.ID, nil, res)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Release(info.ID, g.Handle); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("net=on", func(b *testing.B) {
+		srv, err := NewServer(Config{Spec: testSpec(b, 4), LeaseTTL: time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		hs := httptest.NewServer(srv.Handler())
+		defer hs.Close()
+		c, err := client.New(ctx, []string{hs.URL})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := c.OpenSession(ctx, client.WithTTL(time.Minute))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := sess.Write(ctx, 0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.Release(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,320 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rtsync/rwrnlp/client"
+)
+
+// TestRNLPDIntegration boots the real cmd/rnlpd binary, drives a
+// multi-client smoke workload, kills one client process mid-hold, and
+// proves the acceptance criteria end to end:
+//
+//   - the killed client's footprint is auto-released within one lease TTL
+//     (a blocked writer gets the lock without anyone cleaning up),
+//   - fencing tokens are strictly monotonic per component across grants,
+//   - a stale token is rejected after a newer grant,
+//   - every /debug/rnlp/* route of the live daemon answers 200.
+//
+// The "crashed" client is a real OS process — this test binary re-executed
+// as TestRNLPDHelperClient — killed with SIGKILL, so no cooperative
+// cleanup runs.
+func TestRNLPDIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: skipped in -short")
+	}
+	bin := buildRNLPD(t)
+
+	const leaseTTL = 1 * time.Second
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-resources", "8",
+		"-declare", "0,1;2,3",
+		"-lease-ttl", leaseTTL.String(),
+		"-sweep", "100ms",
+		"-timeseries", "200ms",
+	)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	daemonDone := make(chan error, 1)
+	killed := false
+	defer func() {
+		if !killed {
+			_ = daemon.Process.Kill()
+			<-daemonDone
+		}
+	}()
+
+	// Parse the stable "listening on" line for the ephemeral port.
+	sc := bufio.NewScanner(stdout)
+	addrRe := regexp.MustCompile(`listening on ([0-9.:\[\]]+)`)
+	var base string
+	for sc.Scan() {
+		if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("rnlpd never reported its address")
+	}
+	go func() { // drain remaining output, reap on exit
+		for sc.Scan() {
+		}
+		daemonDone <- daemon.Wait()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := client.New(ctx, []string{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- multi-client smoke workload: fencing stays monotonic ----------
+	// Concurrent observers cannot assert a global order (worker A may log
+	// its grant after worker B logged a later one), so the checks are the
+	// two that survive observation races: within one worker, sequential
+	// grants on a component strictly increase; globally, no (component,
+	// token) pair is ever minted twice.
+	var fenceMu sync.Mutex
+	seenTokens := map[int]map[uint64]bool{}
+	recordGlobal := func(tb testing.TB, g *client.Grant) {
+		fenceMu.Lock()
+		defer fenceMu.Unlock()
+		for _, ct := range g.Fencing() {
+			if seenTokens[ct.Component] == nil {
+				seenTokens[ct.Component] = map[uint64]bool{}
+			}
+			if seenTokens[ct.Component][ct.Token] {
+				tb.Errorf("fencing token %d on component %d minted twice",
+					ct.Token, ct.Component)
+			}
+			seenTokens[ct.Component][ct.Token] = true
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := c.OpenSession(ctx)
+			if err != nil {
+				t.Errorf("smoke client %d: %v", w, err)
+				return
+			}
+			defer s.Close()
+			lastLocal := map[int]uint64{} // this worker's grants are sequential
+			for i := 0; i < 10; i++ {
+				res := []client.ResourceID{client.ResourceID((w + i) % 8)}
+				g, err := s.Write(ctx, res...)
+				if err != nil {
+					t.Errorf("smoke client %d acquire: %v", w, err)
+					return
+				}
+				for _, ct := range g.Fencing() {
+					if ct.Token <= lastLocal[ct.Component] {
+						t.Errorf("smoke client %d: token %d on component %d not above own prior %d",
+							w, ct.Token, ct.Component, lastLocal[ct.Component])
+					}
+					lastLocal[ct.Component] = ct.Token
+				}
+				recordGlobal(t, g)
+				if err := s.Release(g); err != nil {
+					t.Errorf("smoke client %d release: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// ---- crash a client mid-hold: footprint auto-releases --------------
+	helper := exec.Command(os.Args[0], "-test.run=TestRNLPDHelperClient", "-test.v")
+	helper.Env = append(os.Environ(), "RNLPD_HELPER_ADDR="+base)
+	helperOut, err := helper.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper.Stderr = os.Stderr
+	if err := helper.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = helper.Process.Kill(); _, _ = helper.Process.Wait() }()
+
+	// Wait for "HELD <token>" — the helper holds write{0,1} now.
+	var heldToken uint64
+	hs := bufio.NewScanner(helperOut)
+	for hs.Scan() {
+		line := hs.Text()
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "HELD "); ok {
+			heldToken, err = strconv.ParseUint(strings.Fields(rest)[0], 10, 64)
+			if err != nil {
+				t.Fatalf("bad HELD line %q: %v", line, err)
+			}
+			break
+		}
+	}
+	if heldToken == 0 {
+		t.Fatal("helper client never reported HELD")
+	}
+
+	// SIGKILL mid-hold: no release, no session close, heartbeats stop.
+	if err := helper.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = helper.Process.Wait()
+	go func() {
+		for hs.Scan() {
+		}
+	}()
+
+	// A blocked writer on the same resources must get the lock once the
+	// lease expires — within a small multiple of the TTL.
+	s2, err := c.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	start := time.Now()
+	g2, err := s2.Write(ctx, 0, 1)
+	if err != nil {
+		t.Fatalf("acquire after crash: %v", err)
+	}
+	waited := time.Since(start)
+	if waited > 4*leaseTTL {
+		t.Errorf("auto-release took %v, want ≤ %v", waited, 4*leaseTTL)
+	}
+	t.Logf("footprint auto-released after %v (lease TTL %v)", waited, leaseTTL)
+
+	// Fencing: the new grant's token is newer; the dead client's is stale.
+	newToken, ok := g2.Token(0)
+	if !ok {
+		t.Fatal("no fencing token on post-crash grant")
+	}
+	if newToken <= heldToken {
+		t.Errorf("post-crash token %d not above crashed holder's %d", newToken, heldToken)
+	}
+	comp := c.ComponentOf(0)
+	if err := c.Fence(ctx, comp, newToken); err != nil {
+		t.Errorf("fence with current token: %v", err)
+	}
+	if err := c.Fence(ctx, comp, heldToken); !errors.Is(err, client.ErrStaleToken) {
+		t.Errorf("fence with crashed holder's token: %v, want ErrStaleToken", err)
+	}
+	if err := s2.Release(g2); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- ops surface: every debug route answers 200 --------------------
+	for _, path := range []string{
+		"/healthz", "/metrics", "/metrics?format=openmetrics",
+		"/debug/rnlp/flight", "/debug/rnlp/watchdog",
+		"/debug/rnlp/timeseries?window=5s", "/debug/rnlp/attr",
+		"/v1/spec",
+	} {
+		status, err := httpGet(t, base+path)
+		if err != nil {
+			t.Errorf("GET %s: %v", path, err)
+			continue
+		}
+		if status != 200 {
+			t.Errorf("GET %s: status %d, want 200", path, status)
+		}
+	}
+
+	// ---- graceful shutdown ---------------------------------------------
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	killed = true
+	select {
+	case err := <-daemonDone:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		_ = daemon.Process.Kill()
+		t.Fatal("daemon did not shut down on SIGINT")
+	}
+}
+
+// TestRNLPDHelperClient is not a test: it is the crash victim of
+// TestRNLPDIntegration, run as a separate OS process. It opens a session,
+// takes write{0,1}, prints "HELD <token>", and parks until killed.
+func TestRNLPDHelperClient(t *testing.T) {
+	base := os.Getenv("RNLPD_HELPER_ADDR")
+	if base == "" {
+		t.Skip("helper: run only as a subprocess of TestRNLPDIntegration")
+	}
+	ctx := context.Background()
+	c, err := client.New(ctx, []string{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Write(ctx, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := g.Token(0)
+	fmt.Printf("HELD %d\n", tok)
+	os.Stdout.Sync()
+	select {} // hold until SIGKILL
+}
+
+// buildRNLPD compiles cmd/rnlpd once per test run.
+func buildRNLPD(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rnlpd")
+	cmd := exec.Command("go", "build", "-o", bin, "github.com/rtsync/rwrnlp/cmd/rnlpd")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build cmd/rnlpd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// moduleRoot walks up from the package directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

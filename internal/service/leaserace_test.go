@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rtsync/rwrnlp"
+	"github.com/rtsync/rwrnlp/client"
+)
+
+// Satellite regression: lease expiry racing a normal Release. Exactly one
+// side performs the underlying Protocol.Release; the loser gets
+// ErrLeaseExpired (or ErrSessionNotFound once the session is reaped) —
+// never a panic, never a double release. WithSelfCheck makes the wrapped
+// protocol panic on any structural violation, so a double free cannot
+// pass silently. Run under -race (make ci does).
+func TestLeaseExpiryRacesRelease(t *testing.T) {
+	const ttl = 30 * time.Millisecond
+	srv, err := NewServer(Config{
+		Spec:          testSpec(t, 4),
+		Options:       []rwrnlp.Option{rwrnlp.WithPlaceholders(), rwrnlp.WithSelfCheck()},
+		LeaseTTL:      ttl,
+		SweepInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	ctx := context.Background()
+	for i := 0; i < iters; i++ {
+		info, err := srv.OpenSession(ttl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := srv.Acquire(ctx, info.ID, nil, []client.ResourceID{0, 1})
+		if err != nil {
+			t.Fatalf("iter %d acquire: %v", i, err)
+		}
+		// Aim the Release at the expiry instant: sleep to just around the
+		// deadline, jittering across iterations so both orders occur. The
+		// opponent is the sweeper goroutine itself.
+		time.Sleep(ttl - 12*time.Millisecond + time.Duration(i%5)*6*time.Millisecond)
+		relErr := srv.Release(info.ID, g.Handle)
+
+		switch {
+		case relErr == nil:
+			// Release won; the sweeper must find nothing left to free.
+		case errors.Is(relErr, ErrLeaseExpired), errors.Is(relErr, ErrSessionNotFound), errors.Is(relErr, ErrAlreadyReleased):
+			// Expiry won (or the session was already reaped).
+		default:
+			t.Fatalf("iter %d: unexpected release error %v", i, relErr)
+		}
+
+		// Whoever won, the resources must be free again: a fresh session
+		// can take a write on the same component immediately.
+		info2, err := srv.OpenSession(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		g2, err := srv.Acquire(actx, info2.ID, nil, []client.ResourceID{0, 1})
+		cancel()
+		if err != nil {
+			t.Fatalf("iter %d: component not free after race: %v", i, err)
+		}
+		if err := srv.Release(info2.ID, g2.Handle); err != nil {
+			t.Fatalf("iter %d: cleanup release: %v", i, err)
+		}
+		_ = srv.CloseSession(info2.ID)
+	}
+}
+
+// Concurrent variant: many sessions expiring while their grants are
+// released from another goroutine, plus fence checks in flight — the
+// whole service plane under contention. Assertions are structural (no
+// panic, no invariant violation, resources always recoverable).
+func TestLeaseExpiryReleaseStorm(t *testing.T) {
+	srv, err := NewServer(Config{
+		Spec:          testSpec(t, 4),
+		Options:       []rwrnlp.Option{rwrnlp.WithSelfCheck()},
+		LeaseTTL:      25 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	workers := 4
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := []client.ResourceID{client.ResourceID(w % 4)}
+			for i := 0; i < iters; i++ {
+				info, err := srv.OpenSession(25 * time.Millisecond)
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				actx, cancel := context.WithTimeout(ctx, 5*time.Second)
+				g, err := srv.Acquire(actx, info.ID, nil, res)
+				cancel()
+				if err != nil {
+					if errors.Is(err, ErrLeaseExpired) || errors.Is(err, ErrSessionNotFound) {
+						continue // expired while queued: legal
+					}
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					_ = srv.Fence(g.Fencing[0].Component, g.Fencing[0].Token)
+				}
+				if i%2 == 0 {
+					time.Sleep(30 * time.Millisecond) // let expiry win sometimes
+				}
+				err = srv.Release(info.ID, g.Handle)
+				if err != nil && !errors.Is(err, ErrLeaseExpired) &&
+					!errors.Is(err, ErrSessionNotFound) && !errors.Is(err, ErrAlreadyReleased) {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Everything must be free at the end.
+	info, err := srv.OpenSession(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	g, err := srv.Acquire(actx, info.ID, nil, []client.ResourceID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("final sweep acquire: %v", err)
+	}
+	if err := srv.Release(info.ID, g.Handle); err != nil {
+		t.Fatal(err)
+	}
+}

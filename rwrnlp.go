@@ -57,6 +57,7 @@ import (
 	"runtime/trace"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/rtsync/rwrnlp/internal/core"
@@ -126,6 +127,11 @@ type Protocol struct {
 	// Continuous telemetry (nil unless WithTimeSeries): a bounded snapshot
 	// ring whose capture goroutine runs from New until Close.
 	ts *obs.TimeSeries
+
+	// closeOnce makes Close idempotent and safe to race with itself; the
+	// rnlpd service tier calls Close from session teardown and shutdown
+	// paths that can overlap.
+	closeOnce sync.Once
 }
 
 // Metrics re-exports the obs registry type for the public API.
@@ -225,11 +231,14 @@ func (p *Protocol) TimeSeries() *TimeSeries { return p.ts }
 // Close releases the protocol's background resources — today the
 // WithTimeSeries capture goroutine; tokens and shard state need no cleanup.
 // The protocol remains usable for acquisitions after Close (telemetry simply
-// stops accumulating history). Safe to call multiple times; always nil.
+// stops accumulating history). Idempotent and safe to call concurrently —
+// with itself and with in-flight Acquires/Releases; always nil.
 func (p *Protocol) Close() error {
-	if p.ts != nil {
-		p.ts.Stop()
-	}
+	p.closeOnce.Do(func() {
+		if p.ts != nil {
+			p.ts.Stop()
+		}
+	})
 	return nil
 }
 
