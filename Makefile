@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci obs-race telemetry-race flight-overhead hdr-overhead net-overhead rnlpd-integration soak clean
+.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci obs-race telemetry-race flight-overhead hdr-overhead wfast-overhead slots-overhead net-overhead rnlpd-integration soak clean
 
 all: build vet test
 
@@ -18,7 +18,7 @@ ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(MAKE) staticcheck
-	$(GO) run ./cmd/apicheck -check API.txt
+	$(MAKE) api-check
 	$(GO) test ./...
 	$(GO) test -race -short ./...
 	$(MAKE) obs-race
@@ -65,6 +65,29 @@ hdr-overhead:
 	$(GO) test -bench 'BenchmarkAcquire/hdr' -benchtime=0.3s -count=5 -run='^$$' . | $(GO) run ./cmd/benchjson -o hdr_pair.json
 	$(GO) run ./cmd/benchjson pair -threshold $(HDR_THRESHOLD) hdr_pair.json 'BenchmarkAcquire/hdr=off' 'BenchmarkAcquire/hdr=on'
 	@rm -f hdr_pair.json
+
+# Writer fast-path gate (PR 8 acceptance): same-run ablation of the writer
+# plane on the uncontended write round trip. The threshold is NEGATIVE — the
+# pair fails unless wfast=on is at least 60% FASTER than wfast=off, i.e. the
+# single-CAS claim must land uncontended writes within single-digit
+# multiples of the BRAVO read instead of the ~1.3us RSM slow path.
+WFAST_THRESHOLD ?= -60
+wfast-overhead:
+	$(GO) test -bench 'BenchmarkUncontendedWriter/wfast' -benchtime=0.3s -count=5 -run='^$$' . | $(GO) run ./cmd/benchjson -o wfast_pair.json
+	$(GO) run ./cmd/benchjson pair -threshold $(WFAST_THRESHOLD) wfast_pair.json 'BenchmarkUncontendedWriter/wfast=off' 'BenchmarkUncontendedWriter/wfast=on'
+	@rm -f wfast_pair.json
+
+# Per-P slot striping gate: parallel same-component readers with the
+# visible-readers table striped per-P vs the shared global sequence. perP
+# removes the last contended cache line from the reader fast path, so it
+# must never cost more than SLOTS_THRESHOLD percent over shared (on
+# few-core runners the two are within noise; on many-core runners perP
+# should win outright).
+SLOTS_THRESHOLD ?= 15
+slots-overhead:
+	$(GO) test -bench 'BenchmarkReadScaling/slots' -benchtime=0.3s -count=5 -run='^$$' . | $(GO) run ./cmd/benchjson -o slots_pair.json
+	$(GO) run ./cmd/benchjson pair -threshold $(SLOTS_THRESHOLD) slots_pair.json 'BenchmarkReadScaling/slots=shared' 'BenchmarkReadScaling/slots=perP'
+	@rm -f slots_pair.json
 
 # Network-tier overhead gate: the rnlpd service plane driven directly
 # in-process (net=off) versus through the client package over loopback HTTP

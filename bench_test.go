@@ -706,15 +706,98 @@ func BenchmarkFastPathReadMostly(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Writer fast path + per-P slot striping (PR 8 acceptance)
+
+// BenchmarkUncontendedWriter: single goroutine, single-resource write round
+// trips. With the writer plane on, an uncontended write claims the whole
+// component with one CAS on the shard's writer word — no mutex, no RSM. The
+// off variant is the PR 4 baseline (reader plane only; every write traverses
+// the RSM). The acceptance bar — fast writes at least 60% faster than the
+// slow path, i.e. within single-digit multiples of the BRAVO read — is
+// checked by `make wfast-overhead` via `benchjson pair`.
+func BenchmarkUncontendedWriter(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		b.Run("wfast="+mode, func(b *testing.B) {
+			spec := rwrnlp.NewSpecBuilder(4)
+			if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := spec.DeclareRequest([]rwrnlp.ResourceID{2, 3}, nil); err != nil {
+				b.Fatal(err)
+			}
+			fc := rwrnlp.FastPathConfig{Readers: true, Writers: mode == "on"}
+			p := rwrnlp.New(spec.Build(), rwrnlp.WithFastPath(fc))
+			var shared [2]int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tok, err := p.Write(bg, rwrnlp.ResourceID(i%2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				shared[i%2]++
+				if err := p.Release(tok); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReadScaling: all goroutines read the same component concurrently,
+// with the visible-readers table striped per-P (stack-address hinted slot
+// probing, per-slot claim counters) vs the shared global sequence. The perP
+// variant must not be slower than shared — under parallel readers the shared
+// fastSeq counter is the one remaining contended cache line on the fast
+// path — checked by `make slots-overhead` via `benchjson pair`.
+func BenchmarkReadScaling(b *testing.B) {
+	for _, mode := range []string{"shared", "perP"} {
+		mode := mode
+		b.Run("slots="+mode, func(b *testing.B) {
+			spec := rwrnlp.NewSpecBuilder(4)
+			if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := spec.DeclareRequest([]rwrnlp.ResourceID{2, 3}, nil); err != nil {
+				b.Fatal(err)
+			}
+			striping := rwrnlp.StripePerP
+			if mode == "shared" {
+				striping = rwrnlp.StripeShared
+			}
+			p := rwrnlp.New(spec.Build(), rwrnlp.WithFastPath(rwrnlp.FastPathConfig{
+				Readers:      true,
+				Writers:      true,
+				SlotStriping: striping,
+			}))
+			var shared [4]int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					tok, err := p.Read(bg, 0, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = shared[0]
+					if err := p.Release(tok); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Flight-recorder overhead (PR 5 acceptance)
 
 // BenchmarkAcquire prices the flight recorder on the slow (RSM) acquisition
 // path: write round trips with the recorder off (one nil pointer test per
 // protocol event) vs on (one lock-free ring record per event). The off
 // variant is the PR 4 baseline; the acceptance bar is that flight=off stays
-// within 2% of it, checked by `benchjson pair` in CI. Writes are used so
-// every acquisition actually traverses the RSM — the reader fast path would
-// hide the instrumentation entirely.
+// within 2% of it, checked by `benchjson pair` in CI. Both fast-path planes
+// are disabled so every acquisition actually traverses the RSM — an
+// uncontended write would otherwise take the writer fast path and hide the
+// instrumentation entirely.
 func BenchmarkAcquire(b *testing.B) {
 	for _, mode := range []string{"off", "on"} {
 		mode := mode
@@ -723,7 +806,7 @@ func BenchmarkAcquire(b *testing.B) {
 			if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
 				b.Fatal(err)
 			}
-			var opts []rwrnlp.Option
+			opts := []rwrnlp.Option{rwrnlp.WithFastPath(rwrnlp.FastPathConfig{})}
 			if mode == "on" {
 				opts = append(opts, rwrnlp.WithFlightRecorder(1024))
 			}
@@ -755,7 +838,7 @@ func BenchmarkAcquire(b *testing.B) {
 			if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
 				b.Fatal(err)
 			}
-			var opts []rwrnlp.Option
+			opts := []rwrnlp.Option{rwrnlp.WithFastPath(rwrnlp.FastPathConfig{})}
 			if mode == "on" {
 				opts = append(opts, rwrnlp.WithMetrics())
 			}

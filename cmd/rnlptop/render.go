@@ -138,9 +138,14 @@ func renderHists(w io.Writer, ts obs.TimeSeriesReport) {
 }
 
 // renderShards aggregates the shard-labeled counters into one row per shard:
-// acquisition traffic and the reader fast path's hit/miss/migration economy.
+// acquisition traffic plus both fast-path planes' economies — the reader
+// plane's hit/miss/migration columns and the writer plane's hit/revocation/
+// storm columns.
 func renderShards(w io.Writer, ts obs.TimeSeriesReport) {
-	type shardRow struct{ acq, rel, cont, hit, miss, migr, revoked float64 }
+	type shardRow struct {
+		acq, rel, cont, hit, miss, migr, revoked float64
+		whit, wmiss, wrev, wstorm                float64
+	}
 	rows := map[int]*shardRow{}
 	get := func(i int) *shardRow {
 		if rows[i] == nil {
@@ -168,6 +173,14 @@ func renderShards(w io.Writer, ts obs.TimeSeriesReport) {
 			get(i).migr = v
 		case obs.MFastPathRevoked:
 			get(i).revoked = v
+		case obs.MFastWriteHit:
+			get(i).whit = v
+		case obs.MFastWriteMiss:
+			get(i).wmiss = v
+		case obs.MFastWriteRevoked:
+			get(i).wrev = v
+		case obs.MFastWriteStorm:
+			get(i).wstorm = v
 		}
 	}
 	if len(rows) == 0 {
@@ -179,15 +192,20 @@ func renderShards(w io.Writer, ts obs.TimeSeriesReport) {
 	}
 	sort.Ints(ids)
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "shard\tacq/s\trel/s\tcontended/s\tfast hit/s\tmiss/s\tmigrated/s\trevoked/s\thit%\t")
+	fmt.Fprintln(tw, "shard\tacq/s\trel/s\tcontended/s\tfast hit/s\tmiss/s\tmigrated/s\trevoked/s\thit%\tw-hit/s\tw-miss/s\tw-rev/s\tw-storm/s\tw-hit%\t")
 	for _, i := range ids {
 		r := rows[i]
 		hitPct := 0.0
 		if r.hit+r.miss > 0 {
 			hitPct = 100 * r.hit / (r.hit + r.miss)
 		}
-		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
-			i, r.acq, r.rel, r.cont, r.hit, r.miss, r.migr, r.revoked, hitPct)
+		whitPct := 0.0
+		if r.whit+r.wmiss > 0 {
+			whitPct = 100 * r.whit / (r.whit + r.wmiss)
+		}
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
+			i, r.acq, r.rel, r.cont, r.hit, r.miss, r.migr, r.revoked, hitPct,
+			r.whit, r.wmiss, r.wrev, r.wstorm, whitPct)
 	}
 	tw.Flush()
 	fmt.Fprintln(w)

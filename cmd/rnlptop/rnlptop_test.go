@@ -19,13 +19,16 @@ func TestRenderFrame(t *testing.T) {
 			Samples:  7,
 			WindowNS: int64(6 * time.Second),
 			Rates: map[string]float64{
-				obs.MIssued:               1500,
-				obs.MSatisfied:            1499.5,
-				obs.MCompleted:            1498,
-				"shard_acquires{shard=0}": 900,
-				"shard_acquires{shard=1}": 600,
-				"fastpath_hit{shard=0}":   810,
-				"fastpath_miss{shard=0}":  90,
+				obs.MIssued:                       1500,
+				obs.MSatisfied:                    1499.5,
+				obs.MCompleted:                    1498,
+				"shard_acquires{shard=0}":         900,
+				"shard_acquires{shard=1}":         600,
+				"fastpath_hit{shard=0}":           810,
+				"fastpath_miss{shard=0}":          90,
+				"fastpath_write_hit{shard=0}":     240,
+				"fastpath_write_miss{shard=0}":    60,
+				"fastpath_write_revoked{shard=0}": 3,
 			},
 			Gauges: map[string]int64{obs.MInflight: 4, obs.MHolders: 2},
 			Hists: map[string]obs.WindowStats{
@@ -79,6 +82,13 @@ func TestRenderFrame(t *testing.T) {
 	// Per-shard table: both shards present, hit ratio computed.
 	if !strings.Contains(out, "90.0") {
 		t.Errorf("shard 0 hit%% (90.0) missing:\n%s", out)
+	}
+	// Writer-plane columns: hit/miss rates and the 240/(240+60) = 80% ratio.
+	if !strings.Contains(out, "w-hit/s") {
+		t.Errorf("writer fast-path columns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "80.0") {
+		t.Errorf("shard 0 writer hit%% (80.0) missing:\n%s", out)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/rtsync/rwrnlp/internal/core"
 )
@@ -52,6 +53,31 @@ import (
 // (hysteresis), so write-heavy phases stop paying the publish/retract and
 // migration overhead.
 //
+// The WRITER plane (WithFastPath(FastPathConfig{Writers: true}), on by
+// default) applies the same construction to uncontended write-capable
+// requests: when the shard's RSM is empty (rsmLive), no issuer is between
+// its intent announcement and its issuance (rsmIntent), no write-capable
+// request holds the reader gate, and no fast reader claims a slot, a
+// single-part write-capable Acquire claims the WHOLE component with one CAS
+// on the per-shard writer word — no mutex, no RSM. The claim closes the
+// reader gate for its duration (fast readers cannot admit past a fast
+// writer) and publishes its read/write masks beside the word. The first
+// conflicting request — any issuer, reader or writer, slow or fast-missed —
+// revokes it BRAVO-style: slowEnter announces intent and, seeing the word
+// held, materializes the fast writer as a surrogate write request in the
+// RSM (migrateFastWriter) before issuing its own request. The surrogate is
+// the FIRST request to enter the empty RSM, is satisfied immediately, and
+// holds exactly the fast writer's footprint — so from that point grant
+// decisions match the all-slow baseline exactly, mirroring the reader-
+// migration argument above; see IMPLEMENTATION.md, "Writer fast path".
+//
+// Striping: reader claims are assigned to slots per-P by default — the
+// probe starts from a goroutine-local hint (derived from the goroutine's
+// stack address, no runtime_procPin or TLS) and claim sequences are minted
+// from a per-slot counter, so an uncontended read's entire fast path
+// touches a single padded cache line. StripeShared restores the PR 4
+// layout: one global sequence counter, probe start hashed from it.
+//
 // Visibility: a fast read that never meets a writer is invisible to Stats,
 // Snapshot, and any attached event observer (the per-shard fastpath_*
 // counters are its only telemetry); once migrated it appears as an ordinary
@@ -63,18 +89,29 @@ const (
 	fastSlotWords   = 4
 	fastMaxResource = 64 * fastSlotWords
 
-	// fastRevokeMisses is the streak of gate-closed misses after which the
-	// path revokes itself; fastGraceReads is how many fast-eligible reads
-	// must subsequently find the component writer-free (on the RSM path)
-	// before the path re-enables.
+	// fastRevokeMisses is the default streak of conflict misses after which
+	// a fast-path plane revokes itself; fastGraceReads the default number of
+	// fast-eligible acquisitions that must subsequently find the conflict
+	// gone (on the RSM path) before the plane re-enables. Override both with
+	// FastPathConfig.Revocation.
 	fastRevokeMisses = 128
 	fastGraceReads   = 64
+
+	// fastSeqSlotBits is how many low bits of a per-P claim sequence encode
+	// the slot index (as idx+1, so a sequence is never zero). Slot counts are
+	// clamped to 64, so 7 bits suffice; per-slot claim counters then mint
+	// globally unique, never-reused sequences without a shared counter word.
+	fastSeqSlotBits = 7
 )
 
 // fastSurrogateTag marks RSM read requests materialized from in-flight
 // fast readers by writer migration, so snapshots and traces can tell the
 // two planes apart.
 const fastSurrogateTag = "fastpath-reader"
+
+// fastWriterSurrogateTag marks the RSM write request materialized from a
+// fast-path writer by the first contending request.
+const fastWriterSurrogateTag = "fastpath-writer"
 
 // fastSlot is one visible-reader slot. seq is 0 when free, else the unique
 // claim sequence of the holding reader; set is the holder's read-set mask,
@@ -90,7 +127,11 @@ type fastSlot struct {
 	seq    atomic.Uint64
 	set    [fastSlotWords]atomic.Uint64
 	migSeq atomic.Uint64
-	_      [80]byte
+	// claims mints this slot's claim sequences under per-P striping
+	// (seq = claims<<fastSeqSlotBits | idx+1), keeping the whole claim
+	// protocol on this one cache line; unused under StripeShared.
+	claims atomic.Uint64
+	_      [72]byte
 }
 
 // fastSlotCount sizes the slot array to the parallelism of the machine
@@ -136,14 +177,35 @@ func (s *shard) fastAcquire(read []ResourceID) (Token, bool) {
 		}
 		mask[int(a)>>6] |= 1 << (uint(a) & 63)
 	}
-	seq := s.fastSeq.Add(1)
+	var seq uint64
 	slot := -1
-	h := int(seq) & s.fastMask
-	for i := 0; i <= s.fastMask; i++ {
-		idx := (h + i) & s.fastMask
-		if s.fastSlots[idx].seq.CompareAndSwap(0, seq) {
-			slot = idx
-			break
+	if s.fastPerP {
+		// Per-P striding: probe from a goroutine-local hint so concurrent
+		// readers land on different padded slots, and mint the claim sequence
+		// from the slot's own counter — the uncontended hot path touches no
+		// shared word at all. A failed probe wastes one counter increment on
+		// that slot, which is harmless: sequences only ever need to be unique
+		// and non-zero, and the slot index in the low bits keeps counters of
+		// different slots in disjoint sequence spaces.
+		h := fastHint() & s.fastMask
+		for i := 0; i <= s.fastMask; i++ {
+			idx := (h + i) & s.fastMask
+			sl := &s.fastSlots[idx]
+			cand := sl.claims.Add(1)<<fastSeqSlotBits | uint64(idx+1)
+			if sl.seq.CompareAndSwap(0, cand) {
+				slot, seq = idx, cand
+				break
+			}
+		}
+	} else {
+		seq = s.fastSeq.Add(1)
+		h := int(seq) & s.fastMask
+		for i := 0; i <= s.fastMask; i++ {
+			idx := (h + i) & s.fastMask
+			if s.fastSlots[idx].seq.CompareAndSwap(0, seq) {
+				slot = idx
+				break
+			}
 		}
 	}
 	if slot < 0 {
@@ -236,9 +298,9 @@ func (s *shard) fastReadMissed(gateClosed bool) {
 		s.fastMissC.Inc()
 	}
 	if gateClosed {
-		if !s.fastRevoked.Load() && s.fastMissStreak.Add(1) >= fastRevokeMisses {
+		if !s.fastRevoked.Load() && s.fastMissStreak.Add(1) >= s.revokeMisses {
 			if !s.fastRevoked.Swap(true) {
-				s.fastGrace.Store(fastGraceReads)
+				s.fastGrace.Store(s.graceReads)
 				if s.fastRevokedC != nil {
 					s.fastRevokedC.Inc()
 				}
@@ -252,6 +314,16 @@ func (s *shard) fastReadMissed(gateClosed bool) {
 			s.fastRevoked.Store(false)
 		}
 	}
+}
+
+// fastHint derives a goroutine-local slot hint from the current stack
+// address (same idiom as obs.Metrics' counter striping): goroutines on
+// different Ps run on different stacks, so after the >>9 shift the hint
+// spreads claims across slots without runtime_procPin or TLS. The hint only
+// seeds the probe start — correctness never depends on its distribution.
+func fastHint() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b)) >> 9)
 }
 
 // writerEnter closes the shard's writer gate on behalf of a write-capable
@@ -333,9 +405,14 @@ func (s *shard) migrateFast() {
 
 // resources decodes the slot's published read-set mask.
 func (sl *fastSlot) resources() []ResourceID {
+	return decodeMask(&sl.set)
+}
+
+// decodeMask decodes a published resource mask into resource IDs.
+func decodeMask(set *[fastSlotWords]atomic.Uint64) []ResourceID {
 	var out []ResourceID
 	for w := 0; w < fastSlotWords; w++ {
-		m := sl.set[w].Load()
+		m := set[w].Load()
 		for m != 0 {
 			b := bits.TrailingZeros64(m)
 			out = append(out, ResourceID(w*64+b))
@@ -343,4 +420,253 @@ func (sl *fastSlot) resources() []ResourceID {
 		}
 	}
 	return out
+}
+
+// ---- Writer plane ----------------------------------------------------------
+
+// fastWriteBusy is the cheap component-busy predicate of the writer plane:
+// an RSM with incomplete requests (rsmLive), an issuer between intent and
+// issuance (rsmIntent), any writer-gate holder — slow write-capable request
+// or another fast writer — or a claimed reader slot all disqualify a
+// single-CAS claim.
+func (s *shard) fastWriteBusy() bool {
+	return s.rsmLive.Load() != 0 || s.rsmIntent.Load() != 0 ||
+		s.fastWriters.Load() != 0 || s.fastWWord.Load() != 0 || s.anyFastReader()
+}
+
+// anyFastReader reports whether any reader slot is currently claimed.
+func (s *shard) anyFastReader() bool {
+	for i := range s.fastSlots {
+		if s.fastSlots[i].seq.Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// fastWriteAcquire attempts the single-CAS writer fast path for a
+// write-capable footprint that split has already confined to this shard. On
+// a hit the claim owns the whole component: the writer word carries the
+// claim sequence, the masks beside it carry the footprint for migration, and
+// the reader gate is held closed for the critical section. On a miss the
+// caller falls back to the RSM.
+//
+// Admission protocol (the Dekker pairing with slowEnter): claim the word,
+// publish the masks, close the reader gate, THEN re-check that the
+// component is still idle. Every RSM issuer announces intent (rsmIntent)
+// before scanning the word, so by sequential consistency either our
+// re-check observes the issuer (and we retract) or the issuer's scan
+// observes our fully published claim (and migrates it). The same argument
+// pairs the gate-close with the reader plane's slot-publish/gate-re-check.
+func (s *shard) fastWriteAcquire(read, write []ResourceID) (Token, bool) {
+	if s.fastWRevoked.Load() {
+		s.fastWriteMissed(s.fastWriteBusy())
+		return Token{}, false
+	}
+	if s.fastWriteBusy() {
+		s.fastWriteMissed(true)
+		return Token{}, false
+	}
+	var rmask, wmask [fastSlotWords]uint64
+	for _, a := range read {
+		if int(a) >= fastMaxResource {
+			s.fastWriteMissed(false)
+			return Token{}, false
+		}
+		rmask[int(a)>>6] |= 1 << (uint(a) & 63)
+	}
+	for _, a := range write {
+		if int(a) >= fastMaxResource {
+			s.fastWriteMissed(false)
+			return Token{}, false
+		}
+		wmask[int(a)>>6] |= 1 << (uint(a) & 63)
+	}
+	seq := s.fastWSeq.Add(1)
+	if !s.fastWWord.CompareAndSwap(0, seq) {
+		s.fastWriteMissed(true)
+		return Token{}, false
+	}
+	for w := range rmask {
+		s.fastWRead[w].Store(rmask[w])
+		s.fastWWrite[w].Store(wmask[w])
+	}
+	s.fastWriters.Add(1)
+	// Re-check: the gate must count exactly us (a slow write-capable request
+	// between writerEnter and writerExit holds it too, and stays invisible to
+	// rsmLive until issued), the RSM must still be empty with no issuer in
+	// flight, and no fast reader may hold a slot (a reader admitted before
+	// our gate-close is ordered before this scan and is seen here; one that
+	// claims after our gate-close sees the gate and retracts).
+	if s.fastWriters.Load() != 1 || s.rsmLive.Load() != 0 ||
+		s.rsmIntent.Load() != 0 || s.anyFastReader() {
+		s.fastWWord.Store(0)
+		// A contender may have scanned the claim before the retraction and
+		// recorded a surrogate for it; retire it, or the RSM holds a phantom
+		// write lock forever.
+		_ = s.retireWriteSurrogate(seq)
+		s.fastWriters.Add(-1)
+		s.fastWriteMissed(true)
+		return Token{}, false
+	}
+	if s.fastWHitC != nil {
+		s.fastWHitC.Inc()
+	}
+	s.fastWOps.Add(1)
+	if s.fastWMissStreak.Load() != 0 {
+		s.fastWMissStreak.Store(0)
+	}
+	return Token{s: s, fastW: seq}, true
+}
+
+// fastWriteRelease ends a fast writer's critical section. The word CAS
+// doubles as the double-release check (claim sequences are never reused, and
+// contenders never modify the word). Ordering is soundness-critical: the
+// surrogate a contender may have recorded is retired BEFORE the reader gate
+// reopens — otherwise a fast reader could be admitted while the surrogate
+// still write-locks the component in the RSM.
+func (s *shard) fastWriteRelease(t Token) error {
+	if !s.fastWWord.CompareAndSwap(t.fastW, 0) {
+		return ErrAlreadyReleased
+	}
+	err := s.retireWriteSurrogate(t.fastW)
+	s.fastWriters.Add(-1)
+	return err
+}
+
+// retireWriteSurrogate retires the surrogate RSM write request a contender
+// may have recorded for the withdrawn claim seq (released, or retracted by
+// the admission re-check). The handshake is the reader plane's: the fastWMig
+// load is ordered after the word withdrawal, a migrating contender stores
+// fastWMig before re-checking the word, so at least one side sees the other;
+// the map delete under s.mu arbitrates exactly-once retirement. A surrogate
+// for an admitted fast writer is always satisfied (it was the first request
+// into an empty RSM) and is completed — waking whatever queued behind it;
+// one recorded for a doomed, mid-retraction claim may be waiting and is
+// canceled instead.
+func (s *shard) retireWriteSurrogate(seq uint64) error {
+	if s.fastWMig.Load() != seq {
+		return nil
+	}
+	s.mu.Lock()
+	id, ok := s.fastWSurr[seq]
+	var err error
+	if ok {
+		delete(s.fastWSurr, seq)
+		if st, serr := s.rsm.State(id); serr == nil && st == core.StateSatisfied {
+			err = s.rsm.Complete(s.tick(), id)
+		} else {
+			err = s.rsm.CancelRequest(s.tick(), id)
+		}
+		s.selfCheck()
+	}
+	s.unlock()
+	return err
+}
+
+// slowEnter announces an imminent RSM issuance on this shard (any kind:
+// read, write, incremental, upgradeable) and, if a fast writer holds the
+// word, materializes it into the RSM first. It must be called before the
+// issuing path takes s.mu and be balanced by slowExit only after the
+// issuance is reflected in rsmLive (runOp and unlock store rsmLive before
+// publishing completion), so there is no instant where a fast writer can
+// observe "no intent, empty RSM" while a conflicting request is in flight.
+// No-op when the writer plane is off.
+func (s *shard) slowEnter() {
+	if !s.fastW {
+		return
+	}
+	s.rsmIntent.Add(1)
+	if s.fastWWord.Load() != 0 {
+		s.migrateFastWriter()
+	}
+}
+
+// slowExit retracts the slowEnter announcement.
+func (s *shard) slowExit() {
+	if !s.fastW {
+		return
+	}
+	s.rsmIntent.Add(-1)
+}
+
+// migrateFastWriter issues a surrogate RSM write request for the current
+// writer-word claim, if any and not already migrated. The surrogate is the
+// first request to enter the (empty — see the package comment's induction)
+// RSM, so it is satisfied immediately and holds exactly the fast writer's
+// published footprint; the caller's own request then queues behind it
+// exactly as it would behind the equivalent slow writer. If the claim is
+// withdrawn while the surrogate is being recorded, the re-check retires it
+// on the spot. A doomed mid-retraction claim may be scanned with a partial
+// (even empty) mask; an empty surrogate fails Issue and is skipped — the
+// retracting writer is not in a critical section, so nothing is lost.
+func (s *shard) migrateFastWriter() {
+	s.mu.Lock()
+	seq := s.fastWWord.Load()
+	if seq == 0 || s.fastWMig.Load() == seq {
+		s.unlock()
+		return
+	}
+	id, err := s.rsm.Issue(s.tick(), decodeMask(&s.fastWRead), decodeMask(&s.fastWWrite), fastWriterSurrogateTag)
+	if err != nil {
+		s.unlock()
+		return
+	}
+	if s.fastWSurr == nil {
+		s.fastWSurr = make(map[uint64]core.ReqID)
+	}
+	s.fastWSurr[seq] = id
+	s.fastWMig.Store(seq)
+	if s.fastWWord.Load() != seq {
+		// The claim was withdrawn between our first look and the fastWMig
+		// store and cannot have seen it; retire the surrogate here.
+		delete(s.fastWSurr, seq)
+		if st, serr := s.rsm.State(id); serr == nil && st == core.StateSatisfied {
+			_ = s.rsm.Complete(s.tick(), id)
+		} else {
+			_ = s.rsm.CancelRequest(s.tick(), id)
+		}
+	} else if s.fastWMigratedC != nil {
+		s.fastWMigratedC.Inc()
+	}
+	s.selfCheck()
+	s.unlock()
+}
+
+// fastWriteMissed records a fast-eligible write-capable acquisition served
+// by the RSM, driving the writer plane's revocation hysteresis exactly like
+// the reader plane's: a streak of revokeMisses busy misses revokes the
+// plane, and graceReads subsequent misses that find the component fully
+// idle re-enable it. A revocation that lands within twice the revocation
+// budget of the previous re-enable counts as a revocation storm — the
+// plane is thrashing between the two states and amortizing nothing.
+func (s *shard) fastWriteMissed(busy bool) {
+	if s.fastWMissC != nil {
+		s.fastWMissC.Inc()
+	}
+	s.fastWOps.Add(1)
+	if busy {
+		if !s.fastWRevoked.Load() && s.fastWMissStreak.Add(1) >= s.revokeMisses {
+			if !s.fastWRevoked.Swap(true) {
+				if s.fastWRevokedC != nil {
+					s.fastWRevokedC.Inc()
+				}
+				if s.fastWReenabled.Load() && s.fastWOps.Load() < 2*s.revokeMisses {
+					if s.fastWStormC != nil {
+						s.fastWStormC.Inc()
+					}
+				}
+				s.fastWGrace.Store(s.graceReads)
+			}
+		}
+		return
+	}
+	s.fastWMissStreak.Store(0)
+	if s.fastWRevoked.Load() && !s.fastWriteBusy() {
+		if s.fastWGrace.Add(-1) <= 0 {
+			s.fastWReenabled.Store(true)
+			s.fastWOps.Store(0)
+			s.fastWRevoked.Store(false)
+		}
+	}
 }

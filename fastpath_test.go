@@ -376,6 +376,495 @@ func TestFastPathRetractMigrationRace(t *testing.T) {
 	}
 }
 
+// A writer fast-path hit never reaches the RSM: the whole component is
+// claimed by one CAS on the shard's writer word, no issued/completed
+// protocol events, only fastpath_write_hit moves.
+func TestWriterFastPathHit(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{Metrics: true}, []ResourceID{0, 1})
+	tok, err := p.Write(bg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.fastW == 0 {
+		t.Fatal("uncontended write did not take the writer fast path")
+	}
+	if got := fastCounter(t, p, obs.MFastWriteHit, 0); got != 1 {
+		t.Errorf("fastpath_write_hit = %d, want 1", got)
+	}
+	if st := p.Stats(); st.Issued != 0 {
+		t.Errorf("RSM saw %d issues for a fast write, want 0", st.Issued)
+	}
+	if got := fastCounter(t, p, obs.MShardAcquires, 0); got != 0 {
+		t.Errorf("shard_acquires = %d for a fast write, want 0", got)
+	}
+	if err := p.Release(tok); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Issued != 0 || st.Completed != 0 {
+		t.Errorf("RSM stats after fast write release: %+v, want all zero", st)
+	}
+	if got := fastCounter(t, p, obs.MFastWriteMigrated, 0); got != 0 {
+		t.Errorf("fastpath_write_migrated = %d with no contender, want 0", got)
+	}
+}
+
+// A mixed-footprint (read+write) request is write-capable and takes the
+// writer plane when its component is idle.
+func TestWriterFastPathMixedFootprint(t *testing.T) {
+	p := newGatedProtocol(t, WithMetrics())
+	tok, err := p.Acquire(bg, []ResourceID{3}, []ResourceID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.fastW == 0 {
+		t.Fatal("uncontended mixed request did not take the writer fast path")
+	}
+	if err := p.Release(tok); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Issued != 0 {
+		t.Errorf("RSM issued = %d for a fast mixed request, want 0", st.Issued)
+	}
+}
+
+// A contender entering the slow path materializes the in-flight fast writer
+// as a surrogate write request in the RSM and queues behind it: mutual
+// exclusion holds through the surrogate, and the contender is woken by the
+// fast token's release.
+func TestWriterFastPathMigrationBlocksWriter(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{Metrics: true}, []ResourceID{0, 1})
+	w, err := p.Write(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.fastW == 0 {
+		t.Fatal("write did not take the writer fast path")
+	}
+
+	acquired := make(chan Token, 1)
+	go func() {
+		w2, err := p.Write(bg, 0)
+		if err != nil {
+			panic(err)
+		}
+		acquired <- w2
+	}()
+
+	select {
+	case <-acquired:
+		t.Fatal("second writer acquired resource 0 while a fast writer held it")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := fastCounter(t, p, obs.MFastWriteMigrated, 0); got != 1 {
+		t.Errorf("fastpath_write_migrated = %d, want 1", got)
+	}
+	// The surrogate write plus the contender are both RSM requests now.
+	if st := p.Stats(); st.Issued != 2 {
+		t.Errorf("RSM issued = %d, want 2 (surrogate + contender)", st.Issued)
+	}
+
+	if err := p.Release(w); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case w2 := <-acquired:
+		if err := p.Release(w2); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("contender not woken by the migrated fast writer's release")
+	}
+	if st := p.Stats(); st.Completed != 2 {
+		t.Errorf("RSM completed = %d, want 2", st.Completed)
+	}
+}
+
+// Same migration, reader contender: a read conflicting with the fast
+// writer's footprint must block behind the surrogate until release.
+func TestWriterFastPathMigrationBlocksReader(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{Metrics: true}, []ResourceID{0, 1})
+	w, err := p.Write(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.fastW == 0 {
+		t.Fatal("write did not take the writer fast path")
+	}
+
+	acquired := make(chan Token, 1)
+	go func() {
+		r, err := p.Read(bg, 0)
+		if err != nil {
+			panic(err)
+		}
+		acquired <- r
+	}()
+
+	select {
+	case <-acquired:
+		t.Fatal("reader acquired resource 0 while a fast writer held it")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := p.Release(w); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-acquired:
+		if err := p.Release(r); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not woken by the migrated fast writer's release")
+	}
+}
+
+// Double release of a writer fast-path token fails the word CAS (the word
+// holds a fresh sequence or zero, never a stale one).
+func TestWriterFastPathDoubleRelease(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{}, []ResourceID{0, 1})
+	tok, err := p.Write(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.fastW == 0 {
+		t.Fatal("write did not take the writer fast path")
+	}
+	if err := p.Release(tok); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(tok); !errors.Is(err, ErrAlreadyReleased) {
+		t.Errorf("second release: got %v, want ErrAlreadyReleased", err)
+	}
+	// Re-claim the word with a new fast write, then double-release the old
+	// token again: the stale sequence must still be rejected.
+	tok2, err := p.Write(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(tok); !errors.Is(err, ErrAlreadyReleased) {
+		t.Errorf("stale release after re-claim: got %v, want ErrAlreadyReleased", err)
+	}
+	if err := p.Release(tok2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// WithFastPath plane selection: each plane can be enabled independently,
+// and the zero config disables both.
+func TestFastPathConfigPlanes(t *testing.T) {
+	build := func(fc FastPathConfig) *Protocol {
+		b := NewSpecBuilder(2)
+		if err := b.DeclareRequest([]ResourceID{0, 1}, nil); err != nil {
+			t.Fatal(err)
+		}
+		return New(b.Build(), WithMetrics(), WithFastPath(fc))
+	}
+	roundtrip := func(p *Protocol, write bool) Token {
+		t.Helper()
+		var tok Token
+		var err error
+		if write {
+			tok, err = p.Write(bg, 0)
+		} else {
+			tok, err = p.Read(bg, 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Release(tok); err != nil {
+			t.Fatal(err)
+		}
+		return tok
+	}
+
+	p := build(FastPathConfig{Readers: true})
+	if tok := roundtrip(p, false); tok.fastSeq == 0 {
+		t.Error("Readers-only: read did not take the fast path")
+	}
+	if tok := roundtrip(p, true); tok.fastW != 0 {
+		t.Error("Readers-only: write took the writer fast path")
+	}
+
+	p = build(FastPathConfig{Writers: true})
+	if tok := roundtrip(p, false); tok.fastSeq != 0 {
+		t.Error("Writers-only: read took the reader fast path")
+	}
+	if tok := roundtrip(p, true); tok.fastW == 0 {
+		t.Error("Writers-only: write did not take the writer fast path")
+	}
+
+	p = build(FastPathConfig{})
+	if tok := roundtrip(p, false); tok.fastSeq != 0 {
+		t.Error("zero config: read took the fast path")
+	}
+	if tok := roundtrip(p, true); tok.fastW != 0 {
+		t.Error("zero config: write took the writer fast path")
+	}
+	if st := p.Stats(); st.Issued != 2 || st.Completed != 2 {
+		t.Errorf("zero config RSM stats = %+v, want 2 issued / 2 completed", st)
+	}
+
+	p = build(DefaultFastPath())
+	if tok := roundtrip(p, false); tok.fastSeq == 0 {
+		t.Error("default: read did not take the fast path")
+	}
+	if tok := roundtrip(p, true); tok.fastW == 0 {
+		t.Error("default: write did not take the writer fast path")
+	}
+}
+
+// Slot striping modes: StripeShared keeps the single global sequence,
+// StripePerP derives claims from per-slot counters. Both must admit
+// uncontended reads, keep sequences unique (stale double release rejected),
+// and interoperate with writer migration.
+func TestFastPathSlotStriping(t *testing.T) {
+	for _, mode := range []SlotStriping{StripeShared, StripePerP} {
+		name := "perP"
+		if mode == StripeShared {
+			name = "shared"
+		}
+		t.Run(name, func(t *testing.T) {
+			b := NewSpecBuilder(2)
+			if err := b.DeclareRequest([]ResourceID{0, 1}, nil); err != nil {
+				t.Fatal(err)
+			}
+			p := New(b.Build(), WithMetrics(),
+				WithFastPath(FastPathConfig{Readers: true, Writers: true, SlotStriping: mode}))
+
+			tok, err := p.Read(bg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tok.fastSeq == 0 {
+				t.Fatal("read did not take the fast path")
+			}
+			if err := p.Release(tok); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Release(tok); !errors.Is(err, ErrAlreadyReleased) {
+				t.Errorf("double release: got %v, want ErrAlreadyReleased", err)
+			}
+
+			// Parallel churn with a migrating writer in the mix.
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						var tok Token
+						var err error
+						if g == 0 && i%32 == 0 {
+							tok, err = p.Write(bg, 0)
+						} else {
+							tok, err = p.Read(bg, 0)
+						}
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if err := p.Release(tok); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if st := p.Stats(); st.Issued != st.Completed+st.Canceled {
+				t.Errorf("leaked RSM requests: %+v", st)
+			}
+			if got := fastCounter(t, p, obs.MFastPathHit, 0); got == 0 {
+				t.Error("fastpath_hit = 0 under parallel readers")
+			}
+		})
+	}
+}
+
+// Writer-plane revocation hysteresis with a custom RevocationPolicy: busy
+// misses revoke the path, idle misses re-enable it, and a revocation that
+// fires again right after a re-enable with little fast traffic counts as a
+// storm.
+func TestWriterFastPathRevocationHysteresis(t *testing.T) {
+	const misses, grace = 4, 3
+	p := newGatedProtocol(t, WithMetrics(), WithFastPath(FastPathConfig{
+		Readers:    true,
+		Writers:    true,
+		Revocation: RevocationPolicy{RevokeMisses: misses, GraceReads: grace},
+	}))
+	s := p.shardOf(0)
+
+	// A fast reader claim on 3 keeps the component busy from the writer
+	// plane's point of view (and stays live as a surrogate after the first
+	// slow writer migrates it).
+	r, err := p.Read(bg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.fastSeq == 0 {
+		t.Fatal("read did not take the fast path")
+	}
+	for i := 0; i < misses; i++ {
+		w, err := p.Write(bg, 0) // busy miss, then served by the RSM
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.fastW != 0 {
+			t.Fatal("writer fast hit while a fast reader was in flight")
+		}
+		if err := p.Release(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.fastWRevoked.Load() {
+		t.Fatalf("writer path not revoked after %d busy misses", misses)
+	}
+	if got := fastCounter(t, p, obs.MFastWriteRevoked, 0); got != 1 {
+		t.Errorf("fastpath_write_revoked = %d, want 1", got)
+	}
+	if err := p.Release(r); err != nil {
+		t.Fatal(err)
+	}
+
+	// Component idle but path revoked: idle misses count down the grace
+	// period, then re-enable.
+	for i := 0; i < grace; i++ {
+		if !s.fastWRevoked.Load() {
+			t.Fatalf("writer path re-enabled after only %d idle misses", i)
+		}
+		w, err := p.Write(bg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.fastW != 0 {
+			t.Fatal("writer fast hit while revoked")
+		}
+		if err := p.Release(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.fastWRevoked.Load() {
+		t.Fatal("writer path still revoked after the idle grace period")
+	}
+	w, err := p.Write(bg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.fastW == 0 {
+		t.Fatal("write after re-enable did not take the writer fast path")
+	}
+	if err := p.Release(w); err != nil {
+		t.Fatal(err)
+	}
+
+	// Storm: revoke again right after the re-enable, with only one fast op
+	// in between (< 2*RevokeMisses).
+	r2, err := p.Read(bg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < misses; i++ {
+		w, err := p.Write(bg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Release(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.fastWRevoked.Load() {
+		t.Fatal("writer path not revoked by the second busy streak")
+	}
+	if got := fastCounter(t, p, obs.MFastWriteStorm, 0); got != 1 {
+		t.Errorf("fastpath_write_storm = %d, want 1", got)
+	}
+	if err := p.Release(r2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Race stress for the writer plane: fast writes, fast reads, slow mixed
+// requests, and upgradeable pairs churning one component. The claim/migrate/
+// retract handshakes must neither deadlock nor leak RSM requests.
+func TestWriterFastPathRaceStress(t *testing.T) {
+	p := newTestProtocol(t, 2, Options{}, []ResourceID{0, 1})
+	const iters = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch {
+				case g == 0:
+					tok, err := p.Write(bg, 0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := p.Release(tok); err != nil {
+						t.Error(err)
+						return
+					}
+				case g == 1 && i%64 == 0:
+					u, err := p.AcquireUpgradeable(bg, 0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if u.Reading() && i%128 != 0 {
+						if err := u.ReleaseRead(); err != nil {
+							t.Error(err)
+							return
+						}
+						continue
+					}
+					if u.Reading() {
+						if err := u.Upgrade(bg); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					if err := u.Release(); err != nil {
+						t.Error(err)
+						return
+					}
+				case g == 2 && i%16 == 0:
+					tok, err := p.Acquire(bg, []ResourceID{1}, []ResourceID{0})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := p.Release(tok); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					tok, err := p.Read(bg, 0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := p.Release(tok); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("deadlock: the writer fast-path handshake stranded a request")
+	}
+	if st := p.Stats(); st.Issued != st.Completed+st.Canceled {
+		t.Errorf("leaked RSM requests: %+v", st)
+	}
+}
+
 // Satellite: the undeclared cross-component slow path under the race
 // detector. Every cross-component all-read acquisition must count on
 // protocol_slow_path, and none may be lost — writers churn both components

@@ -57,15 +57,24 @@ func (p *Protocol) AcquireIncremental(ctx context.Context, read, write, initialR
 	if gate {
 		s.writerEnter()
 	}
+	// Announce the issuance to the writer fast path (and migrate a fast
+	// writer holding the word) before taking the mutex; the intent can drop
+	// right after unlock, which mirrored the issued request into rsmLive.
+	s.slowEnter()
 	s.mu.Lock()
 	id, err := s.rsm.IssueIncremental(s.tick(), read, write, initialRead, initialWrite, nil)
 	if err != nil {
 		s.unlock()
+		s.slowExit()
 		if gate {
 			s.writerExit()
 		}
 		return nil, err
 	}
+	// The request is in the RSM: mirror it into rsmLive now so the issuance
+	// intent can drop before the mutex does.
+	s.syncLive()
+	s.slowExit()
 	inc := &Incremental{s: s, id: id, gate: gate}
 	initial := append(append([]ResourceID{}, initialRead...), initialWrite...)
 	if ok, _ := s.rsm.Granted(id, initial); ok {

@@ -59,6 +59,18 @@ type Options struct {
 	// path relies on. Never enable outside tests.
 	ChaosDeafFreshReads bool
 
+	// ChaosDeafFreshWrites is the writer-plane counterpart of
+	// ChaosDeafFreshReads: freshPass skips write-capable requests (still
+	// clearing their fresh flag) and entitlePass refuses to entitle them, so
+	// a fresh write issued into an IDLE component strands in StateWaiting —
+	// breaking exactly the implication (ComponentIdle ⇒ immediate
+	// satisfaction) the runtime writer fast path relies on. Entitlement must
+	// be suppressed too: a stranded fresh write in an otherwise empty
+	// component heads every queue and would be entitled and satisfied within
+	// the same stabilize call, hiding the injected fault from the detector.
+	// Never enable outside tests.
+	ChaosDeafFreshWrites bool
+
 	// FirstID and IDStep stride the request-ID space so several RSMs feeding
 	// shared observers mint globally unique IDs (the sharded runtime lock
 	// runs one RSM per resource component; shard i uses FirstID=i,
@@ -472,6 +484,9 @@ func (m *RSM) freshPass(t Time) bool {
 		if r.kind == KindRead && m.opt.ChaosDeafFreshReads {
 			continue
 		}
+		if r.kind == KindWrite && m.opt.ChaosDeafFreshWrites {
+			continue
+		}
 		if r.kind == KindWrite && !m.opt.ChaosSkipWQHeadCheck && !m.headEverywhere(r) {
 			continue
 		}
@@ -639,6 +654,9 @@ func (m *RSM) entitlePass(t Time) bool {
 	changed := false
 	for _, r := range snapshot(m.incomplete) {
 		if r.state != StateWaiting {
+			continue
+		}
+		if r.kind == KindWrite && m.opt.ChaosDeafFreshWrites {
 			continue
 		}
 		var ok bool

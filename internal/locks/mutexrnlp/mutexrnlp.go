@@ -29,8 +29,12 @@ func New(q int) *Lock {
 	// needs no declarations. Sharding is disabled: with nothing declared
 	// every resource is its own component, and the engine's multi-component
 	// slow path (per-component sequential locking) is NOT the mutex RNLP's
-	// single-timestamp atomic acquisition.
-	return &Lock{p: rwrnlp.New(core.NewSpecBuilder(q).Build(), rwrnlp.WithoutSharding())}
+	// single-timestamp atomic acquisition. Both fast-path planes are off:
+	// this package exists to exhibit the RSM's timestamp-FIFO satisfaction
+	// order, and the writer fast path would serve uncontended requests
+	// outside the RSM entirely.
+	return &Lock{p: rwrnlp.New(core.NewSpecBuilder(q).Build(),
+		rwrnlp.WithoutSharding(), rwrnlp.WithFastPath(rwrnlp.FastPathConfig{}))}
 }
 
 // Token identifies a held acquisition.

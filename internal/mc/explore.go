@@ -55,20 +55,21 @@ func DefaultOptions() Options {
 
 // Stats describes an exploration's effort and pruning effectiveness.
 type Stats struct {
-	States          int // distinct states expanded
-	Revisits        int // memoization hits
-	Terminals       int // complete schedules reached
-	SleepPruned     int // transitions suppressed by sleep sets
-	SymmetryPruned  int // issue transitions suppressed by template symmetry
-	DepthCutoffs    int // paths truncated by MaxDepth
-	MaxDepthSeen    int // longest schedule reached
-	FastPathChecked int // fast-path admission implications evaluated (over all node replays)
-	Truncated       bool
+	States           int // distinct states expanded
+	Revisits         int // memoization hits
+	Terminals        int // complete schedules reached
+	SleepPruned      int // transitions suppressed by sleep sets
+	SymmetryPruned   int // issue transitions suppressed by template symmetry
+	DepthCutoffs     int // paths truncated by MaxDepth
+	MaxDepthSeen     int // longest schedule reached
+	FastPathChecked  int // reader-plane admission implications evaluated (over all node replays)
+	FastWriteChecked int // writer-plane admission implications evaluated (over all node replays)
+	Truncated        bool
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("states=%d revisits=%d terminals=%d sleep-pruned=%d symmetry-pruned=%d depth-cutoffs=%d max-depth=%d fastpath-checked=%d",
-		s.States, s.Revisits, s.Terminals, s.SleepPruned, s.SymmetryPruned, s.DepthCutoffs, s.MaxDepthSeen, s.FastPathChecked)
+	return fmt.Sprintf("states=%d revisits=%d terminals=%d sleep-pruned=%d symmetry-pruned=%d depth-cutoffs=%d max-depth=%d fastpath-checked=%d fastwrite-checked=%d",
+		s.States, s.Revisits, s.Terminals, s.SleepPruned, s.SymmetryPruned, s.DepthCutoffs, s.MaxDepthSeen, s.FastPathChecked, s.FastWriteChecked)
 }
 
 // Result is the outcome of an exploration or walk.
@@ -181,6 +182,7 @@ func Explore(sc *Scenario, opt Options) (Result, error) {
 			res.Stats.MaxDepthSeen = len(path)
 		}
 		res.Stats.FastPathChecked += r.fastChecked
+		res.Stats.FastWriteChecked += r.fastWChecked
 		if v := r.checkStep(); v != nil {
 			v.attach(sc, path)
 			return v, nil

@@ -27,6 +27,46 @@ func TestFastPathImplicationChecked(t *testing.T) {
 	}
 }
 
+// The wfast2x2 and wmix4x3 presets must exercise the writer-plane admission
+// implication: every write-capable issue into an idle component checked, on
+// every reachable interleaving, with no violation.
+func TestWriterFastPathImplicationChecked(t *testing.T) {
+	for _, name := range []string{"wfast2x2", "wmix4x3"} {
+		for _, ph := range []bool{false, true} {
+			sc := *Preset(name)
+			sc.Placeholders = ph
+			res, err := Explore(&sc, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("%s placeholders=%v: violation:\n%s", name, ph, res.Violation)
+			}
+			if res.Stats.FastWriteChecked == 0 {
+				t.Fatalf("%s placeholders=%v: FastWriteChecked = 0 — the writer admission implication was never evaluated", name, ph)
+			}
+			t.Logf("%s placeholders=%v: %d writer admission implications checked", name, ph, res.Stats.FastWriteChecked)
+		}
+	}
+}
+
+// The mixed preset must also drive the reader-plane check — both planes are
+// live in the same state space.
+func TestMixedPresetChecksBothPlanes(t *testing.T) {
+	sc := *Preset("wmix4x3")
+	res, err := Explore(&sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation:\n%s", res.Violation)
+	}
+	if res.Stats.FastPathChecked == 0 || res.Stats.FastWriteChecked == 0 {
+		t.Fatalf("want both planes checked, got read=%d write=%d",
+			res.Stats.FastPathChecked, res.Stats.FastWriteChecked)
+	}
+}
+
 // Fault injection validating the detector: with ChaosDeafFreshReads the RSM
 // deliberately leaves fresh all-read requests unsatisfied at issuance, so
 // the explorer must surface a VFastPath violation — and its replay script
@@ -47,6 +87,41 @@ func TestChaosDeafFreshReadsCaught(t *testing.T) {
 
 	script := res.Violation.Script()
 	if !strings.Contains(script, "chaos-deaf-fresh-reads") {
+		t.Fatalf("replay script does not carry the chaos flag:\n%s", script)
+	}
+	rsc, path, err := ParseReplay(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Replay(rsc, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Kind != VFastPath {
+		t.Fatalf("replay did not reproduce the VFastPath violation (got %v)", v)
+	}
+}
+
+// Writer-plane analog: ChaosDeafFreshWrites strands fresh write-capable
+// requests (skipping both the fresh pass and the entitlement pass, so the
+// fault is not healed within the same stabilize call), and the explorer must
+// surface it as a VFastPath violation that replays deterministically.
+func TestChaosDeafFreshWritesCaught(t *testing.T) {
+	sc := *Preset("wfast2x2")
+	sc.ChaosDeafFreshWrites = true
+	res, err := Explore(&sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("ChaosDeafFreshWrites explored clean — the writer fast-path detector is deaf too")
+	}
+	if res.Violation.Kind != VFastPath {
+		t.Fatalf("violation kind = %v, want VFastPath:\n%s", res.Violation.Kind, res.Violation)
+	}
+
+	script := res.Violation.Script()
+	if !strings.Contains(script, "chaos-deaf-fresh-writes") {
 		t.Fatalf("replay script does not carry the chaos flag:\n%s", script)
 	}
 	rsc, path, err := ParseReplay(strings.NewReader(script))

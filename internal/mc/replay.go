@@ -108,6 +108,9 @@ func (v *Violation) Script() string {
 	if sc.ChaosDeafFreshReads {
 		b.WriteString("chaos-deaf-fresh-reads\n")
 	}
+	if sc.ChaosDeafFreshWrites {
+		b.WriteString("chaos-deaf-fresh-writes\n")
+	}
 	for _, tp := range sc.Templates {
 		fmt.Fprintf(&b, "tmpl %s\n", tp.Signature())
 	}
@@ -171,6 +174,8 @@ func ParseReplay(r io.Reader) (*Scenario, []Action, error) {
 			sc.ChaosSkipWQHeadCheck = true
 		case "chaos-deaf-fresh-reads":
 			sc.ChaosDeafFreshReads = true
+		case "chaos-deaf-fresh-writes":
+			sc.ChaosDeafFreshWrites = true
 		case "tmpl":
 			tpl, err := ParseTemplates(rest)
 			if err != nil {

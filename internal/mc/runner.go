@@ -134,10 +134,12 @@ type runner struct {
 	oracles    []oracle
 	divergence *Violation
 
-	// Fast-path admission check (see checkFastPath): fastChecked counts the
-	// issues the implication applied to; fastViolation records the first
+	// Fast-path admission checks (see checkFastPath): fastChecked /
+	// fastWChecked count the issues the reader-/writer-plane implication
+	// applied to; fastViolation records the first
 	// failure.
 	fastChecked   int
+	fastWChecked  int
 	fastViolation *Violation
 }
 
@@ -331,20 +333,27 @@ func (r *runner) apply(a Action) error {
 			run.nextAsk = 1
 			r.alias[id] = aliasBase(a.Tmpl)
 		default:
-			// Fast-path admission implication (the contract of the runtime
-			// reader fast path, rwrnlp/fastpath.go): evaluate the gate
-			// predicate BEFORE the issue — WriterFree over the request's
-			// component — and afterwards require immediate satisfaction.
-			gateOpen := len(tp.Write) == 0 && len(tp.Read) > 0 &&
+			// Fast-path admission implications (the contract of the runtime
+			// fast paths, rwrnlp/fastpath.go): evaluate the admission
+			// predicates BEFORE the issue and afterwards require immediate
+			// satisfaction. The reader plane admits all-read requests into a
+			// writer-free component (core.WriterFree); the writer plane
+			// admits write-capable requests — plain and mixed — into a fully
+			// idle component (core.ComponentIdle).
+			readFast := len(tp.Write) == 0 && len(tp.Read) > 0 &&
 				r.rsm.WriterFree(tp.Read[0])
+			writeFast := len(tp.Write) > 0 && r.rsm.ComponentIdle(tp.Write[0])
 			id, err := r.rsm.Issue(t, tp.Read, tp.Write, a.Tmpl)
 			if err != nil {
 				return err
 			}
 			run.id = id
 			r.alias[id] = aliasBase(a.Tmpl)
-			if gateOpen {
-				r.checkFastPath(a.Tmpl, id)
+			if readFast {
+				r.checkFastPath(a.Tmpl, id, false)
+			}
+			if writeFast {
+				r.checkFastPath(a.Tmpl, id, true)
 			}
 		}
 		run.issued = true
@@ -475,26 +484,37 @@ func (r *runner) compareOracles() {
 	}
 }
 
-// checkFastPath asserts the fast-path admission implication for one plain
-// all-read issue whose component was writer-free at the invocation: the RSM
-// must have satisfied it within the Issue invocation itself (Rule R1,
-// zero acquisition delay). This is checked on EVERY reachable interleaving
-// the explorer drives, so a pass means the runtime fast path — which admits
-// readers exactly under this predicate, enforced by its writer gate — only
-// ever satisfies requests the RSM would satisfy immediately.
-func (r *runner) checkFastPath(tmpl int, id core.ReqID) {
-	r.fastChecked++
+// checkFastPath asserts a fast-path admission implication for one plain
+// issue whose admission predicate held at the invocation: the RSM must have
+// satisfied it within the Issue invocation itself (Rules R1/W1, zero
+// acquisition delay). writer selects the plane — false for an all-read
+// issue into a writer-free component (core.WriterFree), true for a
+// write-capable issue into an idle component (core.ComponentIdle). This is
+// checked on EVERY reachable interleaving the explorer drives, so a pass
+// means the runtime fast paths — which admit requests exactly under these
+// predicates, enforced by their gate/word protocols — only ever satisfy
+// requests the RSM would satisfy immediately.
+func (r *runner) checkFastPath(tmpl int, id core.ReqID, writer bool) {
+	if writer {
+		r.fastWChecked++
+	} else {
+		r.fastChecked++
+	}
 	if r.fastViolation != nil {
 		return
 	}
 	st, err := r.rsm.State(id)
 	if err != nil || st != core.StateSatisfied {
+		plane, pred, runtime := "all-read", "writer-free", "reader"
+		if writer {
+			plane, pred, runtime = "write-capable", "idle", "writer"
+		}
 		r.fastViolation = &Violation{
 			Kind: VFastPath,
 			Step: r.step,
 			Details: []string{
-				fmt.Sprintf("template %d: all-read issue into a writer-free component not satisfied immediately (state %v)", tmpl, st),
-				"the runtime reader fast path would have admitted this request outside the RSM",
+				fmt.Sprintf("template %d: %s issue into a %s component not satisfied immediately (state %v)", tmpl, plane, pred, st),
+				fmt.Sprintf("the runtime %s fast path would have admitted this request outside the RSM", runtime),
 			},
 		}
 	}
@@ -504,11 +524,15 @@ func (r *runner) checkFastPath(tmpl int, id core.ReqID) {
 // admission implication, and oracle divergence. The explorer adds deadlock
 // and terminal bound checks.
 func (r *runner) checkStep() *Violation {
-	if bad := r.rsm.CheckInvariants(); len(bad) > 0 {
-		return &Violation{Kind: VInvariant, Step: r.step, Details: bad}
-	}
+	// The fast-path admission violation outranks structural invariants: a
+	// stranded fresh request usually trips both (a waiting write violates
+	// I7/Lemma 6 too), and the admission implication is the more specific
+	// diagnosis — it names the template and the runtime plane affected.
 	if r.fastViolation != nil {
 		return r.fastViolation
+	}
+	if bad := r.rsm.CheckInvariants(); len(bad) > 0 {
+		return &Violation{Kind: VInvariant, Step: r.step, Details: bad}
 	}
 	if r.divergence != nil {
 		return r.divergence

@@ -109,6 +109,10 @@ type Scenario struct {
 	// strands fresh reads in writer-free components (test-only; validates
 	// the VFastPath admission detector).
 	ChaosDeafFreshReads bool
+	// ChaosDeafFreshWrites forwards the core fault-injection flag that
+	// strands fresh writes in idle components (test-only; validates the
+	// writer-plane VFastPath admission detector).
+	ChaosDeafFreshWrites bool
 }
 
 // Spec derives the resource-system Spec from the templates: every template
@@ -141,6 +145,7 @@ func (s *Scenario) Options() core.Options {
 		Placeholders:         s.Placeholders,
 		ChaosSkipWQHeadCheck: s.ChaosSkipWQHeadCheck,
 		ChaosDeafFreshReads:  s.ChaosDeafFreshReads,
+		ChaosDeafFreshWrites: s.ChaosDeafFreshWrites,
 	}
 }
 
@@ -371,6 +376,31 @@ func Presets() []*Scenario {
 			Name:      "fastread5x4",
 			Q:         4,
 			Templates: mustTemplates("r:0+1 r:0+1 w:0+1 r:2+3 w:2+3"),
+		},
+		{
+			// Writer-fast-path admission: two writers racing over one
+			// component, with cancellation. Exercises the writer-plane
+			// implication (every write-capable issue into an idle component
+			// must satisfy immediately — the invariant the runtime's
+			// uncontended-writer fast path relies on) across every
+			// interleaving, including revocation racing release and cancel.
+			// Write-only traffic also activates the mutex-RNLP differential
+			// oracle.
+			Name:      "wfast2x2",
+			Q:         2,
+			Templates: mustTemplates("w:0 w:0+1"),
+			Cancels:   true,
+		},
+		{
+			// Mixed reader+writer fast-path plane: a reader, two writers,
+			// and an upgradeable pair over three resources, with
+			// cancellation. Both fast-path implications (reader-fast and
+			// writer-fast) are checked on every issue, covering revocation
+			// racing release, cancellation, and upgrade.
+			Name:      "wmix4x3",
+			Q:         3,
+			Templates: mustTemplates("r:0+1 w:1+2 w:0 u:0+2"),
+			Cancels:   true,
 		},
 	}
 }

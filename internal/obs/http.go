@@ -198,7 +198,8 @@ func NewDebugMux(cfg DebugMuxConfig) *http.ServeMux {
 // DebugMux is NewDebugMux for the pre-timeseries positional signature.
 //
 // Deprecated: use NewDebugMux, which also serves /debug/rnlp/timeseries and
-// /debug/rnlp/attr.
+// /debug/rnlp/attr. DebugMux will be removed in v3; see the README's
+// migration table.
 func DebugMux(m *Metrics, bm *BoundMonitor, fl *FlightRecorder, wds ...*Watchdog) *http.ServeMux {
 	return NewDebugMux(DebugMuxConfig{Metrics: m, Bounds: bm, Flight: fl, Watchdogs: wds})
 }

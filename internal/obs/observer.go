@@ -68,6 +68,22 @@ const (
 	MFastPathMiss     = "fastpath_miss"
 	MFastPathRevoked  = "fastpath_revoked"
 	MFastPathMigrated = "fastpath_migrated"
+
+	// Writer fast-path counters (shard-labeled via ShardMetric): hits are
+	// write-capable acquisitions that claimed their whole component with one
+	// CAS on the shard's writer word, bypassing the shard mutex and RSM;
+	// misses fell back to the RSM (component busy, word held, or plane
+	// revoked); revocations count transitions into the revoked state after a
+	// streak of busy misses; migrations count fast writers materialized into
+	// the RSM as surrogate write requests by a contending request; storms
+	// count revocations that followed a re-enable within twice the revocation
+	// budget — sustained revoke/re-enable cycling, the signature of the
+	// tail-latency cliffs the rnlptop panel watches for.
+	MFastWriteHit      = "fastpath_write_hit"
+	MFastWriteMiss     = "fastpath_write_miss"
+	MFastWriteRevoked  = "fastpath_write_revoked"
+	MFastWriteMigrated = "fastpath_write_migrated"
+	MFastWriteStorm    = "fastpath_write_storm"
 )
 
 // ShardMetric derives the shard-labeled instance name of a per-shard metric,

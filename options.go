@@ -13,7 +13,7 @@ type config struct {
 	selfCheck    bool
 	metrics      bool
 	sharding     bool
-	fastPath     bool
+	fast         FastPathConfig
 
 	flightDepth int                 // per-shard flight ring slots; 0 disables
 	watchdog    *obs.WatchdogConfig // nil disables the stall watchdog
@@ -24,8 +24,106 @@ type config struct {
 }
 
 func defaultConfig() config {
-	return config{sharding: true, fastPath: true}
+	return config{sharding: true, fast: DefaultFastPath()}
 }
+
+// SlotStriping selects how reader fast-path claims are assigned to the
+// per-shard visible-readers slots (see FastPathConfig.SlotStriping).
+type SlotStriping int
+
+const (
+	// StripeAuto lets the implementation choose; it currently selects
+	// StripePerP.
+	StripeAuto SlotStriping = iota
+
+	// StripePerP stripes claims across the slot array by a goroutine-local
+	// hint (derived from the goroutine's stack address — no runtime_procPin,
+	// no TLS), so readers running on different Ps claim different, padded
+	// slots and the claim CAS stays core-local. Claim sequences are minted
+	// from a per-slot counter, so the hot path never touches a shared
+	// sequence word at all.
+	StripePerP
+
+	// StripeShared probes from a hash of one global claim-sequence counter —
+	// the original PR 4 layout. Marginally less memory traffic at low core
+	// counts; the shared counter becomes a contended line at high ones.
+	StripeShared
+)
+
+// RevocationPolicy tunes the BRAVO-style revocation hysteresis shared by
+// both fast-path planes. The zero value selects the defaults (128 misses to
+// revoke, 64 writer-free/idle observations to re-enable).
+type RevocationPolicy struct {
+	// RevokeMisses is the streak of conflict-induced fast-path misses after
+	// which the plane revokes itself and stops paying the publish/retract
+	// overhead. <= 0 selects 128.
+	RevokeMisses int
+
+	// GraceReads is how many subsequent fast-eligible acquisitions (served
+	// by the RSM) must observe the conflict gone — component writer-free for
+	// the reader plane, fully idle for the writer plane — before the plane
+	// re-enables. <= 0 selects 64.
+	GraceReads int
+}
+
+// FastPathConfig is the unified configuration of the lock-free fast paths
+// (see WithFastPath). The zero value disables both planes; DefaultFastPath
+// is what a Protocol runs with when WithFastPath is not given.
+type FastPathConfig struct {
+	// Readers enables the BRAVO-style reader fast path: an all-read
+	// acquisition within one component, admitted while the component has no
+	// write-capable request in flight, publishes its read set into a padded
+	// per-shard slot array with atomic stores only — no shard mutex, no RSM.
+	// Writers close a per-shard gate and migrate in-flight fast readers into
+	// the RSM as surrogate read requests before issuing, so grant decisions
+	// match the all-slow baseline exactly (fastpath.go).
+	Readers bool
+
+	// Writers enables the uncontended-writer fast path: a write-capable
+	// acquisition within one component, admitted while the component's RSM
+	// is empty and no fast reader is in flight, claims the whole component
+	// with one CAS on a per-shard writer word. The first conflicting request
+	// revokes the claim BRAVO-style, materializing the fast writer as a
+	// surrogate write request in the RSM; grant decisions thereafter match
+	// the all-slow baseline (fastpath.go).
+	Writers bool
+
+	// Revocation tunes the per-plane revocation hysteresis.
+	Revocation RevocationPolicy
+
+	// SlotStriping selects the reader-slot assignment strategy.
+	SlotStriping SlotStriping
+}
+
+// DefaultFastPath returns the fast-path configuration a Protocol runs with
+// when WithFastPath is not given: both planes enabled, default revocation
+// hysteresis, automatic (per-P) slot striping.
+func DefaultFastPath() FastPathConfig {
+	return FastPathConfig{Readers: true, Writers: true}
+}
+
+// enabled reports whether any fast-path plane is on (the shard allocates
+// its slot array and gate machinery only then).
+func (fc FastPathConfig) enabled() bool { return fc.Readers || fc.Writers }
+
+// revokeMisses resolves the RevokeMisses default.
+func (fc FastPathConfig) revokeMisses() int64 {
+	if fc.Revocation.RevokeMisses <= 0 {
+		return fastRevokeMisses
+	}
+	return int64(fc.Revocation.RevokeMisses)
+}
+
+// graceReads resolves the GraceReads default.
+func (fc FastPathConfig) graceReads() int64 {
+	if fc.Revocation.GraceReads <= 0 {
+		return fastGraceReads
+	}
+	return int64(fc.Revocation.GraceReads)
+}
+
+// perP resolves the SlotStriping choice (StripeAuto selects StripePerP).
+func (fc FastPathConfig) perP() bool { return fc.SlotStriping != StripeShared }
 
 // Option configures a Protocol at construction:
 //
@@ -86,20 +184,27 @@ func WithoutSharding() Option {
 	return optionFunc(func(c *config) { c.sharding = false })
 }
 
-// WithoutFastPath disables the BRAVO-style reader fast path (on by default):
-// an all-read acquisition within one component, admitted while the component
-// has no write-capable request in flight, normally publishes its read set
-// into a padded per-shard slot array with atomic stores only — no shard
-// mutex, no RSM invocation. Writers close a per-shard gate and migrate the
-// in-flight fast readers into the RSM as surrogate read requests before
-// issuing, so the RSM's grant decisions match the all-slow baseline exactly;
-// under sustained write pressure the path revokes itself (hysteresis).
-// Disable it when every read acquisition must appear in Stats/Snapshot and
-// the protocol event stream (a fast read is visible there only if a writer
-// migrated it; otherwise its only telemetry is the per-shard fastpath_*
-// counters), or when benchmarking the pure RSM path.
+// WithFastPath replaces the Protocol's fast-path configuration wholesale
+// with fc: which planes run lock-free (Readers — the BRAVO visible-readers
+// table; Writers — the single-CAS uncontended-writer word), how aggressively
+// each plane revokes itself under conflict pressure, and how reader claims
+// stripe across the slot array. The zero FastPathConfig disables both planes
+// and routes every acquisition through the RSM — do that when every
+// acquisition must appear in Stats/Snapshot and the protocol event stream (a
+// fast acquisition is visible there only if a conflicting request migrated
+// it; otherwise its only telemetry is the per-shard fastpath_* counters), or
+// when benchmarking the pure RSM path.
+func WithFastPath(fc FastPathConfig) Option {
+	return optionFunc(func(c *config) { c.fast = fc })
+}
+
+// WithoutFastPath disables both fast-path planes.
+//
+// Deprecated: use WithFastPath(FastPathConfig{}) — or a partial
+// FastPathConfig to disable one plane only. WithoutFastPath will be removed
+// in v3.
 func WithoutFastPath() Option {
-	return optionFunc(func(c *config) { c.fastPath = false })
+	return WithFastPath(FastPathConfig{})
 }
 
 // WithFlightRecorder enables the black-box flight recorder: every protocol
@@ -109,8 +214,9 @@ func WithoutFastPath() Option {
 // Protocol.FlightRecorder().Dump() — or over HTTP via Protocol.DebugMux —
 // and render the dump with cmd/flightdump or as a Perfetto trace. The ring
 // write is a handful of stores per event; when disabled, the only cost on
-// the event path is a nil check. Reader-fast-path acquisitions bypass the
-// RSM and are recorded only if a writer migrated them (see WithoutFastPath).
+// the event path is a nil check. Fast-path acquisitions bypass the RSM and
+// are recorded only if a conflicting request migrated them (see
+// WithFastPath).
 func WithFlightRecorder(perShard int) Option {
 	if perShard <= 0 {
 		perShard = obs.DefaultFlightDepth
@@ -186,7 +292,8 @@ func WithProfilingLabels() Option {
 // Deprecated: pass functional options to New instead — Options{Placeholders:
 // true} becomes WithPlaceholders(), and so on. Options implements Option, so
 // existing New(spec, Options{…}) call sites keep compiling; it always
-// implies WithoutSharding-off (sharding stays enabled).
+// implies WithoutSharding-off (sharding stays enabled). Options will be
+// removed in v3; see the README's migration table.
 type Options struct {
 	// Placeholders enables the Sec. 3.4 optimization. See WithPlaceholders.
 	Placeholders bool

@@ -407,6 +407,9 @@ type Token struct {
 	// (fastSeq != 0): the claim sequence and slot to CAS free.
 	fastSeq  uint64
 	fastSlot int32
+	// fastW identifies a writer-fast-path acquisition (fastW != 0): the
+	// claim sequence to CAS off the shard's writer word.
+	fastW uint64
 	// region is the critical section's runtime/trace region (nil unless
 	// WithProfilingLabels and tracing were active at acquisition); Release
 	// ends it.
@@ -537,11 +540,22 @@ func (p *Protocol) acquire(ctx context.Context, read, write []ResourceID) (Token
 	if len(parts) == 1 {
 		s := parts[0].s
 		fastMissed := false
-		if !isWrite && s.fastSlots != nil {
+		if !isWrite && s.fastR {
 			if tok, ok := s.fastAcquire(read); ok {
 				if p.metrics != nil {
 					now := time.Now().UnixNano()
 					p.wallAcqR.Observe(now - start)
+					tok.acqNS = now
+				}
+				return tok, nil
+			}
+			fastMissed = true
+		}
+		if isWrite && s.fastW {
+			if tok, ok := s.fastWriteAcquire(read, write); ok {
+				if p.metrics != nil {
+					now := time.Now().UnixNano()
+					p.wallAcqW.Observe(now - start)
 					tok.acqNS = now
 				}
 				return tok, nil
@@ -644,6 +658,7 @@ func (p *Protocol) Write(ctx context.Context, resources ...ResourceID) (Token, e
 // AcquireContext is the v1 name for a cancelable acquisition.
 //
 // Deprecated: Acquire is context-first since v2; call it directly.
+// AcquireContext will be removed in v3; see the README's migration table.
 func (p *Protocol) AcquireContext(ctx context.Context, read, write []ResourceID) (Token, error) {
 	return p.Acquire(ctx, read, write)
 }
@@ -678,6 +693,12 @@ func (p *Protocol) Release(t Token) error {
 		}
 		return firstErr
 	}
+	if t.fastW != 0 {
+		if err := t.s.fastWriteRelease(t); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
 	err := t.s.release(t.id)
 	if err != nil && firstErr == nil {
 		firstErr = err
@@ -692,9 +713,10 @@ func (p *Protocol) Release(t Token) error {
 }
 
 // Stats returns the protocol's activity counters, summed over all shards.
-// Reader-fast-path acquisitions never reach the RSM and are not counted
-// here; see the fastpath_* metrics (or WithoutFastPath to route every
-// acquisition through the RSM).
+// Fast-path acquisitions (reader or writer plane) never reach the RSM and
+// are not counted here; see the fastpath_* metrics (or
+// WithFastPath(FastPathConfig{}) to route every acquisition through the
+// RSM).
 func (p *Protocol) Stats() core.Stats {
 	var total core.Stats
 	for _, s := range p.shards {
@@ -725,9 +747,9 @@ type QueueState = core.QueueState
 // a consistent point-in-time view for debugging and instrumentation: all
 // shard locks are held (in ascending order, like the slow path) while the
 // queues are read. Request IDs match those inside Tokens, which are not
-// exposed; correlate via a tracer if needed. Reader-fast-path holders do
-// not appear (they hold no RSM state); use WithoutFastPath when snapshots
-// must show every reader.
+// exposed; correlate via a tracer if needed. Fast-path holders (reader or
+// writer plane) do not appear (they hold no RSM state); use
+// WithFastPath(FastPathConfig{}) when snapshots must show every holder.
 func (p *Protocol) Snapshot() []QueueState {
 	for _, s := range p.shards {
 		s.mu.Lock()

@@ -578,7 +578,11 @@ func TestSelfCheckMode(t *testing.T) {
 }
 
 func TestSnapshot(t *testing.T) {
-	p := newTestProtocol(t, 2, Options{})
+	// Writer plane off: an uncontended write taken by the fast path holds no
+	// RSM state and is invisible to Snapshot (see TestWriterFastPathHit);
+	// this test wants the RSM-served view.
+	b := NewSpecBuilder(2)
+	p := New(b.Build(), WithFastPath(FastPathConfig{Readers: true}))
 	tok, _ := p.Write(bg, 0)
 	snap := p.Snapshot()
 	if len(snap) != 2 {

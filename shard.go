@@ -91,15 +91,22 @@ type shard struct {
 	ops atomic.Pointer[issueOp] // combining stack; nil = empty
 
 	// Reader fast path (BRAVO-style; see fastpath.go). fastSlots is nil
-	// under WithoutFastPath, which disables every fast-path hook.
-	// fastWriters is the writer gate: the number of write-capable requests
-	// anywhere between writerEnter and writerExit; readers are admitted to
-	// the slots only while it is zero. fastRevoked latches after a drain
-	// exceeds its miss-streak budget and clears once fastGrace fast-eligible
-	// reads observe the component writer-free again. fastSurr maps a fast
-	// claim sequence to its migrated surrogate RSM request (guarded by mu);
-	// a fast read that is never migrated reaches neither the RSM nor the
-	// event stream (see fastpath.go).
+	// when both planes are disabled (WithFastPath(FastPathConfig{})), which
+	// disables every fast-path hook; fastR/fastW gate the per-plane
+	// admission attempts. fastWriters is the writer gate: the number of
+	// write-capable requests anywhere between writerEnter and writerExit
+	// (fast writers hold it for their whole critical section); readers are
+	// admitted to the slots only while it is zero. fastRevoked latches after
+	// a drain exceeds its miss-streak budget and clears once fastGrace
+	// fast-eligible reads observe the component writer-free again. fastSurr
+	// maps a fast claim sequence to its migrated surrogate RSM request
+	// (guarded by mu); a fast read that is never migrated reaches neither
+	// the RSM nor the event stream (see fastpath.go).
+	fastR          bool
+	fastW          bool
+	fastPerP       bool
+	revokeMisses   int64
+	graceReads     int64
 	fastSlots      []fastSlot
 	fastMask       int
 	fastWriters    atomic.Int64
@@ -108,6 +115,28 @@ type shard struct {
 	fastMissStreak atomic.Int64
 	fastSeq        atomic.Uint64
 	fastSurr       map[uint64]core.ReqID
+
+	// Writer fast path (see fastpath.go). fastWWord holds the current
+	// claim's sequence (0 = free); fastWRead/fastWWrite its published
+	// footprint masks. rsmLive mirrors the RSM's incomplete count (stored
+	// under mu by runOp/unlock/syncLive); rsmIntent counts issuers between
+	// slowEnter and slowExit. The admission pre-check and re-check read both
+	// without the mutex. fastWSurr maps a writer claim sequence to its
+	// migrated surrogate (guarded by mu); fastWMig is the handshake word of
+	// the exactly-once retirement, written only under mu.
+	fastWWord       atomic.Uint64
+	fastWRead       [fastSlotWords]atomic.Uint64
+	fastWWrite      [fastSlotWords]atomic.Uint64
+	fastWSeq        atomic.Uint64
+	fastWMig        atomic.Uint64
+	fastWSurr       map[uint64]core.ReqID
+	fastWRevoked    atomic.Bool
+	fastWGrace      atomic.Int64
+	fastWMissStreak atomic.Int64
+	fastWOps        atomic.Int64 // attempts since the last re-enable (storm detection)
+	fastWReenabled  atomic.Bool  // the plane has been revoked and re-enabled before
+	rsmLive         atomic.Int64
+	rsmIntent       atomic.Int64
 
 	// Observability (nil unless metrics): the ProtocolObserver instance is
 	// per shard (its pending map sees only this shard's strided IDs) but
@@ -118,6 +147,9 @@ type shard struct {
 	combineWait                             *obs.Histogram
 	fastHitC, fastMissC                     *obs.Counter
 	fastRevokedC, fastMigratedC             *obs.Counter
+	fastWHitC, fastWMissC                   *obs.Counter
+	fastWRevokedC, fastWMigratedC           *obs.Counter
+	fastWStormC                             *obs.Counter
 
 	// Attribution/black-box hooks (each nil unless its option was set):
 	// flight and attr are the Protocol-wide instances, wd is this shard's
@@ -135,7 +167,12 @@ func newShard(p *Protocol, idx, n int) *shard {
 		FirstID:      core.ReqID(idx),
 		IDStep:       core.ReqID(n),
 	})
-	if p.cfg.fastPath {
+	if fc := p.cfg.fast; fc.enabled() {
+		s.fastR = fc.Readers
+		s.fastW = fc.Writers
+		s.fastPerP = fc.perP()
+		s.revokeMisses = fc.revokeMisses()
+		s.graceReads = fc.graceReads()
 		s.initFastPath()
 	}
 	if p.metrics != nil {
@@ -149,11 +186,18 @@ func newShard(p *Protocol, idx, n int) *shard {
 		s.contended = p.metrics.Counter(obs.ShardMetric(obs.MShardContended, idx))
 		s.combined = p.metrics.Counter(obs.ShardMetric(obs.MShardCombined, idx))
 		s.combineWait = p.metrics.Histogram(obs.ShardMetric(obs.MShardCombineWaitNS, idx))
-		if p.cfg.fastPath {
+		if p.cfg.fast.Readers {
 			s.fastHitC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathHit, idx))
 			s.fastMissC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathMiss, idx))
 			s.fastRevokedC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathRevoked, idx))
 			s.fastMigratedC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathMigrated, idx))
+		}
+		if p.cfg.fast.Writers {
+			s.fastWHitC = p.metrics.Counter(obs.ShardMetric(obs.MFastWriteHit, idx))
+			s.fastWMissC = p.metrics.Counter(obs.ShardMetric(obs.MFastWriteMiss, idx))
+			s.fastWRevokedC = p.metrics.Counter(obs.ShardMetric(obs.MFastWriteRevoked, idx))
+			s.fastWMigratedC = p.metrics.Counter(obs.ShardMetric(obs.MFastWriteMigrated, idx))
+			s.fastWStormC = p.metrics.Counter(obs.ShardMetric(obs.MFastWriteStorm, idx))
 		}
 	}
 	s.flight = p.flight
@@ -221,12 +265,26 @@ func (s *shard) drainOps() {
 	}
 }
 
+// syncLive mirrors the RSM's incomplete count into rsmLive for the writer
+// fast path's lock-free admission checks. Caller holds s.mu. A stale-high
+// reading (a completion not yet mirrored) only costs a conservative miss;
+// stale-low is impossible because every issuance syncs before its result is
+// published (runOp before op.done, unlock before releasing the mutex) and
+// the issuer's rsmIntent covers the window before that.
+func (s *shard) syncLive() {
+	if s.fastW {
+		s.rsmLive.Store(int64(s.rsm.IncompleteLen()))
+	}
+}
+
 // unlock leaves the shard's critical section: it combines any ops published
-// while the lock was held, releases the mutex, and only then signals the
-// batch of waiters satisfied during the section. Every code path that locks
-// s.mu must exit through unlock (or the deferred signals would be lost).
+// while the lock was held, re-mirrors rsmLive, releases the mutex, and only
+// then signals the batch of waiters satisfied during the section. Every
+// code path that locks s.mu must exit through unlock (or the deferred
+// signals would be lost).
 func (s *shard) unlock() {
 	s.drainOps()
+	s.syncLive()
 	sigs := s.signals
 	s.signals = nil
 	s.mu.Unlock()
@@ -235,7 +293,9 @@ func (s *shard) unlock() {
 	}
 }
 
-// runOp issues one published acquisition. Caller holds s.mu.
+// runOp issues one published acquisition. Caller holds s.mu. rsmLive is
+// mirrored before done is published: the publisher's slowExit must not run
+// while its issuance is still invisible to the writer fast path.
 func (s *shard) runOp(op *issueOp) {
 	op.id, op.err = s.rsm.Issue(s.tick(), op.read, op.write, nil)
 	if op.err == nil {
@@ -244,6 +304,7 @@ func (s *shard) runOp(op *issueOp) {
 			s.waiters[op.id] = op.w
 		}
 	}
+	s.syncLive()
 	s.selfCheck()
 	op.done.Store(true)
 }
@@ -258,6 +319,11 @@ func (s *shard) acquire(read, write []ResourceID) (core.ReqID, *waiter, error) {
 	if s.acquires != nil {
 		s.acquires.Inc()
 	}
+	// Announce the issuance to the writer fast path (and migrate a fast
+	// writer holding the word) before touching the mutex; the intent stays
+	// up until the issued request is mirrored in rsmLive.
+	s.slowEnter()
+	defer s.slowExit()
 	if s.mu.TryLock() {
 		op := issueOp{read: read, write: write}
 		s.runOp(&op)

@@ -75,15 +75,24 @@ func (p *Protocol) AcquireUpgradeable(ctx context.Context, resources ...Resource
 	if gate {
 		s.writerEnter()
 	}
+	// Announce the issuance to the writer fast path (and migrate a fast
+	// writer holding the word) before taking the mutex; the intent can drop
+	// right after unlock, which mirrored the issued pair into rsmLive.
+	s.slowEnter()
 	s.mu.Lock()
 	h, err := s.rsm.IssueUpgradeable(s.tick(), resources, nil)
 	if err != nil {
 		s.unlock()
+		s.slowExit()
 		if gate {
 			s.writerExit()
 		}
 		return nil, err
 	}
+	// The pair is in the RSM: mirror it into rsmLive now so the issuance
+	// intent can drop before the mutex does.
+	s.syncLive()
+	s.slowExit()
 	u := &Upgradeable{s: s, h: h, gate: gate}
 	for {
 		switch s.rsm.UpgradePhase(h) {

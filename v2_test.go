@@ -233,37 +233,43 @@ func TestShardIndependenceStress(t *testing.T) {
 
 	snap := p.Metrics().Snapshot()
 	const want = perShard * iters
-	var totalAcq, totalRel, totalFast, totalMig int64
+	var totalAcq, totalFast, totalFastW, totalMig, totalMigW int64
 	for s := 0; s < k; s++ {
 		acq := snap.Counters[obs.ShardMetric(obs.MShardAcquires, s)]
 		rel := snap.Counters[obs.ShardMetric(obs.MShardReleases, s)]
-		// All-read acquisitions may be served by the reader fast path,
-		// which bypasses the shard engine entirely; every acquisition is
-		// accounted by exactly one of the two planes.
+		// Any acquisition may be served by a fast-path plane (reader or
+		// writer), which bypasses the shard engine entirely; every
+		// acquisition is accounted by exactly one of the planes.
 		fast := snap.Counters[obs.ShardMetric(obs.MFastPathHit, s)]
-		if acq+fast != want || rel+fast != want {
-			t.Errorf("shard %d: acquires=%d releases=%d fastpath=%d, want %d each plane-summed",
-				s, acq, rel, fast, want)
+		fastW := snap.Counters[obs.ShardMetric(obs.MFastWriteHit, s)]
+		if acq+fast+fastW != want || rel+fast+fastW != want {
+			t.Errorf("shard %d: acquires=%d releases=%d fast=%d fastW=%d, want %d plane-summed",
+				s, acq, rel, fast, fastW, want)
 		}
 		totalAcq += acq
-		totalRel += rel
 		totalFast += fast
+		totalFastW += fastW
 		totalMig += snap.Counters[obs.ShardMetric(obs.MFastPathMigrated, s)]
-	}
-	if totalAcq+totalFast != k*want || totalRel+totalFast != k*want {
-		t.Errorf("shard totals %d/%d (+%d fast), want %d", totalAcq, totalRel, totalFast, k*want)
+		totalMigW += snap.Counters[obs.ShardMetric(obs.MFastWriteMigrated, s)]
 	}
 	if got := snap.Counters[obs.MSlowPath]; got != 0 {
 		t.Errorf("declared per-component traffic hit the slow path %d times", got)
 	}
 	// The aggregated protocol lifecycle counters see every RSM-served
-	// request, plus one surrogate per fast reader an entering writer
-	// migrated into the RSM.
-	if got := snap.Counters[obs.MIssued]; got != int64(k*want)-totalFast+totalMig {
-		t.Errorf("protocol_issued = %d, want %d", got, int64(k*want)-totalFast+totalMig)
+	// request, plus one surrogate per migrated fast reader/writer. A doomed
+	// claim's surrogate can be retired inline before the migration counter
+	// increments, so surrogates ≥ counted migrations rather than equal.
+	rsmServed := int64(k*want) - totalFast - totalFastW
+	surr := snap.Counters[obs.MIssued] - rsmServed
+	if surr < totalMig+totalMigW {
+		t.Errorf("protocol_issued = %d: %d surrogates, but %d migrations counted",
+			snap.Counters[obs.MIssued], surr, totalMig+totalMigW)
 	}
-	if stats := p.Stats(); stats.Completed != int64(k*want)-totalFast+totalMig {
-		t.Errorf("Stats().Completed = %d, want %d", stats.Completed, int64(k*want)-totalFast+totalMig)
+	// Everything is released: every issued request (surrogates included)
+	// must have been retired — a shortfall is a phantom-lock leak.
+	if stats := p.Stats(); stats.Issued != stats.Completed+stats.Canceled {
+		t.Errorf("request leak: Issued=%d Completed=%d Canceled=%d",
+			stats.Issued, stats.Completed, stats.Canceled)
 	}
 }
 
