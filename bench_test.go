@@ -788,6 +788,88 @@ func BenchmarkReadScaling(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Contended slow path + parking ablation (PR 9 acceptance)
+
+// BenchmarkContendedAcquire prices the contended slow path itself: fixed
+// goroutine pools hammer one (or four) components with interleaved writes,
+// so most acquisitions are unsatisfied at issue and must park. Both
+// fast-path planes are disabled — a fast-path hit would bypass the parker
+// entirely — and the background context routes every wait through the
+// non-cancelable park path. The park={chan,sema} axis is the ablation pair
+// priced by `make park-overhead`: chan is the legacy chan-close waiter,
+// sema the futex-style state-word parker; CI fails unless sema is strictly
+// faster on the 8g leg (negative threshold, PR 8 pattern).
+func BenchmarkContendedAcquire(b *testing.B) {
+	scenarios := []struct {
+		name       string
+		gs         int // goroutines
+		comps      int // components (each {2i, 2i+1})
+		writeEvery int // every k-th op is a component-wide write
+	}{
+		{"2g", 2, 1, 4},
+		{"8g", 8, 1, 4},
+		{"32g", 32, 1, 4},
+		{"8g-4c", 8, 4, 4},
+		{"8g-writeheavy", 8, 1, 2},
+	}
+	for _, park := range []string{"chan", "sema"} {
+		mode := rwrnlp.ParkSema
+		if park == "chan" {
+			mode = rwrnlp.ParkChan
+		}
+		for _, sc := range scenarios {
+			sc := sc
+			b.Run(fmt.Sprintf("park=%s/%s", park, sc.name), func(b *testing.B) {
+				spec := rwrnlp.NewSpecBuilder(2 * sc.comps)
+				for i := 0; i < sc.comps; i++ {
+					r0, r1 := rwrnlp.ResourceID(2*i), rwrnlp.ResourceID(2*i+1)
+					if err := spec.DeclareRequest([]rwrnlp.ResourceID{r0, r1}, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				p := rwrnlp.New(spec.Build(),
+					rwrnlp.WithPlaceholders(),
+					rwrnlp.WithFastPath(rwrnlp.FastPathConfig{}),
+					rwrnlp.WithParking(mode))
+				shared := make([]int64, 2*sc.comps)
+				per := b.N/sc.gs + 1
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < sc.gs; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						comp := g % sc.comps
+						r0, r1 := rwrnlp.ResourceID(2*comp), rwrnlp.ResourceID(2*comp+1)
+						for i := 0; i < per; i++ {
+							if i%sc.writeEvery == 0 {
+								tok, err := p.Write(bg, r0, r1)
+								if err != nil {
+									b.Error(err)
+									return
+								}
+								shared[r0]++
+								shared[r1]++
+								p.Release(tok)
+							} else {
+								tok, err := p.Read(bg, r0, r1)
+								if err != nil {
+									b.Error(err)
+									return
+								}
+								_ = shared[r0]
+								p.Release(tok)
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Flight-recorder overhead (PR 5 acceptance)
 
 // BenchmarkAcquire prices the flight recorder on the slow (RSM) acquisition

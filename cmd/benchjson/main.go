@@ -309,16 +309,26 @@ func pairMain(argv []string) int {
 }
 
 // lookupResult resolves a benchmark by exact name, falling back to a unique
-// suffix match over the pkg-qualified snapshot names.
+// suffix match over the pkg-qualified snapshot names. Both passes are also
+// tried with any `-N` GOMAXPROCS suffix stripped from the snapshot names:
+// `go test` appends `-GOMAXPROCS` to every benchmark when it is not 1, and
+// the Makefile pair gates spell names without it so they stay portable
+// across runner core counts.
 func lookupResult(snap map[string]Result, name string) (Result, error) {
 	if r, ok := snap[name]; ok {
 		return r, nil
 	}
-	var found []Result
+	var exact, suffix []Result
 	for n, r := range snap {
-		if strings.HasSuffix(n, name) {
-			found = append(found, r)
+		if trimProcs(n) == name {
+			exact = append(exact, r)
+		} else if strings.HasSuffix(n, name) || strings.HasSuffix(trimProcs(n), name) {
+			suffix = append(suffix, r)
 		}
+	}
+	found := exact
+	if len(found) == 0 {
+		found = suffix
 	}
 	switch len(found) {
 	case 1:
@@ -328,4 +338,20 @@ func lookupResult(snap map[string]Result, name string) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("benchmark %q is ambiguous (%d suffix matches)", name, len(found))
 	}
+}
+
+// trimProcs removes a trailing `-N` (all digits) GOMAXPROCS qualifier from a
+// benchmark name; names without one are returned unchanged. `8g-4c`-style
+// sub-benchmark labels survive because their tail is not all digits.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }

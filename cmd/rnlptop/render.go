@@ -138,13 +138,16 @@ func renderHists(w io.Writer, ts obs.TimeSeriesReport) {
 }
 
 // renderShards aggregates the shard-labeled counters into one row per shard:
-// acquisition traffic plus both fast-path planes' economies — the reader
-// plane's hit/miss/migration columns and the writer plane's hit/revocation/
-// storm columns.
+// acquisition traffic, the parking economy (wake/s should track the grant
+// rate one-for-one — direct deliveries resolved before the waiter blocked,
+// spurious ones hit cancelled waiters), plus both fast-path planes'
+// economies — the reader plane's hit/miss/migration columns and the writer
+// plane's hit/revocation/storm columns.
 func renderShards(w io.Writer, ts obs.TimeSeriesReport) {
 	type shardRow struct {
 		acq, rel, cont, hit, miss, migr, revoked float64
 		whit, wmiss, wrev, wstorm                float64
+		pwake, pdirect, pspur                    float64
 	}
 	rows := map[int]*shardRow{}
 	get := func(i int) *shardRow {
@@ -165,6 +168,12 @@ func renderShards(w io.Writer, ts obs.TimeSeriesReport) {
 			get(i).rel = v
 		case obs.MShardContended:
 			get(i).cont = v
+		case obs.MParkWakeups:
+			get(i).pwake = v
+		case obs.MParkDirect:
+			get(i).pdirect = v
+		case obs.MParkSpurious:
+			get(i).pspur = v
 		case obs.MFastPathHit:
 			get(i).hit = v
 		case obs.MFastPathMiss:
@@ -192,7 +201,7 @@ func renderShards(w io.Writer, ts obs.TimeSeriesReport) {
 	}
 	sort.Ints(ids)
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "shard\tacq/s\trel/s\tcontended/s\tfast hit/s\tmiss/s\tmigrated/s\trevoked/s\thit%\tw-hit/s\tw-miss/s\tw-rev/s\tw-storm/s\tw-hit%\t")
+	fmt.Fprintln(tw, "shard\tacq/s\trel/s\tcontended/s\twake/s\tdirect/s\tspur/s\tfast hit/s\tmiss/s\tmigrated/s\trevoked/s\thit%\tw-hit/s\tw-miss/s\tw-rev/s\tw-storm/s\tw-hit%\t")
 	for _, i := range ids {
 		r := rows[i]
 		hitPct := 0.0
@@ -203,8 +212,9 @@ func renderShards(w io.Writer, ts obs.TimeSeriesReport) {
 		if r.whit+r.wmiss > 0 {
 			whitPct = 100 * r.whit / (r.whit + r.wmiss)
 		}
-		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
-			i, r.acq, r.rel, r.cont, r.hit, r.miss, r.migr, r.revoked, hitPct,
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
+			i, r.acq, r.rel, r.cont, r.pwake, r.pdirect, r.pspur,
+			r.hit, r.miss, r.migr, r.revoked, hitPct,
 			r.whit, r.wmiss, r.wrev, r.wstorm, whitPct)
 	}
 	tw.Flush()

@@ -24,6 +24,9 @@ func TestRenderFrame(t *testing.T) {
 				obs.MCompleted:                    1498,
 				"shard_acquires{shard=0}":         900,
 				"shard_acquires{shard=1}":         600,
+				"park_wakeups{shard=0}":           123.5,
+				"park_direct{shard=0}":            17.5,
+				"park_spurious{shard=0}":          1.5,
 				"fastpath_hit{shard=0}":           810,
 				"fastpath_miss{shard=0}":          90,
 				"fastpath_write_hit{shard=0}":     240,
@@ -89,6 +92,12 @@ func TestRenderFrame(t *testing.T) {
 	}
 	if !strings.Contains(out, "80.0") {
 		t.Errorf("shard 0 writer hit%% (80.0) missing:\n%s", out)
+	}
+	// Parking columns: per-shard wakeup/direct/spurious delivery rates.
+	for _, want := range []string{"wake/s", "direct/s", "spur/s", "123.5", "17.5", "1.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("parking column value %q missing:\n%s", want, out)
+		}
 	}
 }
 

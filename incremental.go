@@ -82,7 +82,7 @@ func (p *Protocol) AcquireIncremental(ctx context.Context, read, write, initialR
 		s.unlock()
 		return inc, nil
 	}
-	w := newWaiter()
+	w := s.newWaiter()
 	s.waiters[id] = w
 	s.selfCheck()
 	s.unlock()
@@ -126,7 +126,7 @@ func (inc *Incremental) Acquire(ctx context.Context, resources ...ResourceID) er
 		s.unlock()
 		return nil
 	}
-	w := newWaiter()
+	w := s.newWaiter()
 	s.waiters[inc.id] = w
 	s.unlock()
 	return s.awaitCtx(ctx, w,

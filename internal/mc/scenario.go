@@ -392,6 +392,21 @@ func Presets() []*Scenario {
 			Cancels:   true,
 		},
 		{
+			// Parking cancellation interleavings: two writers contending for
+			// resource 0 with a reader on each resource, all cancellable.
+			// Every schedule where a queued request is withdrawn while
+			// others are being satisfied is explored — the model-level
+			// counterpart of the runtime's cancel-while-parked and
+			// signal-after-cancel races (park.go): a request whose waiter
+			// loses or wins the cancel CAS must leave the RSM in a state
+			// where the remaining requests still satisfy I1–I9 and the
+			// delay envelopes, under both placeholder modes.
+			Name:      "parkcancel4x2",
+			Q:         2,
+			Templates: mustTemplates("w:0+1 w:0+1 r:0 r:1"),
+			Cancels:   true,
+		},
+		{
 			// Mixed reader+writer fast-path plane: a reader, two writers,
 			// and an upgradeable pair over three resources, with
 			// cancellation. Both fast-path implications (reader-fast and

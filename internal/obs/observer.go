@@ -84,6 +84,18 @@ const (
 	MFastWriteRevoked  = "fastpath_write_revoked"
 	MFastWriteMigrated = "fastpath_write_migrated"
 	MFastWriteStorm    = "fastpath_write_storm"
+
+	// Parking counters (shard-labeled via ShardMetric), classifying every
+	// signal the shard delivers to a waiter: wakeups woke a parked
+	// goroutine with one token (exactly one runtime wakeup per entitled
+	// grant); direct signals landed during the waiter's pre-park spin
+	// burst, so the owner never blocked at all; spurious signals found the
+	// waiter already cancelled and were dropped. For a workload with no
+	// cancellations, park_wakeups + park_direct equals the number of
+	// requests that blocked (satisfied − immediately-satisfied).
+	MParkWakeups  = "park_wakeups"
+	MParkDirect   = "park_direct"
+	MParkSpurious = "park_spurious"
 )
 
 // ShardMetric derives the shard-labeled instance name of a per-shard metric,

@@ -14,6 +14,7 @@ type config struct {
 	metrics      bool
 	sharding     bool
 	fast         FastPathConfig
+	park         ParkMode
 
 	flightDepth int                 // per-shard flight ring slots; 0 disables
 	watchdog    *obs.WatchdogConfig // nil disables the stall watchdog
@@ -26,6 +27,34 @@ type config struct {
 func defaultConfig() config {
 	return config{sharding: true, fast: DefaultFastPath()}
 }
+
+// ParkMode selects how unsatisfied requests block on the contended slow
+// path (see WithParking).
+type ParkMode int
+
+const (
+	// ParkAuto lets the implementation choose; it currently selects
+	// ParkSema.
+	ParkAuto ParkMode = iota
+
+	// ParkSema parks each unsatisfied request on a futex-style per-request
+	// token semaphore: a single packed state word (idle/parked/signaled/
+	// cancelled) driven by CAS, with a bounded spin/yield burst in front of
+	// the park. Signaling a grant is one CAS plus at most one runtime
+	// wakeup, so a batched release wakes exactly the entitled requests —
+	// no broadcast, no thundering herd. Signal-vs-cancel races settle by
+	// whichever CAS lands first (park.go).
+	ParkSema
+
+	// ParkChan parks each unsatisfied request on a channel closed under a
+	// sync.Once — the pre-parking machinery, kept as an ablation baseline
+	// for the park-overhead CI gate. Strictly more overhead per wakeup
+	// under contention; do not use it outside benchmarks.
+	ParkChan
+)
+
+// sema resolves the mode (ParkAuto selects ParkSema).
+func (m ParkMode) sema() bool { return m != ParkChan }
 
 // SlotStriping selects how reader fast-path claims are assigned to the
 // per-shard visible-readers slots (see FastPathConfig.SlotStriping).
@@ -205,6 +234,15 @@ func WithFastPath(fc FastPathConfig) Option {
 // in v3.
 func WithoutFastPath() Option {
 	return WithFastPath(FastPathConfig{})
+}
+
+// WithParking selects the slow-path parking implementation. The default
+// (ParkAuto) is the per-request token-semaphore parker; ParkChan restores
+// the legacy chan-close waiter for ablation benchmarks. The choice affects
+// only how an already-unsatisfied request blocks and wakes — grant order
+// and every protocol invariant are identical under both modes.
+func WithParking(m ParkMode) Option {
+	return optionFunc(func(c *config) { c.park = m })
 }
 
 // WithFlightRecorder enables the black-box flight recorder: every protocol

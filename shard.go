@@ -12,48 +12,6 @@ import (
 	"github.com/rtsync/rwrnlp/internal/obs"
 )
 
-// waiter is the parked state of one unsatisfied request.
-type waiter struct {
-	done atomic.Bool
-	ch   chan struct{}
-	once sync.Once
-}
-
-func newWaiter() *waiter { return &waiter{ch: make(chan struct{})} }
-
-func (w *waiter) signal() {
-	w.once.Do(func() {
-		w.done.Store(true)
-		close(w.ch)
-	})
-}
-
-// wait parks until signaled. Spin mode yields from the very first iteration:
-// on a single-P runtime an unyielding spinner would starve the goroutine that
-// is about to signal it. After a bounded burst of yields it decays into
-// exponentially backed-off sleeps and finally blocks on the channel.
-func (w *waiter) wait(spin bool) {
-	if !spin {
-		<-w.ch
-		return
-	}
-	for i := 0; i < 256; i++ {
-		if w.done.Load() {
-			return
-		}
-		runtime.Gosched()
-	}
-	d := time.Microsecond
-	for !w.done.Load() {
-		if d >= 128*time.Microsecond {
-			<-w.ch
-			return
-		}
-		time.Sleep(d)
-		d *= 2
-	}
-}
-
 // issueOp is a published acquisition record (flat combining): a goroutine
 // that finds the shard mutex contended pushes its op onto a lock-free stack
 // instead of queueing on the mutex, and the current lock holder executes it
@@ -80,6 +38,10 @@ type shard struct {
 	p   *Protocol
 	idx int
 	n   int // shard count (for globally unique fast-path event IDs)
+
+	// parkChan selects the legacy chan-close waiter (see park.go); the
+	// default is the futex-style semaphore parker.
+	parkChan bool
 
 	mu      sync.Mutex
 	rsm     *core.RSM
@@ -145,6 +107,7 @@ type shard struct {
 	metricsObs                              core.Observer
 	acquires, releases, contended, combined *obs.Counter
 	combineWait                             *obs.Histogram
+	parkWakeC, parkDirectC, parkSpurC       *obs.Counter
 	fastHitC, fastMissC                     *obs.Counter
 	fastRevokedC, fastMigratedC             *obs.Counter
 	fastWHitC, fastWMissC                   *obs.Counter
@@ -162,6 +125,7 @@ type shard struct {
 
 func newShard(p *Protocol, idx, n int) *shard {
 	s := &shard{p: p, idx: idx, n: n, waiters: make(map[core.ReqID]*waiter)}
+	s.parkChan = !p.cfg.park.sema()
 	s.rsm = core.NewRSM(p.spec, core.Options{
 		Placeholders: p.cfg.placeholders,
 		FirstID:      core.ReqID(idx),
@@ -186,6 +150,9 @@ func newShard(p *Protocol, idx, n int) *shard {
 		s.contended = p.metrics.Counter(obs.ShardMetric(obs.MShardContended, idx))
 		s.combined = p.metrics.Counter(obs.ShardMetric(obs.MShardCombined, idx))
 		s.combineWait = p.metrics.Histogram(obs.ShardMetric(obs.MShardCombineWaitNS, idx))
+		s.parkWakeC = p.metrics.Counter(obs.ShardMetric(obs.MParkWakeups, idx))
+		s.parkDirectC = p.metrics.Counter(obs.ShardMetric(obs.MParkDirect, idx))
+		s.parkSpurC = p.metrics.Counter(obs.ShardMetric(obs.MParkSpurious, idx))
 		if p.cfg.fast.Readers {
 			s.fastHitC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathHit, idx))
 			s.fastMissC = p.metrics.Counter(obs.ShardMetric(obs.MFastPathMiss, idx))
@@ -279,9 +246,12 @@ func (s *shard) syncLive() {
 
 // unlock leaves the shard's critical section: it combines any ops published
 // while the lock was held, re-mirrors rsmLive, releases the mutex, and only
-// then signals the batch of waiters satisfied during the section. Every
-// code path that locks s.mu must exit through unlock (or the deferred
-// signals would be lost).
+// then signals the batch of waiters satisfied during the section — exactly
+// one wake per entitled grant, delivered outside the mutex so woken
+// goroutines never collide with the signaler on s.mu. Every code path that
+// locks s.mu must exit through unlock (or the deferred signals would be
+// lost). Each delivery outcome feeds the park accounting counters, so
+// "wakeups ≈ grants" is checkable from the metrics plane (see park.go).
 func (s *shard) unlock() {
 	s.drainOps()
 	s.syncLive()
@@ -289,7 +259,20 @@ func (s *shard) unlock() {
 	s.signals = nil
 	s.mu.Unlock()
 	for _, w := range sigs {
-		w.signal()
+		switch w.signal() {
+		case parkWokeParked:
+			if s.parkWakeC != nil {
+				s.parkWakeC.Inc()
+			}
+		case parkDirect:
+			if s.parkDirectC != nil {
+				s.parkDirectC.Inc()
+			}
+		case parkSpurious:
+			if s.parkSpurC != nil {
+				s.parkSpurC.Inc()
+			}
+		}
 	}
 }
 
@@ -300,7 +283,7 @@ func (s *shard) runOp(op *issueOp) {
 	op.id, op.err = s.rsm.Issue(s.tick(), op.read, op.write, nil)
 	if op.err == nil {
 		if st, _ := s.rsm.State(op.id); st != core.StateSatisfied {
-			op.w = newWaiter()
+			op.w = s.newWaiter()
 			s.waiters[op.id] = op.w
 		}
 	}
@@ -386,24 +369,47 @@ func (s *shard) release(id core.ReqID) error {
 	return err
 }
 
-// awaitCtx parks on w until it is signaled or ctx is done. On cancellation
-// it re-checks under s.mu whether the wait was actually won — won (optional)
-// reports satisfaction the batched signal has not delivered yet — and
-// otherwise withdraws via the withdraw callback (also under s.mu), returning
-// ctx.Err(). A nil or non-cancelable ctx parks unconditionally, honoring the
-// spin option.
+// awaitCtx parks on w until it is signaled or ctx is done. A nil or
+// non-cancelable ctx parks unconditionally. On cancellation the
+// signal-vs-cancel race settles on the waiter's state word: if the cancel
+// CAS loses, the wakeup token is in flight — consume it and own the grant;
+// if it wins, no signal will ever be delivered (a late one is dropped as
+// spurious) and the request's true state is resolved under s.mu — won
+// (optional) reports satisfaction whose batched signal had not landed
+// before the CAS, and otherwise the withdraw callback removes the request,
+// returning ctx.Err().
 func (s *shard) awaitCtx(ctx context.Context, w *waiter, won func() bool, withdraw func() error) error {
 	if ctx == nil || ctx.Done() == nil {
 		w.wait(s.p.cfg.spin)
+		w.recycle()
 		return nil
 	}
-	select {
-	case <-w.ch:
-		return nil
-	case <-ctx.Done():
+	if w.legacy {
+		select {
+		case <-w.sema:
+			return nil
+		case <-ctx.Done():
+		}
+	} else {
+		if !w.park(false) {
+			w.recycle() // direct delivery: the signaler's CAS was its last touch
+			return nil
+		}
+		select {
+		case <-w.sema:
+			w.recycle()
+			return nil
+		case <-ctx.Done():
+			if !w.cancel() {
+				// The signal's CAS landed first: its token is in flight.
+				<-w.sema
+				w.recycle()
+				return nil
+			}
+		}
 	}
 	s.mu.Lock()
-	if w.done.Load() || (won != nil && won()) {
+	if w.signaled() || (won != nil && won()) {
 		s.unlock()
 		return nil
 	}

@@ -106,7 +106,7 @@ func (p *Protocol) AcquireUpgradeable(ctx context.Context, resources ...Resource
 		}
 		// Neither half satisfied yet: wait for the read half (the write
 		// half's satisfaction cancels it, which also signals the waiter).
-		w := newWaiter()
+		w := s.newWaiter()
 		s.waiters[h.ReadID] = w
 		s.unlock()
 		if err := s.awaitCtx(ctx, w,
@@ -151,7 +151,7 @@ func (u *Upgradeable) Upgrade(ctx context.Context) error {
 		s.unlock()
 		return nil
 	}
-	w := newWaiter()
+	w := s.newWaiter()
 	s.waiters[u.h.WriteID] = w
 	s.selfCheck()
 	s.unlock()
