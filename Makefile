@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci obs-race telemetry-race park-race flight-overhead hdr-overhead wfast-overhead slots-overhead park-overhead net-overhead rnlpd-integration soak clean
+.PHONY: all build test test-short race cover bench bench-json bench-check fuzz fuzz-smoke mccheck experiments schedstudy examples fmt vet staticcheck api api-check ci obs-race telemetry-race park-race flight-overhead hdr-overhead wfast-overhead slots-overhead park-overhead net-overhead trace-overhead rnlpd-integration cluster-integration soak clean
 
 all: build vet test
 
@@ -118,6 +118,20 @@ park-overhead:
 	$(GO) run ./cmd/benchjson pair -threshold $(PARK_THRESHOLD) park_pair.json 'BenchmarkContendedAcquire/park=chan/8g' 'BenchmarkContendedAcquire/park=sema/8g'
 	@rm -f park_pair.json
 
+# Distributed-tracing overhead gate (PR 10 acceptance): the contended
+# 8-goroutine acquire loop with no trace tag on the context (trace=off)
+# versus every request carrying one (trace=on). The on side pays one context
+# lookup per acquire plus the tag copy onto each shard event; flight records
+# and exemplars carry the tag in fields that exist either way, so the pair
+# prices exactly the tagging delta. The reference runner measures ~1%; the
+# threshold leaves headroom for shared-runner noise while still catching a
+# structural regression (e.g. a per-event allocation for the tag).
+TRACE_THRESHOLD ?= 15
+trace-overhead:
+	$(GO) test -bench 'BenchmarkTracedAcquire/trace' -benchtime=0.3s -count=5 -run='^$$' . | $(GO) run ./cmd/benchjson -o trace_pair.json
+	$(GO) run ./cmd/benchjson pair -threshold $(TRACE_THRESHOLD) trace_pair.json 'BenchmarkTracedAcquire/trace=off' 'BenchmarkTracedAcquire/trace=on'
+	@rm -f trace_pair.json
+
 # Network-tier overhead gate: the rnlpd service plane driven directly
 # in-process (net=off) versus through the client package over loopback HTTP
 # (net=on). Both sides run identical session/lease/fencing bookkeeping, so
@@ -139,6 +153,15 @@ net-overhead:
 # with strictly newer fencing tokens, then scrape every debug endpoint.
 rnlpd-integration:
 	$(GO) test -race -count=1 -timeout 5m -run TestRNLPDIntegration ./internal/service -v
+
+# Cluster-tracing integration gate (PR 10 acceptance): boot a 3-node
+# in-process cluster, drive a cross-node acquisition blocked by a writer on
+# the remote node, and prove the single stitched trace (one trace ID, queue +
+# wire + admission + wait + hold spans, monotone hops, the blocking writer
+# named by its trace ID), the OpenMetrics exemplar → flight-dump resolution,
+# and the /debug/rnlp/cluster health fan-out.
+cluster-integration:
+	$(GO) test -race -count=1 -timeout 5m -run TestClusterTraceIntegration ./internal/service -v
 
 # Watchdog-armed stress soak (nightly): drive the sharded lock with the
 # stall watchdog enabled for RNLP_SOAK (default 5m) and fail on any firing.

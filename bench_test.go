@@ -940,3 +940,68 @@ func BenchmarkAcquire(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Distributed-tracing overhead (PR 10 acceptance)
+
+// BenchmarkTracedAcquire prices request tagging on the contended slow path:
+// the same 8-goroutine read-mostly workload with no trace tag on the context
+// (trace=off) versus every request carrying one (trace=on). The on side pays
+// one context lookup per acquire plus the tag copy onto each of the request's
+// shard events — flight records and exemplars then carry it for free, since
+// their fields exist either way. Metrics and the flight recorder run on both
+// sides so the pair isolates exactly the tagging delta; both fast-path planes
+// are disabled so every acquisition traverses the RSM (a fast-path hit is
+// never tagged). `make trace-overhead` gates the pair in CI.
+func BenchmarkTracedAcquire(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		b.Run("trace="+mode, func(b *testing.B) {
+			spec := rwrnlp.NewSpecBuilder(2)
+			if err := spec.DeclareRequest([]rwrnlp.ResourceID{0, 1}, nil); err != nil {
+				b.Fatal(err)
+			}
+			p := rwrnlp.New(spec.Build(),
+				rwrnlp.WithPlaceholders(),
+				rwrnlp.WithoutFastPath(),
+				rwrnlp.WithMetrics(),
+				rwrnlp.WithFlightRecorder(1024))
+			ctx := bg
+			if mode == "on" {
+				ctx = rwrnlp.ContextWithTag(bg, "benchbenchbench0")
+			}
+			const gs = 8
+			var shared [2]int64
+			per := b.N/gs + 1
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < gs; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if i%4 == 0 {
+							tok, err := p.Write(ctx, 0, 1)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							shared[0]++
+							shared[1]++
+							p.Release(tok)
+						} else {
+							tok, err := p.Read(ctx, 0, 1)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							_ = shared[0]
+							p.Release(tok)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

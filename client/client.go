@@ -22,6 +22,13 @@ type Client struct {
 	place  *Placement
 	compOf []ResourceID      // resource → component index
 	addrOf map[string]string // node identity → base URL
+
+	// metrics is the client-side telemetry registry (always on; see
+	// telemetry.go). traces is the completed-trace ring, nil under
+	// WithoutTracing.
+	metrics *clientMetrics
+	noTrace bool
+	traces  *traceLog
 }
 
 // ClientOption configures New.
@@ -31,6 +38,13 @@ type ClientOption func(*Client)
 // default has no timeout, because Acquire legitimately blocks).
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return ClientOption(func(c *Client) { c.hc = hc })
+}
+
+// WithoutTracing disables distributed tracing: acquisitions carry no trace
+// ID on the wire, no spans are gathered, and Traces returns nil. Telemetry
+// counters and histograms stay on.
+func WithoutTracing() ClientOption {
+	return ClientOption(func(c *Client) { c.noTrace = true })
 }
 
 // New connects to a cluster: it fetches /v1/spec from the first reachable
@@ -43,9 +57,12 @@ func New(ctx context.Context, addrs []string, opts ...ClientOption) (*Client, er
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("rnlp client: no addresses")
 	}
-	c := &Client{hc: &http.Client{}}
+	c := &Client{hc: &http.Client{}, metrics: newClientMetrics()}
 	for _, o := range opts {
 		o(c)
+	}
+	if !c.noTrace {
+		c.traces = &traceLog{}
 	}
 	var lastErr error
 	ok := false
@@ -211,6 +228,7 @@ func (s *Session) keepalive() {
 // ErrSessionNotFound the session is marked expired: its grants are gone
 // server-side and further operations fail.
 func (s *Session) Heartbeat(ctx context.Context) error {
+	start := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -228,10 +246,16 @@ func (s *Session) Heartbeat(ctx context.Context) error {
 			firstErr = err
 		}
 		if isExpiry(err) {
+			s.c.metrics.leaseExp.Inc()
 			s.mu.Lock()
 			s.expired = true
 			s.mu.Unlock()
 		}
+	}
+	if firstErr != nil {
+		s.c.metrics.hbFails.Inc()
+	} else {
+		s.c.metrics.heartbeatNS.Observe(time.Since(start).Nanoseconds())
 	}
 	return firstErr
 }
@@ -288,6 +312,22 @@ type grantPart struct {
 type Grant struct {
 	sess  *Session
 	parts []grantPart
+
+	// tb accumulates the acquisition's distributed trace until Release
+	// commits it (nil under WithoutTracing); holdStart is the grant instant
+	// bounding the hold span.
+	tb        *traceBuilder
+	holdStart int64
+}
+
+// TraceID returns the grant's distributed trace ID, or "" when tracing is
+// disabled. The same ID appears in the serving nodes' flight-recorder
+// records, attribution chains, and OpenMetrics exemplars.
+func (g *Grant) TraceID() string {
+	if g.tb == nil {
+		return ""
+	}
+	return g.tb.trace.ID
 }
 
 // Fencing returns the grant's fencing tokens, one per component of the
@@ -380,6 +420,7 @@ func (c *Client) route(read, write []ResourceID) ([]routeSlice, error) {
 // to the cluster); on failure everything already held is released in
 // reverse. The grant carries one monotonic fencing token per component.
 func (s *Session) Acquire(ctx context.Context, read, write []ResourceID) (*Grant, error) {
+	start := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -392,33 +433,103 @@ func (s *Session) Acquire(ctx context.Context, read, write []ResourceID) (*Grant
 	s.mu.Unlock()
 	slices, err := s.c.route(read, write)
 	if err != nil {
+		s.c.metrics.acquireErrs.Inc()
 		return nil, err
 	}
-	g := &Grant{sess: s}
-	for _, sl := range slices {
-		id, ok := ids[sl.node]
+	var tb *traceBuilder
+	if s.c.traces != nil {
+		tb = newTraceBuilder(start.UnixNano())
+	}
+	g := &Grant{sess: s, tb: tb}
+	fail := func(err error) (*Grant, error) {
+		for i := len(g.parts) - 1; i >= 0; i-- {
+			p := g.parts[i]
+			rctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = s.c.post(rctx, p.node, "/v1/release", ReleaseRequest{SessionID: ids[p.node], Handle: p.handle}, nil)
+			cancel()
+		}
+		if isExpiry(err) {
+			s.c.metrics.leaseExp.Inc()
+			s.mu.Lock()
+			s.expired = true
+			s.mu.Unlock()
+		}
+		s.c.metrics.acquireErrs.Inc()
+		if tb != nil {
+			s.c.traces.add(tb.finish(time.Now().UnixNano(), err))
+			g.tb = nil
+		}
+		return nil, err
+	}
+	for i, sl := range slices {
+		if tb != nil && i == 0 {
+			// Queue span: client-local time between entry and the first wire
+			// hop (routing, validation, and any caller-side queueing folded
+			// into the measured entry point).
+			tb.add(Span{ID: newTraceID(), Parent: tb.root.ID, Name: "queue",
+				StartUnixNS: start.UnixNano(), EndUnixNS: time.Now().UnixNano()})
+		}
+		info, node, err := s.acquireSlice(ctx, tb, ids, sl)
+		if err != nil {
+			return fail(err)
+		}
+		g.parts = append(g.parts, grantPart{node: node, handle: info.Handle, fencing: info.Fencing})
+	}
+	g.holdStart = time.Now().UnixNano()
+	s.c.metrics.acquires.Inc()
+	s.c.metrics.acquireNS.Observe(g.holdStart - start.UnixNano())
+	return g, nil
+}
+
+// acquireSlice acquires one routed slice, taking at most one wrong_node
+// re-route to the owner the server names (safe: a wrong_node rejection
+// acquires nothing, so retrying elsewhere cannot double-acquire). Returns
+// the grant info and the node that actually granted.
+func (s *Session) acquireSlice(ctx context.Context, tb *traceBuilder, ids map[string]string, sl routeSlice) (GrantInfo, string, error) {
+	node := sl.node
+	for attempt := 0; ; attempt++ {
+		id, ok := ids[node]
 		if !ok {
-			return nil, fmt.Errorf("rnlp client: no session on node %q", sl.node)
+			return GrantInfo{}, node, fmt.Errorf("rnlp client: no session on node %q", node)
+		}
+		req := AcquireRequest{SessionID: id, Read: sl.read, Write: sl.write}
+		var spanID string
+		var wireStart int64
+		if tb != nil {
+			spanID = newTraceID()
+			req.TraceID = tb.trace.ID
+			req.SpanID = spanID
+			wireStart = time.Now().UnixNano()
 		}
 		var info GrantInfo
-		err := s.c.post(ctx, sl.node, "/v1/acquire", AcquireRequest{SessionID: id, Read: sl.read, Write: sl.write}, &info)
-		if err != nil {
-			for i := len(g.parts) - 1; i >= 0; i-- {
-				p := g.parts[i]
-				rctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-				_ = s.c.post(rctx, p.node, "/v1/release", ReleaseRequest{SessionID: ids[p.node], Handle: p.handle}, nil)
-				cancel()
+		err := s.c.post(ctx, node, "/v1/acquire", req, &info)
+		if tb != nil {
+			sp := Span{ID: spanID, Parent: tb.root.ID, Name: "wire", Node: node,
+				StartUnixNS: wireStart, EndUnixNS: time.Now().UnixNano()}
+			if err != nil {
+				sp.Attrs = map[string]string{"error": err.Error()}
 			}
-			if isExpiry(err) {
-				s.mu.Lock()
-				s.expired = true
-				s.mu.Unlock()
+			tb.add(sp)
+			for _, ws := range info.Spans {
+				tb.add(Span{Parent: ws.Parent, Name: ws.Name, Node: ws.Node,
+					StartUnixNS: ws.StartUnixNS, EndUnixNS: ws.EndUnixNS, Attrs: ws.Attrs})
 			}
-			return nil, err
 		}
-		g.parts = append(g.parts, grantPart{node: sl.node, handle: info.Handle, fencing: info.Fencing})
+		if err == nil {
+			return info, node, nil
+		}
+		if attempt == 0 && errors.Is(err, ErrWrongNode) {
+			var we *wireError
+			if errors.As(err, &we) && we.owner != "" && we.owner != node {
+				if _, known := s.c.addrOf[we.owner]; known {
+					s.c.metrics.reroutes.Inc()
+					node = we.owner
+					continue
+				}
+			}
+		}
+		return GrantInfo{}, node, err
 	}
-	return g, nil
 }
 
 // Read is shorthand for Acquire(ctx, resources, nil).
@@ -440,6 +551,7 @@ func (s *Session) Release(g *Grant) error {
 	if g == nil || len(g.parts) == 0 {
 		return ErrAlreadyReleased
 	}
+	start := time.Now()
 	s.mu.Lock()
 	ids := make(map[string]string, len(s.ids))
 	for n, id := range s.ids {
@@ -457,6 +569,14 @@ func (s *Session) Release(g *Grant) error {
 		}
 	}
 	g.parts = nil
+	if g.tb != nil {
+		now := time.Now().UnixNano()
+		g.tb.add(Span{ID: newTraceID(), Parent: g.tb.root.ID, Name: "hold",
+			StartUnixNS: g.holdStart, EndUnixNS: now})
+		s.c.traces.add(g.tb.finish(now, nil))
+		g.tb = nil
+	}
+	s.c.metrics.releaseNS.Observe(time.Since(start).Nanoseconds())
 	return firstErr
 }
 
@@ -479,7 +599,8 @@ func (c *Client) post(ctx context.Context, node, path string, in, out any) error
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		c.metrics.nodeUnreach.Inc()
+		return &NodeUnreachableError{Node: node, Addr: addr, Err: err}
 	}
 	defer resp.Body.Close()
 	return decodeResponse(resp, out)
@@ -493,11 +614,30 @@ func (c *Client) getJSON(ctx context.Context, url string, out any) error {
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		c.metrics.nodeUnreach.Inc()
+		return &NodeUnreachableError{Addr: url, Err: err}
 	}
 	defer resp.Body.Close()
 	return decodeResponse(resp, out)
 }
+
+// wireError is a decoded service error: the sentinel it maps onto plus the
+// structured detail the wire carried (today only the owning node of a
+// wrong_node rejection, which the re-route path needs programmatically).
+type wireError struct {
+	sentinel error
+	owner    string
+	msg      string
+}
+
+func (e *wireError) Error() string {
+	if e.owner != "" {
+		return fmt.Sprintf("%s (owner %s): %s", e.sentinel.Error(), e.owner, e.msg)
+	}
+	return fmt.Sprintf("%s: %s", e.sentinel.Error(), e.msg)
+}
+
+func (e *wireError) Unwrap() error { return e.sentinel }
 
 func decodeResponse(resp *http.Response, out any) error {
 	if resp.StatusCode >= 300 {
@@ -505,10 +645,7 @@ func decodeResponse(resp *http.Response, out any) error {
 		var eb ErrorBody
 		if json.Unmarshal(buf, &eb) == nil && eb.Code != "" {
 			if sentinel := codeErr(eb.Code); sentinel != nil {
-				if eb.Owner != "" {
-					return fmt.Errorf("%w (owner %s): %s", sentinel, eb.Owner, eb.Error)
-				}
-				return fmt.Errorf("%w: %s", sentinel, eb.Error)
+				return &wireError{sentinel: sentinel, owner: eb.Owner, msg: eb.Error}
 			}
 			return fmt.Errorf("rnlp client: %s: %s", eb.Code, eb.Error)
 		}

@@ -1,0 +1,70 @@
+package client
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goroutinesWith counts live goroutines whose stack contains sub.
+func goroutinesWith(sub string) int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	count := 0
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, sub) {
+			count++
+		}
+	}
+	return count
+}
+
+// waitGoroutinesGone polls until no goroutine matches sub (or fails).
+func waitGoroutinesGone(t *testing.T, sub string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if goroutinesWith(sub) == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine matching %q still running after close", sub)
+}
+
+// TestSessionCloseStopsKeepalive: Session.Close must terminate the keepalive
+// heartbeat goroutine — a leaked one would heartbeat a dead session forever.
+func TestSessionCloseStopsKeepalive(t *testing.T) {
+	spec := singleNodeSpec()
+	node := newFakeNode(t, "A", spec)
+	ctx := context.Background()
+	c, err := New(ctx, []string{node.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ka = "client.(*Session).keepalive"
+	deadline := time.Now().Add(3 * time.Second)
+	for goroutinesWith(ka) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("keepalive goroutine not running after OpenSession")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutinesGone(t, ka)
+	// Close is idempotent and leaves no second goroutine behind.
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := goroutinesWith(ka); n != 0 {
+		t.Fatalf("%d keepalive goroutine(s) after double Close", n)
+	}
+}

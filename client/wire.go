@@ -24,7 +24,10 @@
 // acquisition stays deadlock-free.
 package client
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // ResourceID identifies a shared resource, as in package rwrnlp.
 type ResourceID = int
@@ -78,7 +81,38 @@ var (
 
 	// ErrSessionClosed reports use of a Session after Close.
 	ErrSessionClosed = errors.New("rnlp client: session closed")
+
+	// ErrNodeUnreachable reports a transport-level failure talking to a node
+	// (connection refused, DNS failure, timeout before any response). Match
+	// with errors.Is; the concrete *NodeUnreachableError in the chain carries
+	// the node identity and address.
+	ErrNodeUnreachable = errors.New("rnlp client: node unreachable")
 )
+
+// NodeUnreachableError wraps a transport failure with the node it targeted.
+// errors.Is(err, ErrNodeUnreachable) matches it; Unwrap exposes the
+// underlying transport error (typically a *url.Error).
+type NodeUnreachableError struct {
+	// Node is the node's identity in the cluster map ("" when the client
+	// resolved the node positionally and has no separate identity).
+	Node string
+	// Addr is the base URL the request was sent to.
+	Addr string
+	// Err is the underlying transport error.
+	Err error
+}
+
+func (e *NodeUnreachableError) Error() string {
+	if e.Node != "" && e.Node != e.Addr {
+		return fmt.Sprintf("rnlp client: node %s (%s) unreachable: %v", e.Node, e.Addr, e.Err)
+	}
+	return fmt.Sprintf("rnlp client: node %s unreachable: %v", e.Addr, e.Err)
+}
+
+func (e *NodeUnreachableError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrNodeUnreachable) match.
+func (e *NodeUnreachableError) Is(target error) bool { return target == ErrNodeUnreachable }
 
 // codeErr maps a wire code to its sentinel (nil for unknown codes).
 func codeErr(code string) error {
@@ -161,10 +195,38 @@ type CloseSessionRequest struct {
 
 // AcquireRequest acquires read/write access (POST /v1/acquire). The handler
 // blocks until the grant, the request context's end, or lease expiry.
+// TraceID/SpanID, when set, propagate the client's distributed trace: the
+// server tags the runtime acquisition with TraceID (so flight records,
+// attribution chains, and exemplars carry it) and returns its per-hop server
+// spans in GrantInfo.Spans, each a child of SpanID.
 type AcquireRequest struct {
 	SessionID string       `json:"session_id"`
 	Read      []ResourceID `json:"read,omitempty"`
 	Write     []ResourceID `json:"write,omitempty"`
+	TraceID   string       `json:"trace_id,omitempty"`
+	SpanID    string       `json:"span_id,omitempty"`
+}
+
+// WireSpan is one server-side span of a traced acquisition hop, returned in
+// GrantInfo.Spans. Times are the serving node's wall clock (unix nanos);
+// cross-node skew is the reader's problem — same-host clusters and tests see
+// monotone timestamps, production dashboards should treat per-node tracks
+// independently.
+type WireSpan struct {
+	// Name is the span kind: "admission" (decode, session/lease/placement
+	// checks) or "wait" (the blocking runtime acquisition).
+	Name string `json:"name"`
+	// Node is the serving node's identity.
+	Node string `json:"node,omitempty"`
+	// Parent is the client span ID this span is a child of.
+	Parent string `json:"parent,omitempty"`
+	// StartUnixNS/EndUnixNS bound the span (server clock).
+	StartUnixNS int64 `json:"start_unix_ns"`
+	EndUnixNS   int64 `json:"end_unix_ns"`
+	// Attrs carries span attributes — for "wait" spans the Attributor's
+	// delay decomposition (parts in logical shard ticks), the blocker request
+	// IDs, and any blocker trace IDs the server could resolve.
+	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
 // ComponentToken is one component's fencing token on a grant: tokens are
@@ -177,9 +239,12 @@ type ComponentToken struct {
 
 // GrantInfo is a successful acquisition: the release handle plus one
 // fencing token per component the footprint touches (ascending component).
+// Spans carries the server-side spans of a traced acquisition (empty when
+// the request carried no trace ID).
 type GrantInfo struct {
 	Handle  string           `json:"handle"`
 	Fencing []ComponentToken `json:"fencing"`
+	Spans   []WireSpan       `json:"spans,omitempty"`
 }
 
 // ReleaseRequest releases a grant by handle (POST /v1/release).

@@ -2,6 +2,8 @@ package rwrnlp
 
 import (
 	"context"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -81,5 +83,52 @@ func TestCloseIdempotentConcurrentWithAcquires(t *testing.T) {
 	wg.Wait()
 	if err := p.Close(); err != nil {
 		t.Fatalf("final Close: %v", err)
+	}
+}
+
+// goroutinesWith counts live goroutines whose stack contains sub.
+func goroutinesWith(sub string) int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	count := 0
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, sub) {
+			count++
+		}
+	}
+	return count
+}
+
+// TestCloseStopsTimeSeries: Protocol.Close must terminate the WithTimeSeries
+// capture goroutine — a leaked capture loop would pin the metrics registry
+// and tick forever after the protocol is gone.
+func TestCloseStopsTimeSeries(t *testing.T) {
+	const capture = "(*TimeSeries).Start"
+	before := goroutinesWith(capture)
+
+	b := NewSpecBuilder(2)
+	p := New(b.Build(), WithPlaceholders(), WithTimeSeries(time.Millisecond, 16))
+
+	deadline := time.Now().Add(3 * time.Second)
+	for goroutinesWith(capture) <= before {
+		if time.Now().After(deadline) {
+			t.Fatal("capture goroutine not running after New with WithTimeSeries")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop waits for the goroutine, so no polling needed after Close returns.
+	if n := goroutinesWith(capture); n > before {
+		t.Fatalf("%d capture goroutine(s) still running after Close", n-before)
+	}
+	// Close is idempotent; the ring stays queryable.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ts := p.TimeSeries(); ts == nil {
+		t.Fatal("TimeSeries nil after Close")
 	}
 }

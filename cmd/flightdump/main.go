@@ -9,6 +9,8 @@
 //	flightdump -events dump.json          # also print the raw event timeline
 //	flightdump -seq 1337 dump.json        # resolve one metric exemplar's flight_seq
 //	flightdump -perfetto out.json dump.json   # re-render as a Perfetto trace
+//	flightdump node1.json node2.json node3.json   # merge per-node dumps
+//	flightdump -trace 4f2a... node*.json  # one distributed trace across nodes
 //	curl -s host:6060/debug/rnlp/flight | flightdump   # reads stdin
 //
 // The attribution report decomposes each delayed request's wait into the
@@ -16,10 +18,19 @@
 // writer, writer behind a read phase) and expands the blocker edges into
 // nested chains, exactly as the in-process Attributor would have.
 //
+// With several input files — one /debug/rnlp/flight dump per cluster node —
+// the dumps are merged into a single view: shards get disjoint index ranges,
+// request IDs are remapped to stay unique, and every record is labeled with
+// its node (the file's base name). Cross-node requests join by tag: a
+// distributed trace ID stamps every event of its request on every hop, so
+// -trace filters the merged dump down to one acquisition's cluster-wide
+// lifecycle, and -perfetto renders it as one multi-track trace.
+//
 // -seq closes the exemplar loop: an OpenMetrics tail bucket carries
 // `# {req="R",flight_seq="S"}`; resolving S against a dump of the same
 // process prints the recorded event and the full blocking chain of the
-// request that produced that tail sample.
+// request that produced that tail sample. Sequence numbers are per-node —
+// -seq takes a single input file.
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -37,33 +49,40 @@ func main() {
 	top := flag.Int("top", 10, "number of worst blocking chains to report")
 	perfetto := flag.String("perfetto", "", "also write the dump as a Perfetto/Chrome trace to this file")
 	events := flag.Bool("events", false, "print the raw event timeline after the report")
-	seqF := flag.Uint64("seq", 0, "resolve this flight sequence number (a metric exemplar's flight_seq) into its record and blocking chain, instead of the full report")
+	seqF := flag.Uint64("seq", 0, "resolve this flight sequence number (a metric exemplar's flight_seq) into its record and blocking chain, instead of the full report (single input only)")
+	traceF := flag.String("trace", "", "keep only records tagged with this trace ID (a distributed acquisition's cluster-wide lifecycle)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: flightdump [-top K] [-seq N] [-perfetto out.json] [-events] [dump.json]\n\nreads stdin when no file is given\n\n")
+			"usage: flightdump [-top K] [-seq N] [-trace ID] [-perfetto out.json] [-events] [dump.json ...]\n\nreads stdin when no file is given; several files (one per node) are merged\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	in := io.Reader(os.Stdin)
-	src := "stdin"
-	if flag.NArg() > 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	if flag.NArg() == 1 {
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fail(err)
+	var d obs.FlightDump
+	switch {
+	case flag.NArg() > 1 && *seqF != 0:
+		fail(fmt.Errorf("-seq resolves per-node sequence numbers: give exactly one dump file"))
+	case flag.NArg() > 1:
+		dumps := make([]obs.FlightDump, flag.NArg())
+		names := make([]string, flag.NArg())
+		for i, p := range flag.Args() {
+			dumps[i] = parseFile(p)
+			names[i] = strings.TrimSuffix(filepath.Base(p), ".json")
 		}
-		defer f.Close()
-		in = f
-		src = flag.Arg(0)
+		d = obs.MergeFlightDumps(dumps, names)
+	case flag.NArg() == 1:
+		d = parseFile(flag.Arg(0))
+	default:
+		var err error
+		if d, err = obs.ParseFlightDump(os.Stdin); err != nil {
+			fail(fmt.Errorf("stdin: %w", err))
+		}
 	}
-
-	d, err := obs.ParseFlightDump(in)
-	if err != nil {
-		fail(fmt.Errorf("%s: %w", src, err))
+	if *traceF != "" {
+		d = d.FilterTag(*traceF)
+		if len(d.Records) == 0 {
+			fail(fmt.Errorf("no records carry trace %q", *traceF))
+		}
 	}
 
 	if *seqF != 0 {
@@ -104,6 +123,20 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "flightdump:", err)
 	os.Exit(1)
+}
+
+// parseFile reads one dump file.
+func parseFile(path string) obs.FlightDump {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	d, err := obs.ParseFlightDump(f)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return d
 }
 
 // summarize prints the dump's shape: per-shard record counts, the time
@@ -151,7 +184,11 @@ func timeline(w io.Writer, d obs.FlightDump) {
 	fmt.Fprintln(w, "event timeline (seq order):")
 	for _, r := range d.Records {
 		var b strings.Builder
-		fmt.Fprintf(&b, "  [%6d] shard %d t=%-8d %-12s req %d %s", r.Seq, r.Shard, r.T, r.Type, r.Req, r.Kind)
+		fmt.Fprintf(&b, "  [%6d] ", r.Seq)
+		if r.Node != "" {
+			fmt.Fprintf(&b, "%s ", r.Node)
+		}
+		fmt.Fprintf(&b, "shard %d t=%-8d %-12s req %d %s", r.Shard, r.T, r.Type, r.Req, r.Kind)
 		if len(r.Resources) > 0 {
 			fmt.Fprintf(&b, " res=%v", r.Resources)
 		}

@@ -8,6 +8,13 @@
 //	rnlptop -window 10s -interval 500ms ...       # tighter view
 //	rnlptop -demo                                 # self-contained: in-process workload
 //	rnlptop -demo -frames 3 -plain                # scripted (CI smoke test)
+//	rnlptop -cluster http://n1:6060,http://n2:6060,http://n3:6060
+//
+// With -cluster, every frame fan-out-scrapes each node's timeseries and
+// attribution routes and renders the merged cockpit: per-node health and
+// throughput, cluster-wide rates and (conservative) tails, the worst node's
+// bound utilization, and the cross-node top blocking chains — chains from
+// different nodes that share a tag are one distributed acquisition.
 //
 // The target must serve a DebugMux with WithTimeSeries enabled (the
 // timeseries route refreshes itself on scrape, so even a stopped capture
@@ -24,9 +31,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/rtsync/rwrnlp"
+	"github.com/rtsync/rwrnlp/internal/obs"
 )
 
 func main() {
@@ -38,6 +47,7 @@ func main() {
 		topK     = flag.Int("top", 5, "blocking chains to show")
 		plain    = flag.Bool("plain", false, "append frames instead of redrawing the screen (for logs and tests)")
 		demo     = flag.Bool("demo", false, "ignore -url: run an in-process contended workload and watch it")
+		cluster  = flag.String("cluster", "", "comma-separated node base URLs: scrape every node and render the merged cluster cockpit instead of -url")
 	)
 	flag.Parse()
 
@@ -54,6 +64,28 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: 5 * time.Second}
+	if *cluster != "" {
+		var nodes []obs.ClusterNode
+		for _, u := range strings.Split(*cluster, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				nodes = append(nodes, obs.ClusterNode{Name: u, URL: u})
+			}
+		}
+		if len(nodes) == 0 {
+			fmt.Fprintln(os.Stderr, "rnlptop: -cluster needs at least one node URL")
+			os.Exit(2)
+		}
+		cfg := renderConfig{URL: *cluster, Window: *window, Interval: *interval, Plain: *plain, TopK: *topK}
+		for n := 0; *frames == 0 || n < *frames; n++ {
+			if n > 0 {
+				time.Sleep(*interval)
+			}
+			rep := obs.ScrapeCluster(context.Background(), client, nodes, *window)
+			cfg.Now = time.Now()
+			renderCluster(os.Stdout, rep, cfg)
+		}
+		return
+	}
 	cfg := renderConfig{URL: *url, Window: *window, Interval: *interval, Plain: *plain, TopK: *topK}
 	for n := 0; *frames == 0 || n < *frames; n++ {
 		if n > 0 {

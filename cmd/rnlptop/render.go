@@ -243,6 +243,53 @@ func renderWatchdog(w io.Writer, wd wdStatus) {
 	fmt.Fprintln(w)
 }
 
+// renderCluster writes one merged multi-node cockpit frame. Like render it is
+// pure — tests drive it with canned ClusterReports.
+func renderCluster(w io.Writer, rep obs.ClusterReport, cfg renderConfig) {
+	if !cfg.Plain {
+		fmt.Fprint(w, "\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(w, "rnlptop cluster — %d node(s), %d healthy  window %s  interval %s  %s\n\n",
+		len(rep.Nodes), rep.Healthy, cfg.Window, cfg.Interval, cfg.Now.Format("15:04:05"))
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\thealth\tsatisfied/s\tinflight\tread-util\twrite-util\t")
+	for _, st := range rep.Nodes {
+		if !st.Healthy {
+			fmt.Fprintf(tw, "%s\tDOWN\t-\t-\t-\t-\t(%s)\n", st.Name, st.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\tok\t%.1f\t%d\t%.0f%%\t%.0f%%\t\n",
+			st.Name, st.Series.Rates[obs.MSatisfied], st.Series.Gauges[obs.MInflight],
+			100*st.Series.Bound.ReadUtil, 100*st.Series.Bound.WriteUtil)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	merged := obs.TimeSeriesReport{Rates: rep.Rates, Hists: rep.Hists}
+	fmt.Fprintf(w, "cluster     issued %s/s  satisfied %s/s  completed %s/s  slow-path %s/s  (sums; tails are worst-node)\n\n",
+		rate(rep.Rates, obs.MIssued), rate(rep.Rates, obs.MSatisfied),
+		rate(rep.Rates, obs.MCompleted), rate(rep.Rates, obs.MSlowPath))
+	renderHists(w, merged)
+	if rep.BoundNode != "" {
+		fmt.Fprintf(w, "worst bound utilization: node %s\n", rep.BoundNode)
+		renderBound(w, rep.Bound)
+	}
+	if len(rep.Top) > 0 {
+		topK := cfg.TopK
+		if topK <= 0 {
+			topK = 5
+		}
+		fmt.Fprintln(w, "top blocking chains (cluster-wide; same tag = one distributed acquisition):")
+		for i, c := range rep.Top {
+			if i >= topK {
+				break
+			}
+			fmt.Fprintf(w, "  [%s] %s\n", c.Node, c.Chain.String())
+		}
+	}
+}
+
 func renderChains(w io.Writer, attr obs.AttributionReport, topK int) {
 	if len(attr.Top) == 0 {
 		return

@@ -118,6 +118,74 @@ func TestRenderEmptyFrame(t *testing.T) {
 	}
 }
 
+// TestRenderCluster drives the merged multi-node frame with canned data:
+// per-node rows (including a down node with its error), cluster sums,
+// worst-node bound, and node-tagged blocking chains.
+func TestRenderCluster(t *testing.T) {
+	rep := obs.ClusterReport{
+		Healthy:  2,
+		WindowNS: int64(6 * time.Second),
+		Nodes: []obs.NodeStatus{
+			{Name: "http://n1:6060", Healthy: true, Series: obs.TimeSeriesReport{
+				Rates:  map[string]float64{obs.MSatisfied: 700},
+				Gauges: map[string]int64{obs.MInflight: 3},
+				Bound:  obs.BoundUtilization{ReadUtil: 0.25, WriteUtil: 0.5},
+			}},
+			{Name: "http://n2:6060", Healthy: true, Series: obs.TimeSeriesReport{
+				Rates:  map[string]float64{obs.MSatisfied: 800},
+				Gauges: map[string]int64{obs.MInflight: 5},
+				Bound:  obs.BoundUtilization{ReadUtil: 0.75, WriteUtil: 0.6},
+			}},
+			{Name: "http://n3:6060", Err: "connection refused"},
+		},
+		Rates: map[string]float64{
+			obs.MIssued: 1510, obs.MSatisfied: 1500, obs.MCompleted: 1490,
+		},
+		Hists: map[string]obs.WindowStats{
+			obs.MAcqDelayRead: {Count: 9000, Rate: 1500, P50: 10, P90: 40, P99: 80, P999: 120, Max: 127},
+		},
+		Bound:     obs.BoundUtilization{Lr: 30, Lw: 50, M: 8, ReadBound: 80, WriteBound: 560, ReadP999: 60, WriteP999: 280, ReadUtil: 0.75, WriteUtil: 0.5},
+		BoundNode: "http://n2:6060",
+		Top: []obs.ClusterChain{
+			{Node: "http://n2:6060", Chain: obs.BlockChain{Req: 17, Delay: 42,
+				Parts: []obs.DelayPart{{Component: obs.AttrWriterQueueWait, Span: 42}}}},
+			{Node: "http://n1:6060", Chain: obs.BlockChain{Req: 4, Delay: 9,
+				Parts: []obs.DelayPart{{Component: obs.AttrReaderEntitledWait, Span: 9}}}},
+		},
+	}
+	var buf bytes.Buffer
+	renderCluster(&buf, rep, renderConfig{
+		URL: "http://n1:6060,http://n2:6060,http://n3:6060", Window: 30 * time.Second,
+		Interval: time.Second, Now: time.Unix(0, 0).UTC(), Plain: true, TopK: 5,
+	})
+	out := buf.String()
+
+	for _, want := range []string{
+		"rnlptop cluster — 3 node(s), 2 healthy",
+		"http://n1:6060",
+		"700.0",
+		"http://n2:6060",
+		"800.0",
+		"DOWN",
+		"connection refused",
+		"issued 1510.0/s  satisfied 1500.0/s",
+		"acq_delay_read",
+		"worst bound utilization: node http://n2:6060",
+		"read p999 60 / 80 (75%)",
+		"top blocking chains (cluster-wide",
+		"[http://n2:6060]",
+		"req=17",
+		"[http://n1:6060]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Errorf("plain cluster frame contains ANSI escapes:\n%s", out)
+	}
+}
+
 // TestCockpitLiveSmoke is the acceptance check: start the in-process demo
 // (real protocol, real contended workload, real DebugMux over loopback),
 // poll it exactly as main does, and require at least one full frame with

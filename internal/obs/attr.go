@@ -302,6 +302,24 @@ func (a *Attributor) Chain(id core.ReqID) (BlockChain, bool) {
 	return *c, true
 }
 
+// ChainByTag returns the most recently satisfied retained chain whose Tag
+// matches, scanning newest-first. This is the server tier's join from a
+// distributed trace ID to the shard-level delay decomposition of the request
+// that carried it.
+func (a *Attributor) ChainByTag(tag string) (BlockChain, bool) {
+	if tag == "" {
+		return BlockChain{}, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.recentOrder) - 1; i >= 0; i-- {
+		if c := a.recent[a.recentOrder[i]]; c != nil && c.Tag == tag {
+			return *c, true
+		}
+	}
+	return BlockChain{}, false
+}
+
 // AttributionReport is the attributor's summary: totals per delay component
 // and the worst blocking chains observed.
 type AttributionReport struct {

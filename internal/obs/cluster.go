@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Cluster cockpit: fan-out scraping of several nodes' debug surfaces
+// (/debug/rnlp/timeseries, /debug/rnlp/attr) merged into one live view. Every
+// rnlpd node serves the merged view at /debug/rnlp/cluster, and rnlptop
+// -cluster renders it; the scrape itself is plain HTTP against the same
+// endpoints rnlptop already uses per node, so any process embedding
+// NewDebugMux is scrapeable as a cluster member.
+
+// ClusterNode identifies one node to scrape: Name is its identity in the
+// cluster map, URL the base of its debug mux (usually the same string for
+// rnlpd, whose node identities are URLs).
+type ClusterNode struct {
+	Name string
+	URL  string
+}
+
+// NodeStatus is one node's slice of a cluster report. Unhealthy nodes (scrape
+// failed) carry Err and zero data — a cluster report never fails as a whole
+// because one node is down; that asymmetry is the point of the view.
+type NodeStatus struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	Err     string `json:"err,omitempty"`
+	// Series is the node's windowed time-series report.
+	Series TimeSeriesReport `json:"series"`
+	// Top is the node's worst blocking chains (empty when attribution is
+	// off or the attr scrape failed — health tracks the timeseries scrape).
+	Top []BlockChain `json:"top,omitempty"`
+}
+
+// ClusterChain is one blocking chain in the merged cluster top list, tagged
+// with the node that recorded it. Chains join across nodes by Chain.Tag: a
+// cross-node acquisition carries one trace ID, so its per-node chains share it.
+type ClusterChain struct {
+	Node  string     `json:"node"`
+	Chain BlockChain `json:"chain"`
+}
+
+// clusterTopK bounds the merged top-chain list.
+const clusterTopK = 10
+
+// ClusterReport is the merged multi-node view. Merge semantics, chosen to
+// stay honest without raw per-node samples:
+//
+//   - Rates and histogram counts/rates sum across healthy nodes (each node's
+//     traffic is disjoint — components are placed on exactly one node);
+//   - windowed quantiles take the per-node maximum: the cluster's p99 cannot
+//     exceed the worst node's p99 by more than the mix effect, so the max is
+//     the conservative (pessimistic) cluster tail;
+//   - Bound is the worst node's bound utilization (by max of read/write
+//     util), named in BoundNode — per-component Theorem 1/2 envelopes do not
+//     aggregate across nodes, so the cockpit shows the closest-to-violation
+//     node;
+//   - Top is the delay-sorted merge of every node's worst blocking chains.
+type ClusterReport struct {
+	TakenNS  int64        `json:"taken_ns"`
+	WindowNS int64        `json:"window_ns"`
+	Healthy  int          `json:"healthy"`
+	Nodes    []NodeStatus `json:"nodes"`
+
+	Rates     map[string]float64     `json:"rates"`
+	Hists     map[string]WindowStats `json:"hists"`
+	Bound     BoundUtilization       `json:"bound"`
+	BoundNode string                 `json:"bound_node,omitempty"`
+	Top       []ClusterChain         `json:"top,omitempty"`
+}
+
+// clusterGetJSON fetches one JSON document.
+func clusterGetJSON(ctx context.Context, hc *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// FetchNodeStatus scrapes one node's timeseries and attribution endpoints.
+// Health tracks the timeseries scrape; a failed attr scrape only loses the
+// node's top chains. A nil hc uses http.DefaultClient — pass a client with a
+// timeout for production scrapes.
+func FetchNodeStatus(ctx context.Context, hc *http.Client, node ClusterNode, window time.Duration) NodeStatus {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	st := NodeStatus{Name: node.Name}
+	if err := clusterGetJSON(ctx, hc, node.URL+"/debug/rnlp/timeseries?window="+window.String(), &st.Series); err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	st.Healthy = true
+	var attr AttributionReport
+	if err := clusterGetJSON(ctx, hc, node.URL+"/debug/rnlp/attr", &attr); err == nil {
+		st.Top = attr.Top
+	}
+	return st
+}
+
+// ScrapeCluster fan-out-scrapes every node in parallel and merges the
+// results. It blocks until every scrape returns or ctx ends (bound the wait
+// with a context deadline or an hc timeout); no goroutines outlive the call.
+func ScrapeCluster(ctx context.Context, hc *http.Client, nodes []ClusterNode, window time.Duration) ClusterReport {
+	statuses := make([]NodeStatus, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n ClusterNode) {
+			defer wg.Done()
+			statuses[i] = FetchNodeStatus(ctx, hc, n, window)
+		}(i, n)
+	}
+	wg.Wait()
+	return MergeCluster(statuses)
+}
+
+// MergeCluster merges per-node statuses into one report (see ClusterReport
+// for the semantics). Callers with an in-process node — rnlpd merging itself
+// with scraped peers — build that NodeStatus locally and pass it here.
+func MergeCluster(statuses []NodeStatus) ClusterReport {
+	rep := ClusterReport{
+		Nodes: statuses,
+		Rates: map[string]float64{},
+		Hists: map[string]WindowStats{},
+	}
+	worst := -1.0
+	for _, st := range statuses {
+		if !st.Healthy {
+			continue
+		}
+		rep.Healthy++
+		if st.Series.NowNS > rep.TakenNS {
+			rep.TakenNS = st.Series.NowNS
+		}
+		if st.Series.WindowNS > rep.WindowNS {
+			rep.WindowNS = st.Series.WindowNS
+		}
+		for k, v := range st.Series.Rates {
+			rep.Rates[k] += v
+		}
+		for k, ws := range st.Series.Hists {
+			m := rep.Hists[k]
+			m.Count += ws.Count
+			m.Rate += ws.Rate
+			m.P50 = maxI64(m.P50, ws.P50)
+			m.P90 = maxI64(m.P90, ws.P90)
+			m.P99 = maxI64(m.P99, ws.P99)
+			m.P999 = maxI64(m.P999, ws.P999)
+			m.Max = maxI64(m.Max, ws.Max)
+			rep.Hists[k] = m
+		}
+		u := st.Series.Bound.ReadUtil
+		if st.Series.Bound.WriteUtil > u {
+			u = st.Series.Bound.WriteUtil
+		}
+		if u > worst {
+			worst = u
+			rep.Bound = st.Series.Bound
+			rep.BoundNode = st.Name
+		}
+		for _, c := range st.Top {
+			rep.Top = append(rep.Top, ClusterChain{Node: st.Name, Chain: c})
+		}
+	}
+	sort.SliceStable(rep.Top, func(i, j int) bool { return rep.Top[i].Chain.Delay > rep.Top[j].Chain.Delay })
+	if len(rep.Top) > clusterTopK {
+		rep.Top = rep.Top[:clusterTopK]
+	}
+	return rep
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -29,8 +29,11 @@ import (
 // nanoseconds for the simulator). Tag is stringified so arbitrary caller
 // tags survive serialization.
 type FlightRecord struct {
-	Seq         uint64  `json:"seq"`
-	Shard       int     `json:"shard"`
+	Seq   uint64 `json:"seq"`
+	Shard int    `json:"shard"`
+	// Node names the recording node in merged multi-node dumps (see
+	// MergeFlightDumps); live recorders leave it empty.
+	Node        string  `json:"node,omitempty"`
 	T           int64   `json:"t"`
 	Type        string  `json:"type"`
 	Req         int64   `json:"req"`
@@ -123,6 +126,16 @@ type FlightRecorder struct {
 
 // NewFlightRecorder creates a recorder for nshards shards with perShard ring
 // slots each (<= 0 selects DefaultFlightDepth).
+// tagString renders a caller-supplied event tag. Trace IDs — the common case
+// and the only one on the contended hot path — are plain strings and take the
+// allocation-free type assertion; anything else falls back to fmt.Sprint.
+func tagString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return fmt.Sprint(v)
+}
+
 func NewFlightRecorder(nshards, perShard int) *FlightRecorder {
 	if nshards < 1 {
 		nshards = 1
@@ -161,7 +174,7 @@ func (f *FlightRecorder) Record(shard int, e core.Event) {
 		Incremental: e.Incremental,
 	}
 	if e.Tag != nil {
-		rec.Tag = fmt.Sprint(e.Tag)
+		rec.Tag = tagString(e.Tag)
 	}
 	if len(e.Blockers) > 0 {
 		rec.Blockers = make([]int64, len(e.Blockers))
@@ -277,6 +290,86 @@ func (d FlightDump) Attribution(topK int) AttributionReport {
 		a.Observe(e)
 	}
 	return a.Report()
+}
+
+// MergeFlightDumps merges per-node flight dumps into one cluster dump, the
+// offline join behind `flightdump node1.json node2.json ...`. Each dump's
+// shards are offset into a disjoint range, its request IDs (Req, Pair,
+// Blockers) are remapped to req*len(dumps)+nodeIdx so IDs never collide
+// across nodes, and every record is labeled with its node's name (names[i]
+// pairs with dumps[i]; missing names stay empty). Records are ordered by
+// (T, node, original seq) and renumbered — per-node T is logical shard ticks
+// on independent clocks, so cross-node ordering at equal T is arbitrary but
+// deterministic; requests join across nodes by Tag (the distributed trace
+// ID), not by time. Seq-based joins (exemplar flight_seq) are only meaningful
+// against the single-node dump they were minted in.
+func MergeFlightDumps(dumps []FlightDump, names []string) FlightDump {
+	n := len(dumps)
+	merged := FlightDump{Version: flightDumpVersion}
+	type annotated struct {
+		rec  FlightRecord
+		node int
+		seq  uint64
+	}
+	var all []annotated
+	shardBase := 0
+	for i, d := range dumps {
+		var name string
+		if i < len(names) {
+			name = names[i]
+		}
+		for _, r := range d.Records {
+			orig := r.Seq
+			r.Node = name
+			r.Shard += shardBase
+			r.Req = r.Req*int64(n) + int64(i)
+			if r.Pair != 0 {
+				r.Pair = r.Pair*int64(n) + int64(i)
+			}
+			if len(r.Blockers) > 0 {
+				bs := make([]int64, len(r.Blockers))
+				for j, b := range r.Blockers {
+					bs[j] = b*int64(n) + int64(i)
+				}
+				r.Blockers = bs
+			}
+			all = append(all, annotated{rec: r, node: i, seq: orig})
+		}
+		shards := d.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		shardBase += shards
+	}
+	merged.Shards = shardBase
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].rec.T != all[b].rec.T {
+			return all[a].rec.T < all[b].rec.T
+		}
+		if all[a].node != all[b].node {
+			return all[a].node < all[b].node
+		}
+		return all[a].seq < all[b].seq
+	})
+	merged.Records = make([]FlightRecord, len(all))
+	for i := range all {
+		all[i].rec.Seq = uint64(i + 1)
+		merged.Records[i] = all[i].rec
+	}
+	return merged
+}
+
+// FilterTag returns the subset of the dump whose records carry the given tag
+// — every event of a tagged request is stamped, so this is the request's full
+// retained lifecycle on each node (one per hop for a distributed trace ID).
+func (d FlightDump) FilterTag(tag string) FlightDump {
+	out := FlightDump{Version: d.Version, Shards: d.Shards}
+	for _, r := range d.Records {
+		if r.Tag == tag {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
 }
 
 // ResolveSeq resolves a flight sequence number — as carried by a metric

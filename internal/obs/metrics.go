@@ -158,11 +158,14 @@ type Histogram struct {
 // Exemplar tags one recorded sample with its origin: the protocol request ID
 // and the flight-recorder sequence number current when it was recorded (0
 // when no flight recorder was attached). Resolve Seq with
-// FlightDump.ResolveSeq or `flightdump -seq`.
+// FlightDump.ResolveSeq or `flightdump -seq`. Trace, when non-empty, is the
+// distributed trace ID the sampled request carried (see rwrnlp.ContextWithTag)
+// — the join key from a scraped tail bucket to a cluster-wide stitched trace.
 type Exemplar struct {
 	Value int64  `json:"value"`
 	Req   int64  `json:"req"`
 	Seq   uint64 `json:"flight_seq,omitempty"`
+	Trace string `json:"trace_id,omitempty"`
 }
 
 const minSentinel = int64(^uint64(0) >> 1) // math.MaxInt64
@@ -197,11 +200,19 @@ func (h *Histogram) Observe(v int64) {
 // ObserveTagged records one sample and stores an exemplar for its octave:
 // the request ID and flight-recorder sequence that produced it.
 func (h *Histogram) ObserveTagged(v int64, req int64, seq uint64) {
+	h.ObserveTraced(v, req, seq, "")
+}
+
+// ObserveTraced is ObserveTagged plus a distributed trace ID: the exemplar
+// carries the trace the sampled request belonged to, so a scraped tail bucket
+// resolves not just to a flight-recorder window but to the cluster-wide
+// stitched trace that produced it.
+func (h *Histogram) ObserveTraced(v int64, req int64, seq uint64, trace string) {
 	h.Observe(v)
 	if v < 0 {
 		v = 0
 	}
-	h.exemplars[bits.Len64(uint64(v))].Store(&Exemplar{Value: v, Req: req, Seq: seq})
+	h.exemplars[bits.Len64(uint64(v))].Store(&Exemplar{Value: v, Req: req, Seq: seq, Trace: trace})
 }
 
 // HistStats is a point-in-time summary of a histogram. Quantiles are bucket

@@ -225,16 +225,20 @@ func (po *ProtocolObserver) Observe(e core.Event) {
 		if po.exFlight != nil {
 			seq = po.exFlight.LastSeqOf(po.exShard)
 		}
+		var trace string
+		if e.Tag != nil {
+			trace = tagString(e.Tag)
+		}
 		switch {
 		case p.incremental:
 			// Issue-to-full-satisfaction of an incremental request spans
 			// hold phases between grants; it is not an acquisition delay in
 			// the Theorem 1/2 sense, so it gets its own histogram.
-			po.acqInc.ObserveTagged(delay, int64(e.Req), seq)
+			po.acqInc.ObserveTraced(delay, int64(e.Req), seq, trace)
 		case p.kind == core.KindRead:
-			po.acqRead.ObserveTagged(delay, int64(e.Req), seq)
+			po.acqRead.ObserveTraced(delay, int64(e.Req), seq, trace)
 		default:
-			po.acqWrite.ObserveTagged(delay, int64(e.Req), seq)
+			po.acqWrite.ObserveTraced(delay, int64(e.Req), seq, trace)
 		}
 		if p.entitled {
 			po.entWait.Observe(int64(e.T - p.entitleT))

@@ -28,10 +28,15 @@ func omCreated(ns int64) string {
 
 // omExemplar renders the OpenMetrics exemplar suffix for a bucket line.
 func omExemplar(ex Exemplar) string {
+	var lb strings.Builder
+	fmt.Fprintf(&lb, "req=\"%d\"", ex.Req)
 	if ex.Seq != 0 {
-		return fmt.Sprintf(" # {req=\"%d\",flight_seq=\"%d\"} %d", ex.Req, ex.Seq, ex.Value)
+		fmt.Fprintf(&lb, ",flight_seq=\"%d\"", ex.Seq)
 	}
-	return fmt.Sprintf(" # {req=\"%d\"} %d", ex.Req, ex.Value)
+	if ex.Trace != "" {
+		fmt.Fprintf(&lb, ",trace_id=%q", ex.Trace)
+	}
+	return fmt.Sprintf(" # {%s} %d", lb.String(), ex.Value)
 }
 
 // WriteOpenMetrics renders the snapshot in OpenMetrics text format 1.0.0.

@@ -134,6 +134,11 @@ func (ts *TimeSeries) ensureFresh() {
 	}
 }
 
+// Refresh captures a sample iff the newest one is stale (older than half the
+// interval) — the in-process equivalent of a scrape-driven query. Use before
+// Query when Start was never called.
+func (ts *TimeSeries) Refresh() { ts.ensureFresh() }
+
 // WindowStats summarizes one histogram's movement inside a query window,
 // derived from cumulative bucket deltas between the window's edge samples.
 // Quantiles carry the histogram's ≤ HistMaxRelError one-sided error.

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/rtsync/rwrnlp/internal/obs"
+)
+
+// clusterHTTPClient bounds peer scrapes so one hung node cannot pin a
+// cluster-report handler past its request context.
+var clusterHTTPClient = &http.Client{Timeout: 5 * time.Second}
+
+// ClusterReport is the multi-node cockpit view: this node answered
+// in-process, every peer in the cluster map scraped over HTTP (node
+// identities are the scrape URLs in a multi-node map), all merged by
+// obs.MergeCluster. Unreachable peers appear unhealthy rather than failing
+// the report. Served at GET /debug/rnlp/cluster.
+func (s *Server) ClusterReport(ctx context.Context, window time.Duration) obs.ClusterReport {
+	statuses := make([]obs.NodeStatus, len(s.cfg.Nodes))
+	var wg sync.WaitGroup
+	for i, n := range s.cfg.Nodes {
+		if n == s.cfg.Node {
+			statuses[i] = s.localStatus(window)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			statuses[i] = obs.FetchNodeStatus(ctx, clusterHTTPClient, obs.ClusterNode{Name: n, URL: n}, window)
+		}(i, n)
+	}
+	wg.Wait()
+	return obs.MergeCluster(statuses)
+}
+
+// localStatus builds this node's slice of the cluster view without HTTP.
+func (s *Server) localStatus(window time.Duration) obs.NodeStatus {
+	st := obs.NodeStatus{Name: s.cfg.Node, Healthy: true}
+	if ts := s.p.TimeSeries(); ts != nil {
+		ts.Refresh()
+		st.Series = ts.Query(window)
+	}
+	st.Top = s.p.Attribution().Top
+	return st
+}

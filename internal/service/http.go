@@ -21,6 +21,7 @@ import (
 //	POST /v1/release     release a grant by handle
 //	POST /v1/fence       check a fencing token
 //	GET  /v1/spec        resource system + cluster map
+//	GET  /debug/rnlp/cluster  merged multi-node cockpit view (?window=30s)
 //	(everything else)    Protocol.DebugMux: /metrics, /debug/rnlp/flight,
 //	                     /debug/rnlp/watchdog, /debug/rnlp/timeseries,
 //	                     /debug/rnlp/attr, /debug/pprof/*, /healthz
@@ -35,8 +36,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/release", s.handleRelease)
 	mux.HandleFunc("POST /v1/fence", s.handleFence)
 	mux.HandleFunc("GET /v1/spec", s.handleSpec)
+	mux.HandleFunc("GET /debug/rnlp/cluster", s.handleCluster)
 	mux.Handle("/", s.p.DebugMux())
 	return mux
+}
+
+// handleCluster serves the merged multi-node cockpit view (?window=30s, Go
+// duration syntax, default 60s).
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	window := 60 * time.Second
+	if q := r.URL.Query().Get("window"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad window (want a Go duration, e.g. 30s)", http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	rep := s.ClusterReport(r.Context(), window)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
 }
 
 // writeErr maps a service error onto its wire code and HTTP status.
@@ -133,7 +154,7 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	info, err := s.Acquire(r.Context(), req.SessionID, req.Read, req.Write)
+	info, err := s.AcquireTraced(r.Context(), req.SessionID, req.Read, req.Write, req.TraceID, req.SpanID)
 	if err != nil {
 		writeErr(w, err)
 		return

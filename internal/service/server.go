@@ -421,6 +421,18 @@ func (s *Server) componentsOf(read, write []client.ResourceID) ([]int, error) {
 // disconnect cancels it); lease expiry and server shutdown cancel the wait
 // through the session context.
 func (s *Server) Acquire(ctx context.Context, sessionID string, read, write []client.ResourceID) (client.GrantInfo, error) {
+	return s.AcquireTraced(ctx, sessionID, read, write, "", "")
+}
+
+// AcquireTraced is Acquire carrying the client's distributed-trace context.
+// When traceID is non-empty the runtime acquisition is tagged with it (so
+// flight records, attribution chains, and exemplars on this node join back to
+// the trace) and the grant returns two server spans, children of parentSpan:
+// "admission" (session/lease/placement checks) and "wait" (the blocking
+// runtime acquisition), the latter annotated with the Attributor's delay
+// decomposition and the trace IDs of the requests it waited behind.
+func (s *Server) AcquireTraced(ctx context.Context, sessionID string, read, write []client.ResourceID, traceID, parentSpan string) (client.GrantInfo, error) {
+	admStart := time.Now().UnixNano()
 	if s.closed.Load() {
 		return client.GrantInfo{}, ErrShuttingDown
 	}
@@ -434,6 +446,9 @@ func (s *Server) Acquire(ctx context.Context, sessionID string, read, write []cl
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if traceID != "" {
+		ctx = rwrnlp.ContextWithTag(ctx, traceID)
 	}
 	ctx, cancelTimeout := context.WithTimeout(ctx, s.cfg.AcquireTimeout)
 	defer cancelTimeout()
@@ -452,7 +467,9 @@ func (s *Server) Acquire(ctx context.Context, sessionID string, read, write []cl
 	for i, r := range write {
 		wids[i] = rwrnlp.ResourceID(r)
 	}
+	waitStart := time.Now().UnixNano()
 	tok, err := s.p.Acquire(ctx, rids, wids)
+	waitEnd := time.Now().UnixNano()
 	if err != nil {
 		if sess.ctx.Err() != nil {
 			if s.closed.Load() {
@@ -480,7 +497,56 @@ func (s *Server) Acquire(ctx context.Context, sessionID string, read, write []cl
 	for i, c := range comps {
 		info.Fencing[i] = client.ComponentToken{Component: c, Token: g.tokens[i]}
 	}
+	if traceID != "" {
+		info.Spans = []client.WireSpan{
+			{Name: "admission", Node: s.cfg.Node, Parent: parentSpan,
+				StartUnixNS: admStart, EndUnixNS: waitStart},
+			{Name: "wait", Node: s.cfg.Node, Parent: parentSpan,
+				StartUnixNS: waitStart, EndUnixNS: waitEnd,
+				Attrs: s.waitAttrs(traceID)},
+		}
+	}
 	return info, nil
+}
+
+// waitAttrs joins the trace ID back to the Attributor's decomposition of the
+// runtime wait: total delay and its per-cause parts (logical shard ticks), the
+// wait edges (blocker request IDs), and the trace IDs of any blockers whose
+// own chains are still retained — the cross-trace causality edge. A tagged
+// acquisition that never reached the attributor (fast-path hit, attribution
+// off, or chain evicted) yields {"path": "untracked"}.
+func (s *Server) waitAttrs(traceID string) map[string]string {
+	c, ok := s.p.ChainByTag(traceID)
+	if !ok {
+		return map[string]string{"path": "untracked"}
+	}
+	attrs := map[string]string{
+		"req":         strconv.FormatUint(uint64(c.Req), 10),
+		"delay_ticks": strconv.FormatInt(c.Delay, 10),
+	}
+	for _, p := range c.Parts {
+		attrs[p.Component] = strconv.FormatInt(p.Span, 10)
+	}
+	fmtIDs := func(ids []rwrnlp.ReqID) string {
+		var b []byte
+		for i, id := range ids {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = strconv.AppendUint(b, uint64(id), 10)
+		}
+		return string(b)
+	}
+	if len(c.IssueBlockers) > 0 {
+		attrs["issue_blockers"] = fmtIDs(c.IssueBlockers)
+	}
+	if len(c.EntitleBlockers) > 0 {
+		attrs["entitle_blockers"] = fmtIDs(c.EntitleBlockers)
+	}
+	for id, tag := range s.p.BlockerTags(c) {
+		attrs["blocker_trace_"+strconv.FormatUint(id, 10)] = tag
+	}
+	return attrs
 }
 
 // Release releases a grant by handle. Exactly one of Release and lease

@@ -148,6 +148,8 @@ type (
 	AttributionReport = obs.AttributionReport
 	// BlockChain is one request's delay decomposition and wait edges.
 	BlockChain = obs.BlockChain
+	// ReqID identifies a request in chains and flight records.
+	ReqID = core.ReqID
 	// FlightRecorder is the bounded per-shard ring of recent protocol
 	// events.
 	FlightRecorder = obs.FlightRecorder
@@ -491,6 +493,71 @@ func (p *Protocol) split(read, write []ResourceID) ([]part, error) {
 	return parts, nil
 }
 
+// tagKey is the context key of ContextWithTag (unexported: collisions are
+// impossible by construction).
+type tagKey struct{}
+
+// ContextWithTag returns a context carrying a request tag, pprof-label style:
+// every RSM-path acquisition issued under the returned context stamps tag
+// onto all of its core protocol events, so flight-recorder records,
+// attribution chains, and OpenMetrics exemplars carry it. The rnlpd service
+// tier uses string trace IDs as tags, which is what the cross-node trace
+// stitching joins on; any fmt.Sprint-able value works. Fast-path hits bypass
+// the RSM and are never stamped — tagging must not perturb the acquisition
+// path it observes.
+func ContextWithTag(ctx context.Context, tag any) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, tagKey{}, tag)
+}
+
+// TagFromContext returns the request tag installed by ContextWithTag, or nil.
+func TagFromContext(ctx context.Context) any {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Value(tagKey{})
+}
+
+// ChainByTag returns the most recent retained blocking chain whose request
+// carried the given tag (see ContextWithTag), with spans in logical shard
+// ticks. It reports false when WithAttribution was not set, the tag was never
+// seen, or its chain has been evicted — including when the tagged acquisition
+// was a fast-path hit, which never reaches the attributor.
+func (p *Protocol) ChainByTag(tag string) (BlockChain, bool) {
+	if p.attr == nil {
+		return BlockChain{}, false
+	}
+	return p.attr.ChainByTag(tag)
+}
+
+// BlockerTags resolves the trace tags of a chain's blockers: for every
+// request ID on the chain's issue/entitle wait edges whose own chain is still
+// retained and carried a tag, the map holds reqID → tag. This is how the
+// service tier names the blocking writer's trace in a cross-node wait span.
+// Blockers that were untagged, fast-path hits, or already evicted are absent.
+func (p *Protocol) BlockerTags(c BlockChain) map[uint64]string {
+	if p.attr == nil {
+		return nil
+	}
+	var out map[uint64]string
+	for _, ids := range [2][]core.ReqID{c.IssueBlockers, c.EntitleBlockers} {
+		for _, id := range ids {
+			if _, ok := out[uint64(id)]; ok {
+				continue
+			}
+			if bc, ok := p.attr.Chain(id); ok && bc.Tag != "" {
+				if out == nil {
+					out = make(map[uint64]string)
+				}
+				out[uint64(id)] = bc.Tag
+			}
+		}
+	}
+	return out
+}
+
 // Acquire blocks until read access to every resource in read and write
 // access to every resource in write is held (Sec. 3.5 mixing: both sets may
 // be non-empty). Multiple resources are acquired atomically with no
@@ -536,6 +603,7 @@ func (p *Protocol) acquire(ctx context.Context, read, write []ResourceID) (Token
 	if err != nil {
 		return Token{}, err
 	}
+	tag := TagFromContext(ctx)
 	isWrite := len(write) > 0
 	if len(parts) == 1 {
 		s := parts[0].s
@@ -576,7 +644,7 @@ func (p *Protocol) acquire(ctx context.Context, read, write []ResourceID) (Token
 		if wgate {
 			s.writerEnter()
 		}
-		id, w, err := s.acquire(read, write)
+		id, w, err := s.acquire(read, write, tag)
 		if err != nil {
 			if wgate {
 				s.writerExit()
@@ -614,7 +682,7 @@ func (p *Protocol) acquire(ctx context.Context, read, write []ResourceID) (Token
 		if wgate {
 			pt.s.writerEnter()
 		}
-		id, w, err := pt.s.acquire(pt.read, pt.write)
+		id, w, err := pt.s.acquire(pt.read, pt.write, tag)
 		if err == nil && w != nil {
 			if blockStart == 0 {
 				blockStart = p.nowNS()

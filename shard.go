@@ -19,6 +19,9 @@ import (
 type issueOp struct {
 	next        *issueOp
 	read, write []ResourceID
+	// tag is the caller's request tag (see ContextWithTag), stamped onto
+	// every core event of the issued request; nil for untagged acquisitions.
+	tag any
 
 	// Results, published before done — the release/acquire pair on done
 	// makes them visible to the publisher.
@@ -280,7 +283,7 @@ func (s *shard) unlock() {
 // mirrored before done is published: the publisher's slowExit must not run
 // while its issuance is still invisible to the writer fast path.
 func (s *shard) runOp(op *issueOp) {
-	op.id, op.err = s.rsm.Issue(s.tick(), op.read, op.write, nil)
+	op.id, op.err = s.rsm.Issue(s.tick(), op.read, op.write, op.tag)
 	if op.err == nil {
 		if st, _ := s.rsm.State(op.id); st != core.StateSatisfied {
 			op.w = s.newWaiter()
@@ -298,7 +301,7 @@ func (s *shard) runOp(op *issueOp) {
 // current holder to combine, falling back to the mutex if no holder picks it
 // up in time (the fallback drains the stack itself, so an op is always
 // executed after at most one lock acquisition).
-func (s *shard) acquire(read, write []ResourceID) (core.ReqID, *waiter, error) {
+func (s *shard) acquire(read, write []ResourceID, tag any) (core.ReqID, *waiter, error) {
 	if s.acquires != nil {
 		s.acquires.Inc()
 	}
@@ -308,7 +311,7 @@ func (s *shard) acquire(read, write []ResourceID) (core.ReqID, *waiter, error) {
 	s.slowEnter()
 	defer s.slowExit()
 	if s.mu.TryLock() {
-		op := issueOp{read: read, write: write}
+		op := issueOp{read: read, write: write, tag: tag}
 		s.runOp(&op)
 		s.unlock()
 		return op.id, op.w, op.err
@@ -320,7 +323,7 @@ func (s *shard) acquire(read, write []ResourceID) (core.ReqID, *waiter, error) {
 	if s.combineWait != nil {
 		start = time.Now().UnixNano()
 	}
-	op := &issueOp{read: read, write: write}
+	op := &issueOp{read: read, write: write, tag: tag}
 	for {
 		old := s.ops.Load()
 		op.next = old
